@@ -1,0 +1,155 @@
+// E6 — attachment side-effect overhead. "Whenever a record is inserted,
+// updated, or deleted, the (old and new) record is presented ... to each
+// attachment type with instances defined on the relation being modified."
+//
+// Measures insert / update / delete cost as attachments accumulate:
+//   0: bare storage method
+//   1: + B-tree index            2: + hash index
+//   3: + check constraint        4: + unique constraint
+//   5: + stats
+// Expected shape: roughly linear growth, with index attachments (which
+// maintain storage and write log records) costing more than the pure
+// predicate check.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/attach/check_constraint.h"
+
+namespace dmx {
+namespace bench {
+namespace {
+
+// A fresh database per configuration level (they cannot be detached
+// without affecting other levels' runs, so each level owns its state).
+ScopedDb* DbForLevel(int level) {
+  static std::map<int, std::unique_ptr<ScopedDb>>* dbs =
+      new std::map<int, std::unique_ptr<ScopedDb>>();
+  auto it = dbs->find(level);
+  if (it != dbs->end()) return it->second.get();
+  auto holder = std::make_unique<ScopedDb>(0);
+  Database* db = holder->db();
+  Transaction* txn = db->Begin();
+  if (level >= 1) {
+    BenchCheck(db->CreateAttachment(txn, "bench", "btree_index",
+                                    {{"fields", "id"}}),
+               "btree");
+  }
+  if (level >= 2) {
+    BenchCheck(db->CreateAttachment(txn, "bench", "hash_index",
+                                    {{"fields", "category"}}),
+               "hash");
+  }
+  if (level >= 3) {
+    auto pred = Expr::Cmp(ExprOp::kGe, 2, Value::Double(0.0));
+    BenchCheck(db->CreateAttachment(
+                   txn, "bench", "check",
+                   {{"predicate", EncodePredicateAttr(pred)}}),
+               "check");
+  }
+  if (level >= 4) {
+    BenchCheck(db->CreateAttachment(txn, "bench", "unique",
+                                    {{"fields", "id"}}),
+               "unique");
+  }
+  if (level >= 5) {
+    BenchCheck(db->CreateAttachment(txn, "bench", "stats",
+                                    {{"field", "score"}}),
+               "stats");
+  }
+  BenchCheck(db->Commit(txn), "ddl");
+  ScopedDb* raw = holder.get();
+  (*dbs)[level] = std::move(holder);
+  return raw;
+}
+
+void BM_InsertWithAttachments(benchmark::State& state) {
+  ScopedDb* holder = DbForLevel(static_cast<int>(state.range(0)));
+  Database* db = holder->db();
+  static std::atomic<int64_t> g_id{10000000};  // never reused across reruns
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Insert(txn, "bench",
+                          {Value::Int(g_id.fetch_add(1)), Value::String("cat"),
+                           Value::Double(1.0), Value::String("p")}),
+               "insert");
+    BenchCheck(db->Commit(txn), "commit");
+  }
+  state.counters["at_calls_per_op"] = benchmark::Counter(
+      static_cast<double>(db->stats().at_calls), benchmark::Counter::kDefaults);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertWithAttachments)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UpdateWithAttachments(benchmark::State& state) {
+  ScopedDb* holder = DbForLevel(static_cast<int>(state.range(0)));
+  Database* db = holder->db();
+  // Seed one row to update repeatedly.
+  std::string key;
+  {
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Insert(txn, "bench",
+                          {Value::Int(-1 - state.range(0)),
+                           Value::String("u"), Value::Double(1.0),
+                           Value::String("p")},
+                          &key),
+               "seed");
+    BenchCheck(db->Commit(txn), "commit");
+  }
+  double score = 2.0;
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    std::string new_key;
+    BenchCheck(db->Update(txn, "bench", Slice(key),
+                          {Value::Int(-1 - state.range(0)),
+                           Value::String("u"), Value::Double(score),
+                           Value::String("p")},
+                          &new_key),
+               "update");
+    key = new_key;
+    score += 1.0;
+    BenchCheck(db->Commit(txn), "commit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateWithAttachments)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeleteWithAttachments(benchmark::State& state) {
+  ScopedDb* holder = DbForLevel(static_cast<int>(state.range(0)));
+  Database* db = holder->db();
+  static std::atomic<int64_t> g_id{50000000};
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string key;
+    {
+      Transaction* txn = db->Begin();
+      BenchCheck(db->Insert(txn, "bench",
+                            {Value::Int(g_id.fetch_add(1)), Value::String("d"),
+                             Value::Double(1.0), Value::String("p")},
+                            &key),
+                 "seed");
+      BenchCheck(db->Commit(txn), "commit");
+    }
+    state.ResumeTiming();
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Delete(txn, "bench", Slice(key)), "delete");
+    BenchCheck(db->Commit(txn), "commit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeleteWithAttachments)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dmx
+
+BENCHMARK_MAIN();

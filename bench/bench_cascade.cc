@@ -1,0 +1,164 @@
+// E11 — cascading modifications. "Attachments may access or modify other
+// data in the database by calling the appropriate storage method or
+// attachment routines. In this manner, modifications may cascade in the
+// database."
+//
+// Deletes one parent with fanout {1, 10, 100, 1000} children, and a
+// two-level chain (parent -> child -> grandchild with fanout 10 each
+// level, 100 leaves). A hash access path on the child's foreign key keeps
+// the per-level child discovery cheap; cost should scale linearly with the
+// number of cascaded deletes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace dmx {
+namespace bench {
+namespace {
+
+Schema KeyedSchema(const char* key_col, const char* fk_col) {
+  return Schema({{key_col, TypeId::kInt64, false},
+                 {fk_col, TypeId::kInt64, true}});
+}
+
+struct Fixture {
+  Fixture() : dir("cascade") {
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.buffer_pool_pages = 4096;
+    BenchCheck(Database::Open(options, &db), "open");
+    Transaction* txn = db->Begin();
+    BenchCheck(db->CreateRelation(txn, "parent", KeyedSchema("pid", "x"),
+                                  "heap", {}),
+               "parent");
+    BenchCheck(db->CreateRelation(txn, "child", KeyedSchema("cid", "pid"),
+                                  "heap", {}),
+               "child");
+    BenchCheck(db->CreateRelation(txn, "grandchild",
+                                  KeyedSchema("gid", "cid"), "heap", {}),
+               "grandchild");
+    BenchCheck(db->CreateAttachment(txn, "parent", "refint",
+                                    {{"role", "parent"}, {"other", "child"},
+                                     {"fields", "pid"},
+                                     {"other_fields", "pid"},
+                                     {"action", "cascade"}}),
+               "cascade 1");
+    BenchCheck(db->CreateAttachment(txn, "child", "refint",
+                                    {{"role", "parent"},
+                                     {"other", "grandchild"},
+                                     {"fields", "cid"},
+                                     {"other_fields", "cid"},
+                                     {"action", "cascade"}}),
+               "cascade 2");
+    BenchCheck(db->Commit(txn), "ddl");
+  }
+
+  // Build one parent with `fanout` children; returns the parent key.
+  std::string SeedFlat(int64_t parent_id, int64_t fanout) {
+    Transaction* txn = db->Begin();
+    std::string pkey;
+    BenchCheck(db->Insert(txn, "parent",
+                          {Value::Int(parent_id), Value::Null()}, &pkey),
+               "seed parent");
+    for (int64_t i = 0; i < fanout; ++i) {
+      BenchCheck(db->Insert(txn, "child",
+                            {Value::Int(parent_id * 1000000 + i),
+                             Value::Int(parent_id)}),
+                 "seed child");
+    }
+    BenchCheck(db->Commit(txn), "seed commit");
+    return pkey;
+  }
+
+  // Parent -> 10 children -> 10 grandchildren each (100 leaves).
+  std::string SeedChain(int64_t parent_id) {
+    Transaction* txn = db->Begin();
+    std::string pkey;
+    BenchCheck(db->Insert(txn, "parent",
+                          {Value::Int(parent_id), Value::Null()}, &pkey),
+               "seed parent");
+    for (int64_t c = 0; c < 10; ++c) {
+      int64_t cid = parent_id * 1000000 + c;
+      BenchCheck(db->Insert(txn, "child",
+                            {Value::Int(cid), Value::Int(parent_id)}),
+                 "seed child");
+      for (int64_t g = 0; g < 10; ++g) {
+        BenchCheck(db->Insert(txn, "grandchild",
+                              {Value::Int(cid * 100 + g), Value::Int(cid)}),
+                   "seed grandchild");
+      }
+    }
+    BenchCheck(db->Commit(txn), "seed commit");
+    return pkey;
+  }
+
+  TempDir dir;
+  std::unique_ptr<Database> db;
+};
+
+Fixture* F() {
+  static Fixture* fixture = new Fixture();
+  return fixture;
+}
+
+void BM_CascadeDeleteFanout(benchmark::State& state) {
+  Fixture* fixture = F();
+  Database* db = fixture->db.get();
+  const int64_t fanout = state.range(0);
+  int64_t parent_id = 1 + fanout * 100000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string pkey = fixture->SeedFlat(parent_id, fanout);
+    state.ResumeTiming();
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Delete(txn, "parent", Slice(pkey)), "cascade delete");
+    BenchCheck(db->Commit(txn), "commit");
+    ++parent_id;
+  }
+  state.counters["cascaded_deletes"] = static_cast<double>(fanout);
+  state.SetItemsProcessed(state.iterations() * (1 + fanout));
+}
+BENCHMARK(BM_CascadeDeleteFanout)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CascadeDeleteTwoLevels(benchmark::State& state) {
+  Fixture* fixture = F();
+  Database* db = fixture->db.get();
+  int64_t parent_id = 900000000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string pkey = fixture->SeedChain(parent_id);
+    state.ResumeTiming();
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Delete(txn, "parent", Slice(pkey)), "cascade delete");
+    BenchCheck(db->Commit(txn), "commit");
+    ++parent_id;
+  }
+  state.counters["cascaded_deletes"] = 110;  // 10 children + 100 leaves
+  state.SetItemsProcessed(state.iterations() * 111);
+}
+BENCHMARK(BM_CascadeDeleteTwoLevels)->Unit(benchmark::kMillisecond);
+
+// Abort after the cascade: the whole subtree must be restored by the
+// common log.
+void BM_CascadeDeleteThenAbort(benchmark::State& state) {
+  Fixture* fixture = F();
+  Database* db = fixture->db.get();
+  // One reusable chain (abort restores it every iteration).
+  static std::string pkey = fixture->SeedChain(950000000);
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    BenchCheck(db->Delete(txn, "parent", Slice(pkey)), "cascade delete");
+    BenchCheck(db->Abort(txn), "abort");
+  }
+  state.SetItemsProcessed(state.iterations() * 111 * 2);  // do + undo
+}
+BENCHMARK(BM_CascadeDeleteThenAbort)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Checkpoint / restart-recovery benchmarks (extension beyond the paper:
+// DESIGN.md §5): restart time as a function of log length, the cost of a
+// quiesced checkpoint, and restart time right after a checkpoint.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace dmx {
+namespace bench {
+namespace {
+
+// Build a database with `ops` logged operations (mainmemory relation so
+// restart replays every record), optionally checkpointed at the end.
+// Returns the directory holder; caller reopens to measure restart.
+std::unique_ptr<TempDir> BuildLoggedDb(int64_t ops, bool checkpoint) {
+  auto dir = std::make_unique<TempDir>("ckpt");
+  DatabaseOptions options;
+  options.dir = dir->path();
+  std::unique_ptr<Database> db;
+  BenchCheck(Database::Open(options, &db), "open");
+  Schema schema({{"k", TypeId::kInt64, false},
+                 {"v", TypeId::kString, true}});
+  Transaction* txn = db->Begin();
+  BenchCheck(db->CreateRelation(txn, "m", schema, "mainmemory", {}),
+             "create");
+  BenchCheck(db->Commit(txn), "ddl");
+  txn = db->Begin();
+  for (int64_t i = 0; i < ops; ++i) {
+    BenchCheck(
+        db->Insert(txn, "m", {Value::Int(i), Value::String("payload")}),
+        "insert");
+  }
+  BenchCheck(db->Commit(txn), "load");
+  if (checkpoint) BenchCheck(db->Checkpoint(), "checkpoint");
+  db.reset();  // clean close
+  return dir;
+}
+
+void BM_RestartAfterLoggedOps(benchmark::State& state) {
+  const int64_t ops = state.range(0);
+  auto dir = BuildLoggedDb(ops, /*checkpoint=*/false);
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.dir = dir->path();
+    std::unique_ptr<Database> db;
+    BenchCheck(Database::Open(options, &db), "restart");
+    benchmark::DoNotOptimize(db.get());
+  }
+  state.counters["logged_ops"] = static_cast<double>(ops);
+}
+BENCHMARK(BM_RestartAfterLoggedOps)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RestartAfterCheckpoint(benchmark::State& state) {
+  const int64_t ops = state.range(0);
+  auto dir = BuildLoggedDb(ops, /*checkpoint=*/true);
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.dir = dir->path();
+    std::unique_ptr<Database> db;
+    BenchCheck(Database::Open(options, &db), "restart");
+    benchmark::DoNotOptimize(db.get());
+  }
+  state.counters["logged_ops"] = static_cast<double>(ops);
+}
+BENCHMARK(BM_RestartAfterCheckpoint)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointCost(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  TempDir dir("ckptcost");
+  DatabaseOptions options;
+  options.dir = dir.path();
+  std::unique_ptr<Database> db;
+  BenchCheck(Database::Open(options, &db), "open");
+  Schema schema({{"k", TypeId::kInt64, false},
+                 {"v", TypeId::kString, true}});
+  Transaction* txn = db->Begin();
+  BenchCheck(db->CreateRelation(txn, "m", schema, "mainmemory", {}),
+             "create");
+  for (int64_t i = 0; i < rows; ++i) {
+    BenchCheck(
+        db->Insert(txn, "m", {Value::Int(i), Value::String("payload")}),
+        "insert");
+  }
+  BenchCheck(db->Commit(txn), "load");
+  for (auto _ : state) {
+    BenchCheck(db->Checkpoint(), "checkpoint");
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_CheckpointCost)
+    ->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dmx
+
+BENCHMARK_MAIN();

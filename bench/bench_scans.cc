@@ -1,0 +1,141 @@
+// E12 — scan position maintenance. Key-sequential accesses must keep a
+// well-defined position across deletions at the position, and positions
+// are saved when a rollback point is established and restored after a
+// partial rollback (scan moves themselves are not logged).
+//
+// Measures: plain scan throughput; scan with interleaved delete-at-
+// position; savepoint establishment cost as the number of open scans
+// grows (each open scan's position must be captured); and partial
+// rollback with open-scan position restore.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace dmx {
+namespace bench {
+namespace {
+
+constexpr uint64_t kRows = 20000;
+
+ScopedDb* F() {
+  static ScopedDb* fixture = new ScopedDb(kRows);
+  return fixture;
+}
+
+void BM_PlainScan(benchmark::State& state) {
+  Database* db = F()->db();
+  const RelationDescriptor* desc = F()->desc();
+  uint64_t n = 0;
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    std::unique_ptr<Scan> scan;
+    BenchCheck(db->OpenScanOn(txn, desc, AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan),
+               "scan");
+    n = 0;
+    ScanItem item;
+    while (scan->Next(&item).ok()) ++n;
+    scan.reset();
+    BenchCheck(db->Commit(txn), "commit");
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PlainScan)->Unit(benchmark::kMillisecond);
+
+// Delete every 10th record at the scan position while scanning, then
+// abort (so the fixture stays intact). Exercises the "scan positioned just
+// after the deleted item" semantics under load.
+void BM_ScanWithInterleavedDeletes(benchmark::State& state) {
+  Database* db = F()->db();
+  const RelationDescriptor* desc = F()->desc();
+  uint64_t n = 0;
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    std::unique_ptr<Scan> scan;
+    BenchCheck(db->OpenScanOn(txn, desc, AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan),
+               "scan");
+    n = 0;
+    ScanItem item;
+    while (scan->Next(&item).ok()) {
+      ++n;
+      if (n % 10 == 0) {
+        BenchCheck(db->DeleteRecord(txn, desc, Slice(item.record_key)),
+                   "delete at position");
+      }
+    }
+    scan.reset();
+    BenchCheck(db->Abort(txn), "abort");
+  }
+  state.counters["rows_seen"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScanWithInterleavedDeletes)->Unit(benchmark::kMillisecond);
+
+// Savepoint cost with k open scans (positions captured per savepoint).
+void BM_SavepointWithOpenScans(benchmark::State& state) {
+  Database* db = F()->db();
+  const RelationDescriptor* desc = F()->desc();
+  const int64_t k = state.range(0);
+  Transaction* txn = db->Begin();
+  std::vector<std::unique_ptr<Scan>> scans;
+  for (int64_t i = 0; i < k; ++i) {
+    std::unique_ptr<Scan> scan;
+    BenchCheck(db->OpenScanOn(txn, desc, AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan),
+               "scan");
+    ScanItem item;
+    scan->Next(&item).ok();
+    scans.push_back(std::move(scan));
+  }
+  for (auto _ : state) {
+    BenchCheck(db->Savepoint(txn, "sp"), "savepoint");
+  }
+  scans.clear();
+  BenchCheck(db->Commit(txn), "commit");
+  state.counters["open_scans"] = static_cast<double>(k);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SavepointWithOpenScans)
+    ->Arg(0)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Partial rollback restoring an open scan's position: do some work after
+// the savepoint, roll back, verify the scan resumes at the saved point.
+void BM_PartialRollbackRestoresScan(benchmark::State& state) {
+  Database* db = F()->db();
+  const RelationDescriptor* desc = F()->desc();
+  int64_t id = 90000000;
+  for (auto _ : state) {
+    Transaction* txn = db->Begin();
+    std::unique_ptr<Scan> scan;
+    BenchCheck(db->OpenScanOn(txn, desc, AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan),
+               "scan");
+    ScanItem item;
+    BenchCheck(scan->Next(&item), "advance");
+    BenchCheck(db->Savepoint(txn, "sp"), "savepoint");
+    for (int i = 0; i < 10; ++i) {
+      BenchCheck(db->Insert(txn, "bench",
+                            {Value::Int(id++), Value::String("x"),
+                             Value::Double(1.0), Value::String("p")}),
+                 "insert");
+      BenchCheck(scan->Next(&item), "drift");
+    }
+    BenchCheck(db->txn_manager()->RollbackToSavepoint(txn, "sp"),
+               "rollback");
+    BenchCheck(scan->Next(&item), "resume");  // from the restored position
+    scan.reset();
+    BenchCheck(db->Abort(txn), "abort");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialRollbackRestoresScan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#include "bench/bench_util.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace dmx {
+namespace bench {
+
+TempDir::TempDir(const std::string& tag) {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "/tmp/dmx_bench_%s_%d_XXXXXX", tag.c_str(),
+           static_cast<int>(getpid()));
+  char* p = mkdtemp(buf);
+  path_ = p ? p : "/tmp";
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+void BenchCheck(const Status& s, const char* what) {
+  if (!s.ok()) {
+    fprintf(stderr, "BENCH SETUP FAILED (%s): %s\n", what,
+            s.ToString().c_str());
+    abort();
+  }
+}
+
+Schema ScopedDb::BenchSchema() {
+  return Schema({{"id", TypeId::kInt64, false},
+                 {"category", TypeId::kString, true},
+                 {"score", TypeId::kDouble, true},
+                 {"payload", TypeId::kString, true}});
+}
+
+ScopedDb::ScopedDb(uint64_t rows, const std::string& sm,
+                   size_t buffer_pool_pages)
+    : dir_("db") {
+  DatabaseOptions options;
+  options.dir = dir_.path();
+  options.buffer_pool_pages = buffer_pool_pages;
+  BenchCheck(Database::Open(options, &db_), "open");
+  Transaction* txn = db_->Begin();
+  AttrList attrs;
+  if (sm == "btree") attrs.Add("key", "id");
+  BenchCheck(db_->CreateRelation(txn, "bench", BenchSchema(), sm, attrs),
+             "create");
+  BenchCheck(db_->Commit(txn), "commit ddl");
+  BenchCheck(db_->FindRelation("bench", &desc_), "find");
+  if (rows > 0) Load(0, rows);
+}
+
+void ScopedDb::Load(uint64_t begin, uint64_t end) {
+  const std::string payload(64, 'p');
+  Transaction* txn = db_->Begin();
+  for (uint64_t i = begin; i < end; ++i) {
+    BenchCheck(
+        db_->Insert(txn, "bench",
+                    {Value::Int(static_cast<int64_t>(i)),
+                     Value::String("c" + std::to_string(i % 100)),
+                     Value::Double(static_cast<double>(i) * 0.5),
+                     Value::String(payload)}),
+        "load insert");
+  }
+  BenchCheck(db_->Commit(txn), "commit load");
+}
+
+}  // namespace bench
+}  // namespace dmx

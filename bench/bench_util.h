@@ -1,0 +1,57 @@
+// Shared benchmark helpers.
+
+#ifndef DMX_BENCH_BENCH_UTIL_H_
+#define DMX_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/database.h"
+
+namespace dmx {
+namespace bench {
+
+/// Scoped temporary directory, recursively removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag = "b");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A database in a temp dir with a standard benchmark relation:
+///   bench(id INT NOT NULL, category STRING, score DOUBLE, payload STRING)
+/// loaded with `rows` rows: id = 0..rows-1, category = "c<id%100>",
+/// score = id * 0.5, payload = 64 chars.
+class ScopedDb {
+ public:
+  explicit ScopedDb(uint64_t rows = 0, const std::string& sm = "heap",
+                    size_t buffer_pool_pages = 2048);
+
+  Database* db() { return db_.get(); }
+  const RelationDescriptor* desc() const { return desc_; }
+  static Schema BenchSchema();
+
+  /// Insert rows [begin, end) into "bench" in one transaction.
+  void Load(uint64_t begin, uint64_t end);
+
+ private:
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  const RelationDescriptor* desc_ = nullptr;
+};
+
+/// Abort-on-error helper for setup code.
+void BenchCheck(const Status& s, const char* what);
+
+}  // namespace bench
+}  // namespace dmx
+
+#endif  // DMX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// Database publishing: the paper's hardware-evolution motivation —
+// "special facilities to support (read-only) optical disk database
+// publishing applications" — realized as the append-only storage method
+// (see DESIGN.md substitutions), plus a main-memory storage method for the
+// "selected high traffic" working set.
+//
+// An archive of sensor readings is published append-only (updates and
+// deletes rejected by the storage method itself), while a live dashboard
+// relation runs on the mainmemory method with a maintained stats
+// attachment (count/sum/avg kept incrementally by attached procedures).
+
+#include <cstdio>
+
+#include "src/attach/stats.h"
+#include "src/core/database.h"
+#include "src/query/sql.h"
+
+using namespace dmx;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.dir = "/tmp/dmx_publishing";
+  system(("rm -rf " + options.dir).c_str());
+  std::unique_ptr<Database> db;
+  Check(Database::Open(options, &db), "open");
+  Session session(db.get());
+  QueryResult r;
+
+  printf("== the published archive (append-only storage method) ==\n");
+  Check(session.Execute("CREATE TABLE archive (seq INT NOT NULL, "
+                        "sensor STRING, reading DOUBLE) USING appendonly",
+                        &r),
+        "archive ddl");
+  for (int i = 0; i < 500; ++i) {
+    Check(session.Execute(
+              "INSERT INTO archive VALUES (" + std::to_string(i) + ", 's" +
+                  std::to_string(i % 5) + "', " + std::to_string(i % 40) +
+                  ".25)",
+              &r),
+          "publish");
+  }
+  Check(session.Execute("SELECT COUNT(*) FROM archive", &r), "count");
+  printf("published %lld readings\n", (long long)r.rows[0][0].int_value());
+
+  Status upd = session.Execute("UPDATE archive SET reading = 0.0", &r);
+  printf("UPDATE on published data  -> %s\n", upd.ToString().c_str());
+  Status del = session.Execute("DELETE FROM archive WHERE seq = 0", &r);
+  printf("DELETE from published data -> %s\n", del.ToString().c_str());
+  Check(session.Execute(
+            "SELECT COUNT(*) FROM archive WHERE sensor = 's3'", &r),
+        "query archive");
+  printf("readings from sensor s3: %s (reads work normally)\n",
+         r.rows[0][0].ToString().c_str());
+
+  printf("\n== the live dashboard (main-memory storage method) ==\n");
+  Check(session.Execute("CREATE TABLE live (sensor STRING, reading DOUBLE) "
+                        "USING mainmemory",
+                        &r),
+        "live ddl");
+  uint32_t stats_no = 0;
+  {
+    Transaction* txn = db->Begin();
+    Check(db->CreateAttachment(txn, "live", "stats", {{"field", "reading"}},
+                               &stats_no),
+          "stats");
+    Check(db->Commit(txn), "commit");
+  }
+  for (int i = 0; i < 100; ++i) {
+    Check(session.Execute("INSERT INTO live VALUES ('s" +
+                              std::to_string(i % 5) + "', " +
+                              std::to_string(i) + ".0)",
+                          &r),
+          "feed");
+  }
+  Transaction* txn = db->Begin();
+  StatsSnapshot snap;
+  Check(ReadStats(db.get(), txn, "live", stats_no, &snap), "stats read");
+  Check(db->Commit(txn), "commit");
+  printf("maintained stats (no scan!): count=%llu sum=%.1f avg=%.2f\n",
+         (unsigned long long)snap.count, snap.sum, snap.avg());
+
+  printf("\n== durability differs by storage method, as designed ==\n");
+  printf("archive pages: durable on disk; live relation: rebuilt from the "
+         "common log at restart (see MainMemoryRelationSurvivesReopen "
+         "test).\n");
+  printf("\nOK\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Quickstart: the paper's Figure 1 configuration, end to end.
+//
+// Builds the EMPLOYEE relation on the heap storage method, attaches two
+// B-tree indexes and an intra-record check constraint, and exercises the
+// two-step modification dispatch, a constraint veto with log-driven partial
+// rollback, and cost-based access-path selection — through both the C++
+// API and the SQL front end.
+
+#include <cstdio>
+
+#include "src/attach/check_constraint.h"
+#include "src/core/database.h"
+#include "src/query/sql.h"
+
+using namespace dmx;  // examples favour brevity
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.dir = "/tmp/dmx_quickstart";
+  system(("rm -rf " + options.dir).c_str());
+  std::unique_ptr<Database> db;
+  Check(Database::Open(options, &db), "open");
+
+  printf("== Figure 1: EMPLOYEE on heap + B-trees + check constraint ==\n");
+  Session session(db.get());
+  QueryResult r;
+  Check(session.Execute(
+            "CREATE TABLE employee (id INT NOT NULL, name STRING, "
+            "salary DOUBLE, dept STRING)",
+            &r),
+        "create table");
+  Check(session.Execute("CREATE UNIQUE INDEX ON employee (id)", &r),
+        "index on id");
+  Check(session.Execute("CREATE INDEX ON employee (salary)", &r),
+        "index on salary");
+
+  // The check constraint stores a common-services predicate encoding in
+  // its descriptor field: salary >= 0.
+  {
+    Transaction* txn = db->Begin();
+    auto predicate = Expr::Cmp(ExprOp::kGe, 2, Value::Double(0.0));
+    Check(db->CreateAttachment(
+              txn, "employee", "check",
+              {{"predicate", EncodePredicateAttr(predicate)},
+               {"name", "salary_non_negative"}}),
+          "check constraint");
+    Check(db->Commit(txn), "commit ddl");
+  }
+
+  // Show the extensible relation descriptor.
+  const RelationDescriptor* desc;
+  Check(db->FindRelation("employee", &desc), "find");
+  printf("relation descriptor: storage method id=%u (%s)\n", desc->sm_id,
+         db->registry()->sm_ops(desc->sm_id).name);
+  for (AtId at = 0; at < db->registry()->num_attachment_types(); ++at) {
+    if (desc->HasAttachment(at)) {
+      printf("  descriptor field %u: %s (%zu bytes)\n", at,
+             db->registry()->at_ops(at).name, desc->at_desc[at].size());
+    }
+  }
+
+  Check(session.Execute(
+            "INSERT INTO employee VALUES "
+            "(1, 'lindsay', 120000.0, 'almaden'), "
+            "(2, 'mcpherson', 110000.0, 'almaden'), "
+            "(3, 'pirahesh', 115000.0, 'almaden')",
+            &r),
+        "insert");
+
+  printf("\n== veto + partial rollback ==\n");
+  Status bad = session.Execute(
+      "INSERT INTO employee VALUES (4, 'negative', -1.0, 'x')", &r);
+  printf("insert with negative salary -> %s\n", bad.ToString().c_str());
+  printf("vetoes so far: %llu, partial rollbacks: %llu\n",
+         (unsigned long long)db->stats().vetoes,
+         (unsigned long long)db->stats().partial_rollbacks);
+
+  printf("\n== queries (planner picks the access path) ==\n");
+  Check(session.Execute("SELECT name, salary FROM employee WHERE id = 2",
+                        &r),
+        "point query");
+  printf("%s", r.ToString().c_str());
+  Check(session.Execute(
+            "SELECT name FROM employee WHERE salary >= 112000.0", &r),
+        "range query");
+  printf("%s", r.ToString().c_str());
+  Check(session.Execute("SELECT COUNT(*) FROM employee", &r), "count");
+  printf("employees: %s\n", r.rows[0][0].ToString().c_str());
+
+  printf("\n== dispatch statistics (tuple-at-a-time interfaces) ==\n");
+  printf("storage-method calls: %llu, attached-procedure calls: %llu\n",
+         (unsigned long long)db->stats().sm_calls,
+         (unsigned long long)db->stats().at_calls);
+  printf("\nOK\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// dmx shell: an interactive SQL REPL over the data management extension
+// architecture. Run with a database directory:
+//
+//   ./example_shell /tmp/mydb
+//
+// Then type SQL (see src/query/sql.h for the grammar); \q quits. A short
+// scripted demo runs instead when stdin is not a TTY or "--demo" is given.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/query/sql.h"
+
+using namespace dmx;
+
+namespace {
+
+int RunDemo(Session* session) {
+  const char* script[] = {
+      "CREATE TABLE employee (id INT NOT NULL, name STRING, salary DOUBLE,"
+      " dept STRING)",
+      "CREATE UNIQUE INDEX ON employee (id)",
+      "ALTER TABLE employee ADD CHECK (salary >= 0.0) NAME salary_positive",
+      "INSERT INTO employee VALUES (1, 'lindsay', 120000.0, 'almaden'),"
+      " (2, 'mcpherson', 110000.0, 'almaden'),"
+      " (3, 'pirahesh', 115000.0, 'almaden')",
+      "DESCRIBE employee",
+      "EXPLAIN SELECT name FROM employee WHERE id = 2",
+      "SELECT name, salary FROM employee WHERE salary > 110000.0"
+      " ORDER BY salary DESC",
+      "INSERT INTO employee VALUES (4, 'negative', -1.0, 'x')",
+      "SELECT COUNT(*) FROM employee",
+      "ALTER TABLE employee SET STORAGE mainmemory",
+      "DESCRIBE employee",
+      "SELECT COUNT(*) FROM employee",
+      "CHECKPOINT",
+  };
+  for (const char* sql : script) {
+    printf("dmx> %s\n", sql);
+    QueryResult result;
+    Status s = session->Execute(sql, &result);
+    if (!s.ok()) {
+      printf("error: %s\n\n", s.ToString().c_str());
+      continue;
+    }
+    printf("%s\n", result.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "/tmp/dmx_shell";
+  bool demo = !isatty(STDIN_FILENO);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else {
+      dir = arg;
+    }
+  }
+  if (demo) system(("rm -rf " + dir).c_str());
+
+  DatabaseOptions options;
+  options.dir = dir;
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(options, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open %s: %s\n", dir.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  Session session(db.get());
+  printf("dmx shell — database at %s (\\q to quit)\n", dir.c_str());
+
+  if (demo) return RunDemo(&session);
+
+  std::string line;
+  while (true) {
+    printf("dmx> ");
+    fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    QueryResult result;
+    s = session.Execute(line, &result);
+    if (!s.ok()) {
+      printf("error: %s\n", s.ToString().c_str());
+      continue;
+    }
+    printf("%s", result.ToString().c_str());
+  }
+  return 0;
+}

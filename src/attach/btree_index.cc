@@ -1,0 +1,505 @@
+#include "src/attach/btree_index.h"
+
+#include <atomic>
+
+#include "src/core/costing.h"
+#include "src/core/database.h"
+#include "src/sm/btree_core.h"
+#include "src/sm/btree_sm.h"
+#include "src/sm/key_codec.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+std::atomic<uint64_t> g_skipped_updates{0};
+
+struct IndexInstance {
+  uint32_t no = 0;
+  PageId anchor = kInvalidPageId;
+  bool unique = false;
+  std::vector<int> fields;
+};
+
+struct IndexTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<IndexInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const IndexInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutFixed32(dst, inst.anchor);
+      dst->push_back(inst.unique ? 1 : 0);
+      PutVarint32(dst, static_cast<uint32_t>(inst.fields.size()));
+      for (int f : inst.fields) PutVarint32(dst, static_cast<uint32_t>(f));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, IndexTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("btree index descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      IndexInstance inst;
+      uint32_t no, anchor, nfields;
+      if (!GetVarint32(&in, &no) || !GetFixed32(&in, &anchor) ||
+          in.empty()) {
+        return Status::Corruption("btree index instance");
+      }
+      inst.no = no;
+      inst.anchor = anchor;
+      inst.unique = in[0] != 0;
+      in.remove_prefix(1);
+      if (!GetVarint32(&in, &nfields)) {
+        return Status::Corruption("btree index fields");
+      }
+      for (uint32_t f = 0; f < nfields; ++f) {
+        uint32_t idx;
+        if (!GetVarint32(&in, &idx)) {
+          return Status::Corruption("btree index field");
+        }
+        inst.fields.push_back(static_cast<int>(idx));
+      }
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+
+  const IndexInstance* Find(uint32_t no) const {
+    for (const IndexInstance& inst : instances) {
+      if (inst.no == no) return &inst;
+    }
+    return nullptr;
+  }
+};
+
+struct IndexState : public ExtState {
+  IndexTypeDesc desc;
+  // Parallel to desc.instances.
+  std::vector<std::unique_ptr<BTree>> trees;
+
+  BTree* TreeFor(uint32_t no) {
+    for (size_t i = 0; i < desc.instances.size(); ++i) {
+      if (desc.instances[i].no == no) return trees[i].get();
+    }
+    return nullptr;
+  }
+};
+
+IndexState* StateOf(AtContext& ctx) {
+  return static_cast<IndexState*>(ctx.state);
+}
+
+Status IdxOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<IndexState>();
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  for (const IndexInstance& inst : st->desc.instances) {
+    st->trees.push_back(
+        std::make_unique<BTree>(ctx.db->buffer_pool(), inst.anchor));
+  }
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status IdxLog(AtContext& ctx, std::string payload) {
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kAttachment, ctx.at_id, ctx.desc->id, std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+std::string EntryPayload(char op, uint32_t instance, const Slice& key,
+                         const Slice& record_key) {
+  std::string payload(1, op);
+  PutVarint32(&payload, instance);
+  PutLengthPrefixedSlice(&payload, key);
+  payload.append(record_key.data(), record_key.size());
+  return payload;
+}
+
+Status AddEntry(AtContext& ctx, const IndexInstance& inst, BTree* tree,
+                const Slice& key, const Slice& record_key) {
+  Status s = tree->Insert(key, record_key, inst.unique);
+  if (s.IsConstraint()) {
+    return Status::Constraint("unique index " + std::to_string(inst.no) +
+                              " violated");
+  }
+  DMX_RETURN_IF_ERROR(s);
+  return IdxLog(ctx, EntryPayload('I', inst.no, key, record_key));
+}
+
+Status RemoveEntry(AtContext& ctx, BTree* tree, uint32_t instance,
+                   const Slice& key, const Slice& record_key) {
+  DMX_RETURN_IF_ERROR(tree->Remove(key, record_key, /*idempotent=*/true));
+  return IdxLog(ctx, EntryPayload('D', instance, key, record_key));
+}
+
+Status IdxCreateInstance(AtContext& ctx, const AttrList& attrs,
+                         std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"fields", "unique"}));
+  if (!attrs.Has("fields")) {
+    return Status::InvalidArgument("btree_index requires fields=<columns>");
+  }
+  IndexInstance inst;
+  DMX_RETURN_IF_ERROR(
+      ParseFieldList(ctx.desc->schema, attrs.Get("fields"), &inst.fields));
+  inst.unique = attrs.Get("unique") == "1" || attrs.Get("unique") == "true";
+
+  IndexTypeDesc desc;
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  DMX_RETURN_IF_ERROR(BTree::Create(ctx.db->buffer_pool(), &inst.anchor));
+
+  // Bulk-load from the existing relation contents.
+  BTree tree(ctx.db->buffer_pool(), inst.anchor);
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    std::string key;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(item.view, inst.fields, &key));
+    Status is = tree.Insert(Slice(key), Slice(item.record_key), inst.unique);
+    if (!is.ok()) {
+      BTree::Destroy(ctx.db->buffer_pool(), inst.anchor).ok();
+      return is;
+    }
+  }
+
+  desc.instances.push_back(inst);
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  *instance_no = inst.no;
+  return Status::OK();
+}
+
+Status IdxDropInstance(AtContext& ctx, uint32_t instance_no,
+                       std::string* new_desc) {
+  IndexTypeDesc desc;
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<IndexInstance> kept;
+  for (const IndexInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(inst);
+    }
+  }
+  if (!found) {
+    return Status::NotFound("btree index instance " +
+                            std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  // An empty instance list makes descriptor field N NULL again; instance
+  // numbers of dropped indexes are then allowed to restart from 1.
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status IdxReleaseInstance(AtContext& ctx, uint32_t instance_no) {
+  // Deferred storage release at commit of the dropping transaction (or of
+  // a relation drop, instance_no == UINT32_MAX). The descriptor visible in
+  // the context may already lack the instance (attachment drop), so also
+  // consult the cached state parsed from the pre-drop descriptor.
+  IndexTypeDesc desc;
+  IndexTypeDesc::DecodeFrom(ctx.at_desc, &desc).ok();
+  if (instance_no == UINT32_MAX) {
+    for (const IndexInstance& inst : desc.instances) {
+      DMX_RETURN_IF_ERROR(BTree::Destroy(ctx.db->buffer_pool(), inst.anchor));
+    }
+    return Status::OK();
+  }
+  const IndexInstance* inst = desc.Find(instance_no);
+  if (inst == nullptr && ctx.state != nullptr) {
+    inst = StateOf(ctx)->desc.Find(instance_no);
+  }
+  if (inst == nullptr) return Status::OK();
+  return BTree::Destroy(ctx.db->buffer_pool(), inst->anchor);
+}
+
+Status IdxOnInsert(AtContext& ctx, const Slice& record_key,
+                   const Slice& new_record) {
+  IndexState* st = StateOf(ctx);
+  RecordView view(new_record, &ctx.desc->schema);
+  for (size_t i = 0; i < st->desc.instances.size(); ++i) {
+    const IndexInstance& inst = st->desc.instances[i];
+    std::string key;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
+    DMX_RETURN_IF_ERROR(
+        AddEntry(ctx, inst, st->trees[i].get(), Slice(key), record_key));
+  }
+  return Status::OK();
+}
+
+Status IdxOnUpdate(AtContext& ctx, const Slice& old_key,
+                   const Slice& new_key, const Slice& old_record,
+                   const Slice& new_record) {
+  IndexState* st = StateOf(ctx);
+  RecordView old_view(old_record, &ctx.desc->schema);
+  RecordView new_view(new_record, &ctx.desc->schema);
+  for (size_t i = 0; i < st->desc.instances.size(); ++i) {
+    const IndexInstance& inst = st->desc.instances[i];
+    std::string okey, nkey;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(old_view, inst.fields, &okey));
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(new_view, inst.fields, &nkey));
+    if (okey == nkey && old_key == new_key) {
+      // "The B-tree update operation should be able to detect when no
+      // indexed fields for a given index are modified."
+      ++g_skipped_updates;
+      continue;
+    }
+    DMX_RETURN_IF_ERROR(
+        RemoveEntry(ctx, st->trees[i].get(), inst.no, Slice(okey), old_key));
+    DMX_RETURN_IF_ERROR(
+        AddEntry(ctx, inst, st->trees[i].get(), Slice(nkey), new_key));
+  }
+  return Status::OK();
+}
+
+Status IdxOnDelete(AtContext& ctx, const Slice& record_key,
+                   const Slice& old_record) {
+  IndexState* st = StateOf(ctx);
+  RecordView view(old_record, &ctx.desc->schema);
+  for (size_t i = 0; i < st->desc.instances.size(); ++i) {
+    const IndexInstance& inst = st->desc.instances[i];
+    std::string key;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
+    DMX_RETURN_IF_ERROR(
+        RemoveEntry(ctx, st->trees[i].get(), inst.no, Slice(key), record_key));
+  }
+  return Status::OK();
+}
+
+// Key-only scan: yields storage-method record keys in index-key order.
+// Filters are NOT applied here (the record is not available); the executor
+// applies residual predicates after fetching via the storage method.
+class IndexScan : public Scan {
+ public:
+  IndexScan(std::unique_ptr<BTreeIterator> it, const ScanSpec& spec)
+      : it_(std::move(it)), spec_(spec) {}
+
+  Status Next(ScanItem* out) override {
+    std::string key, value;
+    Status s = it_->Next(&key, &value);
+    if (s.IsNotFound()) return Status::NotFound("end of scan");
+    DMX_RETURN_IF_ERROR(s);
+    if (spec_.high_key.has_value()) {
+      int cmp = Slice(key).compare(Slice(*spec_.high_key));
+      if (cmp > 0 || (cmp == 0 && !spec_.high_inclusive)) {
+        return Status::NotFound("end of scan");
+      }
+    }
+    out->record_key = std::move(value);
+    out->view = RecordView();
+    out->access_key = std::move(key);
+    return Status::OK();
+  }
+
+  Status SavePosition(std::string* out) const override {
+    it_->SavePosition(out);
+    return Status::OK();
+  }
+
+  Status RestorePosition(const Slice& pos) override {
+    return it_->RestorePosition(pos);
+  }
+
+ private:
+  std::unique_ptr<BTreeIterator> it_;
+  ScanSpec spec_;
+};
+
+Status IdxOpenScan(AtContext& ctx, uint32_t instance_no, const ScanSpec& spec,
+                   std::unique_ptr<Scan>* scan) {
+  IndexState* st = StateOf(ctx);
+  BTree* tree = st->TreeFor(instance_no);
+  if (tree == nullptr) {
+    return Status::NotFound("btree index instance " +
+                            std::to_string(instance_no));
+  }
+  std::optional<std::string> low;
+  if (spec.low_key.has_value()) {
+    low = BTreeComposeEntry(Slice(*spec.low_key), Slice());
+    if (!spec.low_inclusive) low->back() = '\x01';
+  }
+  std::unique_ptr<BTreeIterator> it;
+  DMX_RETURN_IF_ERROR(tree->NewIterator(&it, low, true));
+  *scan = std::make_unique<IndexScan>(std::move(it), spec);
+  return Status::OK();
+}
+
+Status IdxLookup(AtContext& ctx, uint32_t instance_no, const Slice& key,
+                 std::vector<std::string>* record_keys) {
+  IndexState* st = StateOf(ctx);
+  BTree* tree = st->TreeFor(instance_no);
+  if (tree == nullptr) {
+    return Status::NotFound("btree index instance " +
+                            std::to_string(instance_no));
+  }
+  return tree->Lookup(key, record_keys);
+}
+
+Status IdxCost(AtContext& ctx, uint32_t instance_no,
+               const std::vector<ExprPtr>& predicates, AccessCost* out) {
+  IndexState* st = StateOf(ctx);
+  const IndexInstance* inst = st->desc.Find(instance_no);
+  BTree* tree = st->TreeFor(instance_no);
+  out->usable = false;
+  if (inst == nullptr || tree == nullptr) return Status::OK();
+  uint64_t leaves = 0, entries = 0;
+  uint32_t height = 1;
+  DMX_RETURN_IF_ERROR(tree->LeafPages(&leaves));
+  DMX_RETURN_IF_ERROR(tree->Count(&entries));
+  DMX_RETURN_IF_ERROR(tree->Height(&height));
+
+  // Relevance: "a B-tree access path will return a low cost if there is a
+  // predicate on the key of the B-tree" — here generalized to multi-field
+  // partial keys: an equality prefix over the leading key fields, plus
+  // optional range predicates on the next field.
+  double key_selectivity = 1.0;
+  out->handled_predicates.clear();
+  auto match_on_field = [&](int field, bool eq_only,
+                            bool* any) {
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      int f;
+      ExprOp op;
+      Value constant;
+      if (!MatchFieldCompare(predicates[i], &f, &op, &constant) ||
+          f != field || op == ExprOp::kNe) {
+        continue;
+      }
+      if (eq_only && op != ExprOp::kEq) continue;
+      if (!eq_only && op == ExprOp::kEq) continue;
+      key_selectivity *= EstimateSelectivity(predicates[i]);
+      out->handled_predicates.push_back(static_cast<int>(i));
+      *any = true;
+      if (eq_only) return;  // one equality per prefix position
+    }
+  };
+  size_t prefix = 0;
+  for (int field : inst->fields) {
+    bool any = false;
+    match_on_field(field, /*eq_only=*/true, &any);
+    if (!any) break;
+    ++prefix;
+  }
+  if (prefix < inst->fields.size()) {
+    // Ranges on the field right after the equality prefix still narrow the
+    // key range.
+    bool any = false;
+    match_on_field(inst->fields[prefix], /*eq_only=*/false, &any);
+    (void)any;
+  }
+  if (out->handled_predicates.empty()) {
+    return Status::OK();  // not usable without a key predicate
+  }
+  out->usable = true;
+  out->selectivity = key_selectivity;
+  // Descend + scan the qualifying leaf fraction, then fetch every
+  // qualifying record through the storage method (the expensive part —
+  // reported separately so the planner can elide it for index-only plans).
+  double qualifying = key_selectivity * static_cast<double>(entries);
+  out->fetch_cost = qualifying * kRecordFetchCost;
+  out->io_cost = height + key_selectivity * static_cast<double>(leaves) +
+                 out->fetch_cost;
+  out->cpu_cost = height * 4 + qualifying + 1;
+  return Status::OK();
+}
+
+Status IdxApply(AtContext& ctx, const LogRecord& rec, bool undo) {
+  IndexState* st = StateOf(ctx);
+  Slice in(rec.payload);
+  if (in.empty()) return Status::Corruption("btree index payload");
+  char op = in[0];
+  in.remove_prefix(1);
+  uint32_t instance;
+  Slice key;
+  if (!GetVarint32(&in, &instance) || !GetLengthPrefixedSlice(&in, &key)) {
+    return Status::Corruption("btree index payload body");
+  }
+  BTree* tree = st->TreeFor(instance);
+  if (tree == nullptr) return Status::OK();  // instance dropped since
+  bool insert = (op == 'I');
+  if (undo) insert = !insert;
+  if (insert) return tree->Insert(key, in);
+  return tree->Remove(key, in, /*idempotent=*/true);
+}
+
+Status IdxUndo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return IdxApply(ctx, rec, /*undo=*/true);
+}
+
+Status IdxRedo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return IdxApply(ctx, rec, /*undo=*/false);
+}
+
+uint32_t IdxInstanceCount(const Slice& at_desc) {
+  IndexTypeDesc desc;
+  if (!IndexTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+Status IdxListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  IndexTypeDesc desc;
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const IndexInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+Status IdxInstanceFields(const Slice& at_desc, uint32_t instance,
+                         std::vector<int>* fields) {
+  IndexTypeDesc desc;
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(at_desc, &desc));
+  const IndexInstance* inst = desc.Find(instance);
+  if (inst == nullptr) return Status::NotFound("btree index instance");
+  *fields = inst->fields;
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t BTreeIndexSkippedUpdates() { return g_skipped_updates.load(); }
+
+const AtOps& BTreeIndexOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "btree_index";
+    o.create_instance = IdxCreateInstance;
+    o.drop_instance = IdxDropInstance;
+    o.release_instance = IdxReleaseInstance;
+    o.open = IdxOpen;
+    o.on_insert = IdxOnInsert;
+    o.on_update = IdxOnUpdate;
+    o.on_delete = IdxOnDelete;
+    o.open_scan = IdxOpenScan;
+    o.lookup = IdxLookup;
+    o.cost = IdxCost;
+    o.undo = IdxUndo;
+    o.redo = IdxRedo;
+    o.instance_count = IdxInstanceCount;
+    o.list_instances = IdxListInstances;
+    o.instance_fields = IdxInstanceFields;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

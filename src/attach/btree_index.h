@@ -1,0 +1,33 @@
+// B-tree index attachment: the paper's canonical access path. Maintains
+// (index key -> record key) mappings in shared B-tree structures; multiple
+// instances per relation; optional uniqueness (vetoing duplicates).
+//
+// DDL attributes: fields=<col>[,<col>...], unique=0|1.
+//
+// Type descriptor (field N of the relation descriptor — all instances of
+// the type in one field, as the paper requires):
+//   varint next_instance_no | varint count |
+//   per instance: varint no | fixed32 anchor | u8 unique |
+//                 varint nfields | varint field...
+//
+// Log payloads (ExtKind::kAttachment):
+//   'I' varint instance | lps(key) | record_key   — entry added
+//   'D' varint instance | lps(key) | record_key   — entry removed
+
+#ifndef DMX_ATTACH_BTREE_INDEX_H_
+#define DMX_ATTACH_BTREE_INDEX_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const AtOps& BTreeIndexOps();
+
+/// Count of on_update invocations that were skipped entirely because no
+/// indexed field changed (the paper: "the B-tree update operation should be
+/// able to detect when no indexed fields for a given index are modified").
+uint64_t BTreeIndexSkippedUpdates();
+
+}  // namespace dmx
+
+#endif  // DMX_ATTACH_BTREE_INDEX_H_

@@ -1,0 +1,194 @@
+#include "src/attach/check_constraint.h"
+
+#include "src/core/database.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+
+std::string EncodePredicateAttr(const ExprPtr& predicate) {
+  std::string out;
+  predicate->EncodeTo(&out);
+  return out;
+}
+
+namespace {
+
+struct CheckInstance {
+  uint32_t no = 0;
+  std::string name;
+  ExprPtr predicate;
+  std::string predicate_bytes;
+};
+
+struct CheckTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<CheckInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const CheckInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutLengthPrefixedSlice(dst, inst.name);
+      PutLengthPrefixedSlice(dst, inst.predicate_bytes);
+    }
+  }
+
+  static Status DecodeFrom(Slice in, CheckTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("check descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      CheckInstance inst;
+      uint32_t no;
+      Slice name, pred;
+      if (!GetVarint32(&in, &no) || !GetLengthPrefixedSlice(&in, &name) ||
+          !GetLengthPrefixedSlice(&in, &pred)) {
+        return Status::Corruption("check instance");
+      }
+      inst.no = no;
+      inst.name = name.ToString();
+      inst.predicate_bytes = pred.ToString();
+      Slice pin(inst.predicate_bytes);
+      DMX_RETURN_IF_ERROR(Expr::DecodeFrom(&pin, &inst.predicate));
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+};
+
+struct CheckState : public ExtState {
+  CheckTypeDesc desc;
+};
+
+Status ChkOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<CheckState>();
+  DMX_RETURN_IF_ERROR(CheckTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status ChkCreateInstance(AtContext& ctx, const AttrList& attrs,
+                         std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"predicate", "name"}));
+  if (!attrs.Has("predicate")) {
+    return Status::InvalidArgument("check requires predicate=<encoded expr>");
+  }
+  CheckInstance inst;
+  inst.name = attrs.Get("name");
+  inst.predicate_bytes = attrs.Get("predicate");
+  Slice pin(inst.predicate_bytes);
+  DMX_RETURN_IF_ERROR(Expr::DecodeFrom(&pin, &inst.predicate));
+  // Validate field references against the schema.
+  std::vector<int> fields;
+  inst.predicate->CollectFields(&fields);
+  for (int f : fields) {
+    if (f < 0 || static_cast<size_t>(f) >= ctx.desc->schema.num_columns()) {
+      return Status::InvalidArgument("check predicate references field " +
+                                     std::to_string(f));
+    }
+  }
+  // Existing records must already satisfy the constraint.
+  ScanSpec spec;
+  spec.filter = Expr::Unary(ExprOp::kNot, inst.predicate);
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), spec, &scan));
+  ScanItem item;
+  Status s = scan->Next(&item);
+  if (s.ok()) {
+    return Status::Constraint("existing record violates check constraint" +
+                              (inst.name.empty() ? "" : " '" + inst.name +
+                                                            "'"));
+  }
+  if (!s.IsNotFound()) return s;
+
+  CheckTypeDesc desc;
+  DMX_RETURN_IF_ERROR(CheckTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  *instance_no = inst.no;
+  desc.instances.push_back(std::move(inst));
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status ChkDropInstance(AtContext& ctx, uint32_t instance_no,
+                       std::string* new_desc) {
+  CheckTypeDesc desc;
+  DMX_RETURN_IF_ERROR(CheckTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<CheckInstance> kept;
+  for (CheckInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(std::move(inst));
+    }
+  }
+  if (!found) {
+    return Status::NotFound("check instance " + std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status ChkTest(AtContext& ctx, const Slice& record) {
+  CheckState* st = static_cast<CheckState*>(ctx.state);
+  RecordView view(record, &ctx.desc->schema);
+  for (const CheckInstance& inst : st->desc.instances) {
+    bool passes = false;
+    DMX_RETURN_IF_ERROR(
+        ctx.db->evaluator()->EvalPredicate(*inst.predicate, view, &passes));
+    if (!passes) {
+      return Status::Constraint(
+          "check constraint" +
+          (inst.name.empty() ? "" : " '" + inst.name + "'") + " violated: " +
+          inst.predicate->ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ChkOnInsert(AtContext& ctx, const Slice&, const Slice& new_record) {
+  return ChkTest(ctx, new_record);
+}
+
+Status ChkOnUpdate(AtContext& ctx, const Slice&, const Slice&, const Slice&,
+                   const Slice& new_record) {
+  return ChkTest(ctx, new_record);
+}
+
+uint32_t ChkInstanceCount(const Slice& at_desc) {
+  CheckTypeDesc desc;
+  if (!CheckTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+}  // namespace
+
+const AtOps& CheckConstraintOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "check";
+    o.create_instance = ChkCreateInstance;
+    o.drop_instance = ChkDropInstance;
+    o.open = ChkOpen;
+    o.on_insert = ChkOnInsert;
+    o.on_update = ChkOnUpdate;
+    o.instance_count = ChkInstanceCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

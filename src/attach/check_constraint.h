@@ -1,0 +1,25 @@
+// Check-constraint attachment: intra-record integrity constraints.
+//
+// The paper's simplest integrity-constraint example: the descriptor
+// contains "a (Common Service) encoding of the predicate to be tested when
+// records of the relation are inserted or updated"; a violation vetoes the
+// modification, which the common log then rolls back.
+//
+// DDL attributes: predicate=<Expr::EncodeTo bytes>, name=<label> (optional,
+// used in error messages).
+
+#ifndef DMX_ATTACH_CHECK_CONSTRAINT_H_
+#define DMX_ATTACH_CHECK_CONSTRAINT_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const AtOps& CheckConstraintOps();
+
+/// Helper for building the DDL attribute: serialize a predicate.
+std::string EncodePredicateAttr(const ExprPtr& predicate);
+
+}  // namespace dmx
+
+#endif  // DMX_ATTACH_CHECK_CONSTRAINT_H_

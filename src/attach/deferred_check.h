@@ -1,0 +1,28 @@
+// Deferred-check attachment: integrity constraints evaluated via the
+// deferred-action queues at the "before transaction enters the prepared
+// state" event — the paper's worked example: "certain integrity constraints
+// cannot be evaluated when a single modification occurs but must be
+// evaluated after all of the modifications have been made in the
+// transaction... the attachment can place an entry on the deferred action
+// queue for the 'before transaction enters prepared state' event... If the
+// integrity constraint is not satisfied then the transaction can be aborted
+// by the attachment."
+//
+// Each modified record is re-checked against the predicate at commit time,
+// against its *final* state (a record deleted later in the transaction is
+// exempt). A failed check aborts the whole transaction.
+//
+// DDL attributes: predicate=<Expr::EncodeTo bytes>, name=<label> (optional).
+
+#ifndef DMX_ATTACH_DEFERRED_CHECK_H_
+#define DMX_ATTACH_DEFERRED_CHECK_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const AtOps& DeferredCheckOps();
+
+}  // namespace dmx
+
+#endif  // DMX_ATTACH_DEFERRED_CHECK_H_

@@ -1,0 +1,389 @@
+#include "src/attach/join_index.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "src/core/database.h"
+#include "src/sm/btree_sm.h"
+#include "src/sm/key_codec.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+// Shared pair table, keyed by join-index name. Both sides' instances (and
+// both relations' rebuilds) converge on the same object.
+struct JoinData {
+  std::mutex mu;
+  // join key -> record keys present on each side.
+  std::map<std::string, std::pair<std::set<std::string>,
+                                  std::set<std::string>>>
+      sides;
+
+  void Add(int side, const std::string& jk, const std::string& rkey) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& entry = sides[jk];
+    (side == 1 ? entry.first : entry.second).insert(rkey);
+  }
+  void Remove(int side, const std::string& jk, const std::string& rkey) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sides.find(jk);
+    if (it == sides.end()) return;
+    (side == 1 ? it->second.first : it->second.second).erase(rkey);
+    if (it->second.first.empty() && it->second.second.empty()) {
+      sides.erase(it);
+    }
+  }
+  void ClearSide(int side) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = sides.begin(); it != sides.end();) {
+      (side == 1 ? it->second.first : it->second.second).clear();
+      if (it->second.first.empty() && it->second.second.empty()) {
+        it = sides.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::vector<std::string> OtherSide(int side, const std::string& jk) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sides.find(jk);
+    if (it == sides.end()) return {};
+    const auto& others = side == 1 ? it->second.second : it->second.first;
+    return std::vector<std::string>(others.begin(), others.end());
+  }
+  size_t PairCount() {
+    std::lock_guard<std::mutex> lock(mu);
+    size_t n = 0;
+    for (const auto& [jk, entry] : sides) {
+      n += entry.first.size() * entry.second.size();
+    }
+    return n;
+  }
+};
+
+std::mutex g_join_mu;
+std::map<std::string, std::shared_ptr<JoinData>>& JoinRegistry() {
+  static auto* registry =
+      new std::map<std::string, std::shared_ptr<JoinData>>();
+  return *registry;
+}
+
+std::shared_ptr<JoinData> JoinDataOf(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_join_mu);
+  auto& slot = JoinRegistry()[name];
+  if (slot == nullptr) slot = std::make_shared<JoinData>();
+  return slot;
+}
+
+struct JiInstance {
+  uint32_t no = 0;
+  std::string name;
+  int side = 1;
+  std::vector<int> fields;
+};
+
+struct JiTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<JiInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const JiInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutLengthPrefixedSlice(dst, inst.name);
+      dst->push_back(static_cast<char>(inst.side));
+      PutVarint32(dst, static_cast<uint32_t>(inst.fields.size()));
+      for (int f : inst.fields) PutVarint32(dst, static_cast<uint32_t>(f));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, JiTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("join index descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      JiInstance inst;
+      uint32_t no, nfields;
+      Slice name;
+      if (!GetVarint32(&in, &no) || !GetLengthPrefixedSlice(&in, &name) ||
+          in.empty()) {
+        return Status::Corruption("join index instance");
+      }
+      inst.no = no;
+      inst.name = name.ToString();
+      inst.side = in[0];
+      in.remove_prefix(1);
+      if (!GetVarint32(&in, &nfields)) {
+        return Status::Corruption("join index fields");
+      }
+      for (uint32_t f = 0; f < nfields; ++f) {
+        uint32_t idx;
+        if (!GetVarint32(&in, &idx)) {
+          return Status::Corruption("join index field");
+        }
+        inst.fields.push_back(static_cast<int>(idx));
+      }
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+
+  const JiInstance* Find(uint32_t no) const {
+    for (const JiInstance& inst : instances) {
+      if (inst.no == no) return &inst;
+    }
+    return nullptr;
+  }
+};
+
+struct JiState : public ExtState {
+  JiTypeDesc desc;
+  std::map<uint32_t, std::shared_ptr<JoinData>> data;
+};
+
+JiState* StateOf(AtContext& ctx) { return static_cast<JiState*>(ctx.state); }
+
+Status JiLog(AtContext& ctx, char op, const JiInstance& inst,
+             const Slice& jk, const Slice& rkey) {
+  std::string payload(1, op);
+  PutVarint32(&payload, inst.no);
+  PutLengthPrefixedSlice(&payload, inst.name);
+  payload.push_back(static_cast<char>(inst.side));
+  PutLengthPrefixedSlice(&payload, jk);
+  payload.append(rkey.data(), rkey.size());
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kAttachment, ctx.at_id, ctx.desc->id, std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+Status JiRebuild(AtContext& ctx);
+
+Status JiOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<JiState>();
+  DMX_RETURN_IF_ERROR(JiTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  for (const JiInstance& inst : st->desc.instances) {
+    st->data[inst.no] = JoinDataOf(inst.name);
+  }
+  AtContext prime = ctx;
+  prime.state = st.get();
+  DMX_RETURN_IF_ERROR(JiRebuild(prime));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+// Rescan this relation's side of every named join structure.
+Status JiRebuild(AtContext& ctx) {
+  JiState* st = StateOf(ctx);
+  if (st->desc.instances.empty()) return Status::OK();
+  for (const JiInstance& inst : st->desc.instances) {
+    st->data[inst.no]->ClearSide(inst.side);
+  }
+  const SmOps& sm = ctx.db->registry()->sm_ops(ctx.desc->sm_id);
+  SmContext sctx;
+  DMX_RETURN_IF_ERROR(ctx.db->MakeSmContext(nullptr, ctx.desc, &sctx));
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(sm.open_scan(sctx, ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    for (const JiInstance& inst : st->desc.instances) {
+      std::string jk;
+      DMX_RETURN_IF_ERROR(EncodeFieldKey(item.view, inst.fields, &jk));
+      st->data[inst.no]->Add(inst.side, jk, item.record_key);
+    }
+  }
+  return Status::OK();
+}
+
+Status JiCreateInstance(AtContext& ctx, const AttrList& attrs,
+                        std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"name", "side", "fields"}));
+  JiInstance inst;
+  inst.name = attrs.Get("name");
+  if (inst.name.empty()) {
+    return Status::InvalidArgument("join_index requires name=<shared name>");
+  }
+  const std::string side = attrs.Get("side");
+  if (side == "1") {
+    inst.side = 1;
+  } else if (side == "2") {
+    inst.side = 2;
+  } else {
+    return Status::InvalidArgument("join_index requires side=1|2");
+  }
+  DMX_RETURN_IF_ERROR(
+      ParseFieldList(ctx.desc->schema, attrs.Get("fields"), &inst.fields));
+  JiTypeDesc desc;
+  DMX_RETURN_IF_ERROR(JiTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  *instance_no = inst.no;
+  desc.instances.push_back(std::move(inst));
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status JiDropInstance(AtContext& ctx, uint32_t instance_no,
+                      std::string* new_desc) {
+  JiTypeDesc desc;
+  DMX_RETURN_IF_ERROR(JiTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<JiInstance> kept;
+  for (JiInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+      JoinDataOf(inst.name)->ClearSide(inst.side);
+    } else {
+      kept.push_back(std::move(inst));
+    }
+  }
+  if (!found) {
+    return Status::NotFound("join index instance " +
+                            std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status JiOnInsert(AtContext& ctx, const Slice& record_key,
+                  const Slice& new_record) {
+  JiState* st = StateOf(ctx);
+  RecordView view(new_record, &ctx.desc->schema);
+  for (const JiInstance& inst : st->desc.instances) {
+    std::string jk;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &jk));
+    st->data[inst.no]->Add(inst.side, jk, record_key.ToString());
+    DMX_RETURN_IF_ERROR(JiLog(ctx, 'I', inst, Slice(jk), record_key));
+  }
+  return Status::OK();
+}
+
+Status JiOnUpdate(AtContext& ctx, const Slice& old_key, const Slice& new_key,
+                  const Slice& old_record, const Slice& new_record) {
+  JiState* st = StateOf(ctx);
+  RecordView old_view(old_record, &ctx.desc->schema);
+  RecordView new_view(new_record, &ctx.desc->schema);
+  for (const JiInstance& inst : st->desc.instances) {
+    std::string ojk, njk;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(old_view, inst.fields, &ojk));
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(new_view, inst.fields, &njk));
+    if (ojk == njk && old_key == new_key) continue;
+    st->data[inst.no]->Remove(inst.side, ojk, old_key.ToString());
+    DMX_RETURN_IF_ERROR(JiLog(ctx, 'D', inst, Slice(ojk), old_key));
+    st->data[inst.no]->Add(inst.side, njk, new_key.ToString());
+    DMX_RETURN_IF_ERROR(JiLog(ctx, 'I', inst, Slice(njk), new_key));
+  }
+  return Status::OK();
+}
+
+Status JiOnDelete(AtContext& ctx, const Slice& record_key,
+                  const Slice& old_record) {
+  JiState* st = StateOf(ctx);
+  RecordView view(old_record, &ctx.desc->schema);
+  for (const JiInstance& inst : st->desc.instances) {
+    std::string jk;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &jk));
+    st->data[inst.no]->Remove(inst.side, jk, record_key.ToString());
+    DMX_RETURN_IF_ERROR(JiLog(ctx, 'D', inst, Slice(jk), record_key));
+  }
+  return Status::OK();
+}
+
+Status JiLookup(AtContext& ctx, uint32_t instance_no, const Slice& key,
+                std::vector<std::string>* record_keys) {
+  JiState* st = StateOf(ctx);
+  const JiInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("join index instance " +
+                            std::to_string(instance_no));
+  }
+  *record_keys = st->data[instance_no]->OtherSide(inst->side, key.ToString());
+  return Status::OK();
+}
+
+Status JiApply(AtContext& ctx, const LogRecord& rec, bool undo) {
+  (void)ctx;
+  Slice in(rec.payload);
+  if (in.empty()) return Status::Corruption("join index payload");
+  char op = in[0];
+  in.remove_prefix(1);
+  uint32_t instance;
+  Slice name, jk;
+  if (!GetVarint32(&in, &instance) || !GetLengthPrefixedSlice(&in, &name) ||
+      in.empty()) {
+    return Status::Corruption("join index payload body");
+  }
+  int side = in[0];
+  in.remove_prefix(1);
+  if (!GetLengthPrefixedSlice(&in, &jk)) {
+    return Status::Corruption("join index jk");
+  }
+  auto data = JoinDataOf(name.ToString());
+  bool add = (op == 'I');
+  if (undo) add = !add;
+  if (add) {
+    data->Add(side, jk.ToString(), in.ToString());
+  } else {
+    data->Remove(side, jk.ToString(), in.ToString());
+  }
+  return Status::OK();
+}
+
+Status JiUndo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return JiApply(ctx, rec, /*undo=*/true);
+}
+
+Status JiRedo(AtContext&, const LogRecord&, Lsn) { return Status::OK(); }
+
+uint32_t JiInstanceCount(const Slice& at_desc) {
+  JiTypeDesc desc;
+  if (!JiTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+}  // namespace
+
+size_t JoinIndexPairCount(const std::string& name) {
+  return JoinDataOf(name)->PairCount();
+}
+
+const AtOps& JoinIndexOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "join_index";
+    o.create_instance = JiCreateInstance;
+    o.drop_instance = JiDropInstance;
+    o.open = JiOpen;
+    o.on_insert = JiOnInsert;
+    o.on_update = JiOnUpdate;
+    o.on_delete = JiOnDelete;
+    o.lookup = JiLookup;
+    o.undo = JiUndo;
+    o.redo = JiRedo;
+    o.rebuild = JiRebuild;
+    o.instance_count = JiInstanceCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

@@ -1,0 +1,32 @@
+// Referential-integrity attachment.
+//
+// The paper's worked example of attached procedures that cascade: "the
+// referential integrity attachment to a 'parent' relation would perform
+// record delete operations on the 'child' relation when a 'parent' record
+// is deleted. If the 'child' relation also has a referential integrity
+// attachment, it would perform record delete operations on its 'child'
+// relation. Thus, cascaded deletes can be supported. On insert, the same
+// attachment type on the 'child' relation would test the 'parent' relation
+// for a record with matching referential integrity fields."
+//
+// One attachment type, instances in two roles:
+//   role=child:  other=<parent rel>, fields=<fk cols>, other_fields=<pk
+//                cols> — inserts/updates must find a matching parent (NULL
+//                foreign keys are exempt).
+//   role=parent: other=<child rel>, fields=<pk cols>, other_fields=<fk
+//                cols>, action=cascade|restrict — deletes cascade to (or
+//                are vetoed by) matching children; updates that change the
+//                referenced fields are restricted.
+
+#ifndef DMX_ATTACH_REF_INTEGRITY_H_
+#define DMX_ATTACH_REF_INTEGRITY_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const AtOps& RefIntegrityOps();
+
+}  // namespace dmx
+
+#endif  // DMX_ATTACH_REF_INTEGRITY_H_

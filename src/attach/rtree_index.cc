@@ -1,0 +1,688 @@
+#include "src/attach/rtree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "src/core/costing.h"
+#include "src/core/database.h"
+#include "src/sm/btree_sm.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+// -- in-memory Guttman R-tree -------------------------------------------------
+
+struct Rect {
+  double xmin = 0, ymin = 0, xmax = 0, ymax = 0;
+
+  bool Overlaps(const Rect& o) const {
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax &&
+           o.ymin <= ymax;
+  }
+  bool Encloses(const Rect& o) const {
+    return xmin <= o.xmin && ymin <= o.ymin && xmax >= o.xmax &&
+           ymax >= o.ymax;
+  }
+  double Area() const { return (xmax - xmin) * (ymax - ymin); }
+
+  static Rect Join(const Rect& a, const Rect& b) {
+    return {std::min(a.xmin, b.xmin), std::min(a.ymin, b.ymin),
+            std::max(a.xmax, b.xmax), std::max(a.ymax, b.ymax)};
+  }
+  double Enlargement(const Rect& o) const {
+    return Join(*this, o).Area() - Area();
+  }
+  bool operator==(const Rect& o) const {
+    return xmin == o.xmin && ymin == o.ymin && xmax == o.xmax &&
+           ymax == o.ymax;
+  }
+};
+
+constexpr size_t kMaxEntries = 16;
+
+struct RNode;
+
+struct REntry {
+  Rect rect;
+  std::unique_ptr<RNode> child;  // internal
+  std::string key;               // leaf: record key
+};
+
+struct RNode {
+  bool leaf = true;
+  std::vector<REntry> entries;
+
+  Rect Mbr() const {
+    Rect r = entries.empty() ? Rect{} : entries[0].rect;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      r = Rect::Join(r, entries[i].rect);
+    }
+    return r;
+  }
+};
+
+// Quadratic split [GUTTMAN 84, §3.5.2].
+void QuadraticSplit(std::vector<REntry> entries, RNode* left, RNode* right) {
+  // Pick the pair wasting the most area as seeds.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = Rect::Join(entries[i].rect, entries[j].rect).Area() -
+                     entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  left->entries.clear();
+  right->entries.clear();
+  left->entries.push_back(std::move(entries[seed_a]));
+  right->entries.push_back(std::move(entries[seed_b]));
+  Rect lrect = left->entries[0].rect, rrect = right->entries[0].rect;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    double dl = lrect.Enlargement(entries[i].rect);
+    double dr = rrect.Enlargement(entries[i].rect);
+    if (dl < dr || (dl == dr && left->entries.size() <=
+                                    right->entries.size())) {
+      lrect = Rect::Join(lrect, entries[i].rect);
+      left->entries.push_back(std::move(entries[i]));
+    } else {
+      rrect = Rect::Join(rrect, entries[i].rect);
+      right->entries.push_back(std::move(entries[i]));
+    }
+  }
+}
+
+class RTree {
+ public:
+  RTree() : root_(std::make_unique<RNode>()) {}
+
+  void Insert(const Rect& rect, const std::string& key) {
+    std::unique_ptr<RNode> split = InsertRec(root_.get(), rect, key);
+    if (split != nullptr) {
+      auto new_root = std::make_unique<RNode>();
+      new_root->leaf = false;
+      REntry a, b;
+      a.rect = root_->Mbr();
+      a.child = std::move(root_);
+      b.rect = split->Mbr();
+      b.child = std::move(split);
+      new_root->entries.push_back(std::move(a));
+      new_root->entries.push_back(std::move(b));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+  }
+
+  bool Remove(const Rect& rect, const std::string& key) {
+    if (RemoveRec(root_.get(), rect, key)) {
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  // op: 'O' record overlaps query, 'E' record encloses query,
+  //     'W' record within query.
+  void Search(char op, const Rect& query,
+              std::vector<std::string>* keys) const {
+    SearchRec(root_.get(), op, query, keys);
+  }
+
+  size_t size() const { return size_; }
+  size_t NodeCount() const { return CountNodes(root_.get()); }
+
+ private:
+  std::unique_ptr<RNode> InsertRec(RNode* node, const Rect& rect,
+                                   const std::string& key) {
+    if (node->leaf) {
+      REntry e;
+      e.rect = rect;
+      e.key = key;
+      node->entries.push_back(std::move(e));
+    } else {
+      // Choose the child needing least enlargement.
+      size_t best = 0;
+      double best_enl = node->entries[0].rect.Enlargement(rect);
+      for (size_t i = 1; i < node->entries.size(); ++i) {
+        double enl = node->entries[i].rect.Enlargement(rect);
+        if (enl < best_enl ||
+            (enl == best_enl &&
+             node->entries[i].rect.Area() < node->entries[best].rect.Area())) {
+          best = i;
+          best_enl = enl;
+        }
+      }
+      std::unique_ptr<RNode> split =
+          InsertRec(node->entries[best].child.get(), rect, key);
+      node->entries[best].rect = node->entries[best].child->Mbr();
+      if (split != nullptr) {
+        REntry e;
+        e.rect = split->Mbr();
+        e.child = std::move(split);
+        node->entries.push_back(std::move(e));
+      }
+    }
+    if (node->entries.size() > kMaxEntries) {
+      auto right = std::make_unique<RNode>();
+      right->leaf = node->leaf;
+      RNode left;
+      left.leaf = node->leaf;
+      QuadraticSplit(std::move(node->entries), &left, right.get());
+      node->entries = std::move(left.entries);
+      return right;
+    }
+    return nullptr;
+  }
+
+  bool RemoveRec(RNode* node, const Rect& rect, const std::string& key) {
+    if (node->leaf) {
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].key == key && node->entries[i].rect == rect) {
+          node->entries.erase(node->entries.begin() + static_cast<long>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    for (REntry& e : node->entries) {
+      if (!e.rect.Encloses(rect)) continue;
+      if (RemoveRec(e.child.get(), rect, key)) {
+        e.rect = e.child->Mbr();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void SearchRec(const RNode* node, char op, const Rect& query,
+                 std::vector<std::string>* keys) const {
+    for (const REntry& e : node->entries) {
+      if (node->leaf) {
+        bool match = false;
+        switch (op) {
+          case 'O': match = e.rect.Overlaps(query); break;
+          case 'E': match = e.rect.Encloses(query); break;
+          case 'W': match = query.Encloses(e.rect); break;
+          default: break;
+        }
+        if (match) keys->push_back(e.key);
+        continue;
+      }
+      // Pruning: a descendant can only satisfy the predicate if the MBR
+      // passes the corresponding necessary condition.
+      bool descend = false;
+      switch (op) {
+        case 'O':
+        case 'W': descend = e.rect.Overlaps(query); break;
+        case 'E': descend = e.rect.Encloses(query); break;
+        default: break;
+      }
+      if (descend) SearchRec(e.child.get(), op, query, keys);
+    }
+  }
+
+  size_t CountNodes(const RNode* node) const {
+    size_t n = 1;
+    if (!node->leaf) {
+      for (const REntry& e : node->entries) n += CountNodes(e.child.get());
+    }
+    return n;
+  }
+
+  std::unique_ptr<RNode> root_;
+  size_t size_ = 0;
+};
+
+// -- attachment plumbing --------------------------------------------------------
+
+struct RtInstance {
+  uint32_t no = 0;
+  int fields[4] = {-1, -1, -1, -1};
+};
+
+struct RtTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<RtInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const RtInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      for (int f : inst.fields) PutVarint32(dst, static_cast<uint32_t>(f));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, RtTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("rtree descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      RtInstance inst;
+      uint32_t no;
+      if (!GetVarint32(&in, &no)) return Status::Corruption("rtree instance");
+      inst.no = no;
+      for (int& f : inst.fields) {
+        uint32_t idx;
+        if (!GetVarint32(&in, &idx)) return Status::Corruption("rtree field");
+        f = static_cast<int>(idx);
+      }
+      out->instances.push_back(inst);
+    }
+    return Status::OK();
+  }
+
+  const RtInstance* Find(uint32_t no) const {
+    for (const RtInstance& inst : instances) {
+      if (inst.no == no) return &inst;
+    }
+    return nullptr;
+  }
+};
+
+struct RtState : public ExtState {
+  RtTypeDesc desc;
+  std::map<uint32_t, RTree> trees;
+};
+
+RtState* StateOf(AtContext& ctx) { return static_cast<RtState*>(ctx.state); }
+
+Status RectOf(const RecordView& view, const RtInstance& inst, Rect* out,
+              bool* has_null) {
+  double v[4];
+  for (int i = 0; i < 4; ++i) {
+    size_t f = static_cast<size_t>(inst.fields[i]);
+    if (view.IsNull(f)) {
+      *has_null = true;
+      return Status::OK();
+    }
+    v[i] = view.GetValue(f).AsDouble();
+  }
+  *has_null = false;
+  *out = Rect{v[0], v[1], v[2], v[3]};
+  return Status::OK();
+}
+
+std::string RectPayload(char op, uint32_t instance, const Rect& r,
+                        const Slice& record_key) {
+  std::string payload(1, op);
+  PutVarint32(&payload, instance);
+  PutDouble(&payload, r.xmin);
+  PutDouble(&payload, r.ymin);
+  PutDouble(&payload, r.xmax);
+  PutDouble(&payload, r.ymax);
+  payload.append(record_key.data(), record_key.size());
+  return payload;
+}
+
+Status RtLog(AtContext& ctx, std::string payload) {
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kAttachment, ctx.at_id, ctx.desc->id, std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+Status RtRebuild(AtContext& ctx);
+
+Status RtOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<RtState>();
+  DMX_RETURN_IF_ERROR(RtTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  AtContext prime = ctx;
+  prime.state = st.get();
+  DMX_RETURN_IF_ERROR(RtRebuild(prime));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status RtRebuild(AtContext& ctx) {
+  RtState* st = StateOf(ctx);
+  st->trees.clear();
+  if (st->desc.instances.empty()) return Status::OK();
+  const SmOps& sm = ctx.db->registry()->sm_ops(ctx.desc->sm_id);
+  SmContext sctx;
+  DMX_RETURN_IF_ERROR(ctx.db->MakeSmContext(nullptr, ctx.desc, &sctx));
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(sm.open_scan(sctx, ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    for (const RtInstance& inst : st->desc.instances) {
+      Rect r;
+      bool has_null;
+      DMX_RETURN_IF_ERROR(RectOf(item.view, inst, &r, &has_null));
+      if (!has_null) st->trees[inst.no].Insert(r, item.record_key);
+    }
+  }
+  return Status::OK();
+}
+
+Status RtCreateInstance(AtContext& ctx, const AttrList& attrs,
+                        std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"fields"}));
+  std::vector<int> fields;
+  DMX_RETURN_IF_ERROR(
+      ParseFieldList(ctx.desc->schema, attrs.Get("fields"), &fields));
+  if (fields.size() != 4) {
+    return Status::InvalidArgument(
+        "rtree_index requires fields=<xmin>,<ymin>,<xmax>,<ymax>");
+  }
+  for (int f : fields) {
+    TypeId t = ctx.desc->schema.column(static_cast<size_t>(f)).type;
+    if (t != TypeId::kDouble && t != TypeId::kInt64) {
+      return Status::InvalidArgument("rtree fields must be numeric");
+    }
+  }
+  RtInstance inst;
+  for (int i = 0; i < 4; ++i) inst.fields[i] = fields[static_cast<size_t>(i)];
+  RtTypeDesc desc;
+  DMX_RETURN_IF_ERROR(RtTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  *instance_no = inst.no;
+  desc.instances.push_back(inst);
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status RtDropInstance(AtContext& ctx, uint32_t instance_no,
+                      std::string* new_desc) {
+  RtTypeDesc desc;
+  DMX_RETURN_IF_ERROR(RtTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<RtInstance> kept;
+  for (const RtInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(inst);
+    }
+  }
+  if (!found) {
+    return Status::NotFound("rtree instance " + std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status RtOnInsert(AtContext& ctx, const Slice& record_key,
+                  const Slice& new_record) {
+  RtState* st = StateOf(ctx);
+  RecordView view(new_record, &ctx.desc->schema);
+  for (const RtInstance& inst : st->desc.instances) {
+    Rect r;
+    bool has_null;
+    DMX_RETURN_IF_ERROR(RectOf(view, inst, &r, &has_null));
+    if (has_null) continue;
+    st->trees[inst.no].Insert(r, record_key.ToString());
+    DMX_RETURN_IF_ERROR(RtLog(ctx, RectPayload('I', inst.no, r, record_key)));
+  }
+  return Status::OK();
+}
+
+Status RtOnUpdate(AtContext& ctx, const Slice& old_key, const Slice& new_key,
+                  const Slice& old_record, const Slice& new_record) {
+  RtState* st = StateOf(ctx);
+  RecordView old_view(old_record, &ctx.desc->schema);
+  RecordView new_view(new_record, &ctx.desc->schema);
+  for (const RtInstance& inst : st->desc.instances) {
+    Rect orect, nrect;
+    bool onull, nnull;
+    DMX_RETURN_IF_ERROR(RectOf(old_view, inst, &orect, &onull));
+    DMX_RETURN_IF_ERROR(RectOf(new_view, inst, &nrect, &nnull));
+    bool same = !onull && !nnull && orect == nrect && old_key == new_key;
+    if (same || (onull && nnull)) continue;
+    if (!onull) {
+      st->trees[inst.no].Remove(orect, old_key.ToString());
+      DMX_RETURN_IF_ERROR(
+          RtLog(ctx, RectPayload('D', inst.no, orect, old_key)));
+    }
+    if (!nnull) {
+      st->trees[inst.no].Insert(nrect, new_key.ToString());
+      DMX_RETURN_IF_ERROR(
+          RtLog(ctx, RectPayload('I', inst.no, nrect, new_key)));
+    }
+  }
+  return Status::OK();
+}
+
+Status RtOnDelete(AtContext& ctx, const Slice& record_key,
+                  const Slice& old_record) {
+  RtState* st = StateOf(ctx);
+  RecordView view(old_record, &ctx.desc->schema);
+  for (const RtInstance& inst : st->desc.instances) {
+    Rect r;
+    bool has_null;
+    DMX_RETURN_IF_ERROR(RectOf(view, inst, &r, &has_null));
+    if (has_null) continue;
+    st->trees[inst.no].Remove(r, record_key.ToString());
+    DMX_RETURN_IF_ERROR(RtLog(ctx, RectPayload('D', inst.no, r, record_key)));
+  }
+  return Status::OK();
+}
+
+char ProbeOpOf(ExprOp op) {
+  switch (op) {
+    case ExprOp::kOverlaps: return 'O';
+    case ExprOp::kEncloses: return 'E';
+    case ExprOp::kWithin: return 'W';
+    default: return 0;
+  }
+}
+
+Status RtLookup(AtContext& ctx, uint32_t instance_no, const Slice& key,
+                std::vector<std::string>* record_keys) {
+  RtState* st = StateOf(ctx);
+  record_keys->clear();
+  if (st->desc.Find(instance_no) == nullptr) {
+    return Status::NotFound("rtree instance " + std::to_string(instance_no));
+  }
+  if (key.size() != 33) {
+    return Status::InvalidArgument("rtree probe key must be 33 bytes");
+  }
+  char op = key[0];
+  Rect q{DecodeDouble(key.data() + 1), DecodeDouble(key.data() + 9),
+         DecodeDouble(key.data() + 17), DecodeDouble(key.data() + 25)};
+  st->trees[instance_no].Search(op, q, record_keys);
+  return Status::OK();
+}
+
+Status RtCost(AtContext& ctx, uint32_t instance_no,
+              const std::vector<ExprPtr>& predicates, AccessCost* out) {
+  RtState* st = StateOf(ctx);
+  const RtInstance* inst = st->desc.Find(instance_no);
+  out->usable = false;
+  if (inst == nullptr) return Status::OK();
+  // Relevance: a spatial predicate whose record rectangle is exactly this
+  // instance's four fields. "The R-tree access path will recognize the
+  // ENCLOSES predicate and report a low cost."
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    ExprOp op;
+    double query[4];
+    if (MatchSpatial(predicates[i], inst->fields, &op, query)) {
+      const RTree& tree = st->trees[instance_no];
+      double n = static_cast<double>(tree.size());
+      out->usable = true;
+      out->handled_predicates = {static_cast<int>(i)};
+      out->selectivity = EstimateSelectivity(predicates[i]);
+      // log-ish traversal, then fetch every qualifying record.
+      double expected = out->selectivity * n;
+      out->io_cost = std::log2(std::max(2.0, n)) +
+                     expected * kRecordFetchCost;
+      out->cpu_cost = std::log2(std::max(2.0, n)) + expected;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+// A materialized spatial-search scan: the qualifying record keys are
+// computed on open (the structure is in memory) and replayed in order;
+// positions are ordinal.
+class RTreeScan : public Scan {
+ public:
+  explicit RTreeScan(std::vector<std::string> keys)
+      : keys_(std::move(keys)) {}
+
+  Status Next(ScanItem* out) override {
+    if (pos_ >= keys_.size()) return Status::NotFound("end of scan");
+    out->record_key = keys_[pos_++];
+    out->view = RecordView();
+    return Status::OK();
+  }
+
+  Status SavePosition(std::string* out) const override {
+    out->clear();
+    PutFixed64(out, pos_);
+    return Status::OK();
+  }
+
+  Status RestorePosition(const Slice& pos) override {
+    if (pos.size() != 8) return Status::InvalidArgument("rtree position");
+    pos_ = DecodeFixed64(pos.data());
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  size_t pos_ = 0;
+};
+
+Status RtOpenScan(AtContext& ctx, uint32_t instance_no, const ScanSpec& spec,
+                  std::unique_ptr<Scan>* scan) {
+  RtState* st = StateOf(ctx);
+  const RtInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("rtree instance " + std::to_string(instance_no));
+  }
+  // The query rectangle comes from a recognized spatial conjunct of the
+  // pushed filter.
+  std::vector<std::string> keys;
+  bool matched = false;
+  if (spec.filter != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(spec.filter, &conjuncts);
+    for (const ExprPtr& c : conjuncts) {
+      ExprOp op;
+      double query[4];
+      if (MatchSpatial(c, inst->fields, &op, query)) {
+        st->trees[instance_no].Search(
+            ProbeOpOf(op), Rect{query[0], query[1], query[2], query[3]},
+            &keys);
+        matched = true;
+        break;
+      }
+    }
+  }
+  if (!matched) {
+    return Status::InvalidArgument(
+        "rtree scan requires a spatial predicate on the indexed fields");
+  }
+  std::sort(keys.begin(), keys.end());
+  *scan = std::make_unique<RTreeScan>(std::move(keys));
+  return Status::OK();
+}
+
+Status RtApply(AtContext& ctx, const LogRecord& rec, bool undo) {
+  RtState* st = StateOf(ctx);
+  Slice in(rec.payload);
+  if (in.empty()) return Status::Corruption("rtree payload");
+  char op = in[0];
+  in.remove_prefix(1);
+  uint32_t instance;
+  if (!GetVarint32(&in, &instance)) {
+    return Status::Corruption("rtree instance id");
+  }
+  if (in.size() < 32) return Status::Corruption("rtree rect");
+  Rect r{DecodeDouble(in.data()), DecodeDouble(in.data() + 8),
+         DecodeDouble(in.data() + 16), DecodeDouble(in.data() + 24)};
+  in.remove_prefix(32);
+  bool add = (op == 'I');
+  if (undo) add = !add;
+  if (add) {
+    st->trees[instance].Insert(r, in.ToString());
+  } else {
+    st->trees[instance].Remove(r, in.ToString());
+  }
+  return Status::OK();
+}
+
+Status RtUndo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return RtApply(ctx, rec, /*undo=*/true);
+}
+
+Status RtRedo(AtContext&, const LogRecord&, Lsn) { return Status::OK(); }
+
+uint32_t RtInstanceCount(const Slice& at_desc) {
+  RtTypeDesc desc;
+  if (!RtTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+Status RtListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  RtTypeDesc desc;
+  DMX_RETURN_IF_ERROR(RtTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const RtInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeRTreeProbe(ExprOp op, const double query_rect[4]) {
+  std::string key;
+  switch (op) {
+    case ExprOp::kOverlaps: key.push_back('O'); break;
+    case ExprOp::kEncloses: key.push_back('E'); break;
+    case ExprOp::kWithin: key.push_back('W'); break;
+    default: key.push_back('O'); break;
+  }
+  for (int i = 0; i < 4; ++i) PutDouble(&key, query_rect[i]);
+  return key;
+}
+
+const AtOps& RTreeIndexOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "rtree_index";
+    o.create_instance = RtCreateInstance;
+    o.drop_instance = RtDropInstance;
+    o.open = RtOpen;
+    o.on_insert = RtOnInsert;
+    o.on_update = RtOnUpdate;
+    o.on_delete = RtOnDelete;
+    o.open_scan = RtOpenScan;
+    o.lookup = RtLookup;
+    o.cost = RtCost;
+    o.undo = RtUndo;
+    o.redo = RtRedo;
+    o.rebuild = RtRebuild;
+    o.instance_count = RtInstanceCount;
+    o.list_instances = RtListInstances;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

@@ -1,0 +1,311 @@
+#include "src/attach/stats.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/core/database.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+struct StatsInstance {
+  uint32_t no = 0;
+  int field = -1;
+};
+
+struct StatsTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<StatsInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const StatsInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutVarint32(dst, static_cast<uint32_t>(inst.field));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, StatsTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("stats descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      StatsInstance inst;
+      uint32_t no, field;
+      if (!GetVarint32(&in, &no) || !GetVarint32(&in, &field)) {
+        return Status::Corruption("stats instance");
+      }
+      inst.no = no;
+      inst.field = static_cast<int>(field);
+      out->instances.push_back(inst);
+    }
+    return Status::OK();
+  }
+
+  const StatsInstance* Find(uint32_t no) const {
+    for (const StatsInstance& inst : instances) {
+      if (inst.no == no) return &inst;
+    }
+    return nullptr;
+  }
+};
+
+struct StatsState : public ExtState {
+  StatsTypeDesc desc;
+  std::map<uint32_t, StatsSnapshot> values;
+};
+
+StatsState* StateOf(AtContext& ctx) {
+  return static_cast<StatsState*>(ctx.state);
+}
+
+// Delta payload: 'A'(apply) varint instance | i64 dcount | double dsum.
+Status StLog(AtContext& ctx, uint32_t instance, int64_t dcount, double dsum) {
+  std::string payload(1, 'A');
+  PutVarint32(&payload, instance);
+  PutFixed64(&payload, static_cast<uint64_t>(dcount));
+  PutDouble(&payload, dsum);
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kAttachment, ctx.at_id, ctx.desc->id, std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+void ApplyDelta(StatsState* st, uint32_t instance, int64_t dcount,
+                double dsum) {
+  StatsSnapshot& snap = st->values[instance];
+  snap.count = static_cast<uint64_t>(static_cast<int64_t>(snap.count) +
+                                     dcount);
+  snap.sum += dsum;
+}
+
+double FieldValue(const RecordView& view, int field) {
+  if (view.IsNull(static_cast<size_t>(field))) return 0;
+  return view.GetValue(static_cast<size_t>(field)).AsDouble();
+}
+
+Status StRebuild(AtContext& ctx);
+
+Status StOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<StatsState>();
+  DMX_RETURN_IF_ERROR(StatsTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  AtContext prime = ctx;
+  prime.state = st.get();
+  DMX_RETURN_IF_ERROR(StRebuild(prime));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status StRebuild(AtContext& ctx) {
+  StatsState* st = StateOf(ctx);
+  st->values.clear();
+  if (st->desc.instances.empty()) return Status::OK();
+  const SmOps& sm = ctx.db->registry()->sm_ops(ctx.desc->sm_id);
+  SmContext sctx;
+  DMX_RETURN_IF_ERROR(ctx.db->MakeSmContext(nullptr, ctx.desc, &sctx));
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(sm.open_scan(sctx, ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    for (const StatsInstance& inst : st->desc.instances) {
+      ApplyDelta(st, inst.no, 1, FieldValue(item.view, inst.field));
+    }
+  }
+  return Status::OK();
+}
+
+Status StCreateInstance(AtContext& ctx, const AttrList& attrs,
+                        std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"field"}));
+  if (!attrs.Has("field")) {
+    return Status::InvalidArgument("stats requires field=<column>");
+  }
+  StatsInstance inst;
+  inst.field = ctx.desc->schema.FindColumn(attrs.Get("field"));
+  if (inst.field < 0) {
+    return Status::InvalidArgument("no column '" + attrs.Get("field") + "'");
+  }
+  TypeId t = ctx.desc->schema.column(static_cast<size_t>(inst.field)).type;
+  if (t != TypeId::kInt64 && t != TypeId::kDouble) {
+    return Status::InvalidArgument("stats field must be numeric");
+  }
+  StatsTypeDesc desc;
+  DMX_RETURN_IF_ERROR(StatsTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  *instance_no = inst.no;
+  desc.instances.push_back(inst);
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status StDropInstance(AtContext& ctx, uint32_t instance_no,
+                      std::string* new_desc) {
+  StatsTypeDesc desc;
+  DMX_RETURN_IF_ERROR(StatsTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<StatsInstance> kept;
+  for (const StatsInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(inst);
+    }
+  }
+  if (!found) {
+    return Status::NotFound("stats instance " + std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status StOnInsert(AtContext& ctx, const Slice&, const Slice& new_record) {
+  StatsState* st = StateOf(ctx);
+  RecordView view(new_record, &ctx.desc->schema);
+  for (const StatsInstance& inst : st->desc.instances) {
+    double v = FieldValue(view, inst.field);
+    ApplyDelta(st, inst.no, 1, v);
+    DMX_RETURN_IF_ERROR(StLog(ctx, inst.no, 1, v));
+  }
+  return Status::OK();
+}
+
+Status StOnUpdate(AtContext& ctx, const Slice&, const Slice&,
+                  const Slice& old_record, const Slice& new_record) {
+  StatsState* st = StateOf(ctx);
+  RecordView old_view(old_record, &ctx.desc->schema);
+  RecordView new_view(new_record, &ctx.desc->schema);
+  for (const StatsInstance& inst : st->desc.instances) {
+    double dv = FieldValue(new_view, inst.field) -
+                FieldValue(old_view, inst.field);
+    if (dv == 0) continue;
+    ApplyDelta(st, inst.no, 0, dv);
+    DMX_RETURN_IF_ERROR(StLog(ctx, inst.no, 0, dv));
+  }
+  return Status::OK();
+}
+
+Status StOnDelete(AtContext& ctx, const Slice&, const Slice& old_record) {
+  StatsState* st = StateOf(ctx);
+  RecordView view(old_record, &ctx.desc->schema);
+  for (const StatsInstance& inst : st->desc.instances) {
+    double v = FieldValue(view, inst.field);
+    ApplyDelta(st, inst.no, -1, -v);
+    DMX_RETURN_IF_ERROR(StLog(ctx, inst.no, -1, -v));
+  }
+  return Status::OK();
+}
+
+Status StLookup(AtContext& ctx, uint32_t instance_no, const Slice& key,
+                std::vector<std::string>* record_keys) {
+  StatsState* st = StateOf(ctx);
+  record_keys->clear();
+  if (st->desc.Find(instance_no) == nullptr) {
+    return Status::NotFound("stats instance " + std::to_string(instance_no));
+  }
+  const StatsSnapshot& snap = st->values[instance_no];
+  char buf[64];
+  if (key == Slice("count")) {
+    snprintf(buf, sizeof(buf), "%llu",
+             static_cast<unsigned long long>(snap.count));
+  } else if (key == Slice("sum")) {
+    snprintf(buf, sizeof(buf), "%.17g", snap.sum);
+  } else if (key == Slice("avg")) {
+    snprintf(buf, sizeof(buf), "%.17g", snap.avg());
+  } else {
+    return Status::InvalidArgument("stats lookup key: count|sum|avg");
+  }
+  record_keys->push_back(buf);
+  return Status::OK();
+}
+
+Status StApply(AtContext& ctx, const LogRecord& rec, bool undo) {
+  StatsState* st = StateOf(ctx);
+  Slice in(rec.payload);
+  if (in.empty() || in[0] != 'A') return Status::Corruption("stats payload");
+  in.remove_prefix(1);
+  uint32_t instance;
+  uint64_t dcount_bits;
+  double dsum;
+  if (!GetVarint32(&in, &instance) || !GetFixed64(&in, &dcount_bits) ||
+      !GetDouble(&in, &dsum)) {
+    return Status::Corruption("stats payload body");
+  }
+  int64_t dcount = static_cast<int64_t>(dcount_bits);
+  if (undo) {
+    dcount = -dcount;
+    dsum = -dsum;
+  }
+  ApplyDelta(st, instance, dcount, dsum);
+  return Status::OK();
+}
+
+Status StUndo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return StApply(ctx, rec, /*undo=*/true);
+}
+
+Status StRedo(AtContext&, const LogRecord&, Lsn) { return Status::OK(); }
+
+uint32_t StInstanceCount(const Slice& at_desc) {
+  StatsTypeDesc desc;
+  if (!StatsTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+}  // namespace
+
+Status ReadStats(Database* db, Transaction* txn, const std::string& rel,
+                 uint32_t instance_no, StatsSnapshot* out) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(db->FindRelation(rel, &desc));
+  int at = db->registry()->FindAttachmentType("stats");
+  if (at < 0) return Status::Internal("stats attachment not registered");
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(
+      db->MakeAtContext(txn, desc, static_cast<AtId>(at), &ctx));
+  StatsState* st = StateOf(ctx);
+  if (st == nullptr || st->desc.Find(instance_no) == nullptr) {
+    return Status::NotFound("stats instance");
+  }
+  *out = st->values[instance_no];
+  return Status::OK();
+}
+
+const AtOps& StatsOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "stats";
+    o.create_instance = StCreateInstance;
+    o.drop_instance = StDropInstance;
+    o.open = StOpen;
+    o.on_insert = StOnInsert;
+    o.on_update = StOnUpdate;
+    o.on_delete = StOnDelete;
+    o.lookup = StLookup;
+    o.undo = StUndo;
+    o.redo = StRedo;
+    o.rebuild = StRebuild;
+    o.instance_count = StInstanceCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

@@ -1,0 +1,227 @@
+#include "src/attach/trigger.h"
+
+#include <map>
+#include <mutex>
+
+#include "src/core/database.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+
+namespace {
+
+std::mutex g_trigger_mu;
+std::map<std::string, TriggerFn>& TriggerRegistry() {
+  static auto* registry = new std::map<std::string, TriggerFn>();
+  return *registry;
+}
+
+TriggerFn FindTrigger(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_trigger_mu);
+  auto it = TriggerRegistry().find(name);
+  return it == TriggerRegistry().end() ? nullptr : it->second;
+}
+
+struct TriggerInstance {
+  uint32_t no = 0;
+  std::string call;
+  bool on_insert = true, on_update = true, on_delete = true;
+};
+
+struct TriggerTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<TriggerInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const TriggerInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutLengthPrefixedSlice(dst, inst.call);
+      dst->push_back(static_cast<char>((inst.on_insert ? 1 : 0) |
+                                       (inst.on_update ? 2 : 0) |
+                                       (inst.on_delete ? 4 : 0)));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, TriggerTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("trigger descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      TriggerInstance inst;
+      uint32_t no;
+      Slice call;
+      if (!GetVarint32(&in, &no) || !GetLengthPrefixedSlice(&in, &call) ||
+          in.empty()) {
+        return Status::Corruption("trigger instance");
+      }
+      inst.no = no;
+      inst.call = call.ToString();
+      char mask = in[0];
+      in.remove_prefix(1);
+      inst.on_insert = mask & 1;
+      inst.on_update = mask & 2;
+      inst.on_delete = mask & 4;
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+};
+
+struct TriggerState : public ExtState {
+  TriggerTypeDesc desc;
+};
+
+Status TrOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<TriggerState>();
+  DMX_RETURN_IF_ERROR(TriggerTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status TrCreateInstance(AtContext& ctx, const AttrList& attrs,
+                        std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"call", "on"}));
+  TriggerInstance inst;
+  inst.call = attrs.Get("call");
+  if (inst.call.empty()) {
+    return Status::InvalidArgument("trigger requires call=<function>");
+  }
+  if (FindTrigger(inst.call) == nullptr) {
+    return Status::InvalidArgument("no trigger function '" + inst.call +
+                                   "' registered");
+  }
+  auto events = attrs.GetAll("on");
+  if (!events.empty()) {
+    inst.on_insert = inst.on_update = inst.on_delete = false;
+    for (const std::string& e : events) {
+      if (e == "insert") {
+        inst.on_insert = true;
+      } else if (e == "update") {
+        inst.on_update = true;
+      } else if (e == "delete") {
+        inst.on_delete = true;
+      } else {
+        return Status::InvalidArgument("trigger on=insert|update|delete");
+      }
+    }
+  }
+  TriggerTypeDesc desc;
+  DMX_RETURN_IF_ERROR(TriggerTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+  *instance_no = inst.no;
+  desc.instances.push_back(std::move(inst));
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status TrDropInstance(AtContext& ctx, uint32_t instance_no,
+                      std::string* new_desc) {
+  TriggerTypeDesc desc;
+  DMX_RETURN_IF_ERROR(TriggerTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<TriggerInstance> kept;
+  for (TriggerInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(std::move(inst));
+    }
+  }
+  if (!found) {
+    return Status::NotFound("trigger instance " +
+                            std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status TrFire(AtContext& ctx, TriggerEvent::Op op, const Slice& old_key,
+              const Slice& new_key, const Slice& old_rec,
+              const Slice& new_rec) {
+  TriggerState* st = static_cast<TriggerState*>(ctx.state);
+  TriggerEvent event;
+  event.db = ctx.db;
+  event.txn = ctx.txn;
+  event.relation = ctx.desc;
+  event.op = op;
+  event.old_key = old_key;
+  event.new_key = new_key;
+  if (!old_rec.empty()) event.old_record = RecordView(old_rec,
+                                                      &ctx.desc->schema);
+  if (!new_rec.empty()) event.new_record = RecordView(new_rec,
+                                                      &ctx.desc->schema);
+  for (const TriggerInstance& inst : st->desc.instances) {
+    bool fires = (op == TriggerEvent::Op::kInsert && inst.on_insert) ||
+                 (op == TriggerEvent::Op::kUpdate && inst.on_update) ||
+                 (op == TriggerEvent::Op::kDelete && inst.on_delete);
+    if (!fires) continue;
+    TriggerFn fn = FindTrigger(inst.call);
+    if (fn == nullptr) {
+      return Status::Internal("trigger function '" + inst.call +
+                              "' disappeared");
+    }
+    DMX_RETURN_IF_ERROR(fn(event));  // non-OK vetoes the modification
+  }
+  return Status::OK();
+}
+
+Status TrOnInsert(AtContext& ctx, const Slice& record_key,
+                  const Slice& new_record) {
+  return TrFire(ctx, TriggerEvent::Op::kInsert, Slice(), record_key, Slice(),
+                new_record);
+}
+
+Status TrOnUpdate(AtContext& ctx, const Slice& old_key, const Slice& new_key,
+                  const Slice& old_record, const Slice& new_record) {
+  return TrFire(ctx, TriggerEvent::Op::kUpdate, old_key, new_key, old_record,
+                new_record);
+}
+
+Status TrOnDelete(AtContext& ctx, const Slice& record_key,
+                  const Slice& old_record) {
+  return TrFire(ctx, TriggerEvent::Op::kDelete, record_key, Slice(),
+                old_record, Slice());
+}
+
+uint32_t TrInstanceCount(const Slice& at_desc) {
+  TriggerTypeDesc desc;
+  if (!TriggerTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+}  // namespace
+
+void RegisterTriggerFunction(const std::string& name, TriggerFn fn) {
+  std::lock_guard<std::mutex> lock(g_trigger_mu);
+  TriggerRegistry()[name] = std::move(fn);
+}
+
+const AtOps& TriggerOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "trigger";
+    o.create_instance = TrCreateInstance;
+    o.drop_instance = TrDropInstance;
+    o.open = TrOpen;
+    o.on_insert = TrOnInsert;
+    o.on_update = TrOnUpdate;
+    o.on_delete = TrOnDelete;
+    o.instance_count = TrInstanceCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

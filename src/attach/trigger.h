@@ -1,0 +1,44 @@
+// Trigger attachment: invokes registered procedures as side effects of
+// relation modifications. Trigger functions are installed "at the factory"
+// (compile-time registration) and named in the DDL; they may read and
+// modify other relations (cascading through the full two-step machinery),
+// enqueue deferred actions, take actions outside the database, or veto the
+// modification by returning a non-OK status.
+//
+// DDL attributes: call=<registered function>, on=<insert|update|delete>
+// (repeatable; default all three).
+
+#ifndef DMX_ATTACH_TRIGGER_H_
+#define DMX_ATTACH_TRIGGER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+class Database;
+
+/// What a trigger function receives.
+struct TriggerEvent {
+  Database* db = nullptr;
+  Transaction* txn = nullptr;
+  const RelationDescriptor* relation = nullptr;
+  enum class Op { kInsert, kUpdate, kDelete } op = Op::kInsert;
+  /// Keys/records as available for the operation (see AtOps::on_*).
+  Slice old_key, new_key;
+  RecordView old_record, new_record;
+};
+
+using TriggerFn = std::function<Status(const TriggerEvent&)>;
+
+/// Install a trigger function under `name` (process-global, "factory"
+/// linkage). Re-registration replaces.
+void RegisterTriggerFunction(const std::string& name, TriggerFn fn);
+
+const AtOps& TriggerOps();
+
+}  // namespace dmx
+
+#endif  // DMX_ATTACH_TRIGGER_H_

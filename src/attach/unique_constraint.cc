@@ -1,0 +1,315 @@
+#include "src/attach/unique_constraint.h"
+
+#include <map>
+
+#include "src/core/database.h"
+#include "src/sm/btree_sm.h"
+#include "src/sm/key_codec.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+struct UniqueInstance {
+  uint32_t no = 0;
+  std::string name;
+  std::vector<int> fields;
+};
+
+struct UniqueTypeDesc {
+  uint32_t next_no = 1;
+  std::vector<UniqueInstance> instances;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, next_no);
+    PutVarint32(dst, static_cast<uint32_t>(instances.size()));
+    for (const UniqueInstance& inst : instances) {
+      PutVarint32(dst, inst.no);
+      PutLengthPrefixedSlice(dst, inst.name);
+      PutVarint32(dst, static_cast<uint32_t>(inst.fields.size()));
+      for (int f : inst.fields) PutVarint32(dst, static_cast<uint32_t>(f));
+    }
+  }
+
+  static Status DecodeFrom(Slice in, UniqueTypeDesc* out) {
+    out->instances.clear();
+    if (in.empty()) {
+      out->next_no = 1;
+      return Status::OK();
+    }
+    uint32_t next, count;
+    if (!GetVarint32(&in, &next) || !GetVarint32(&in, &count)) {
+      return Status::Corruption("unique descriptor");
+    }
+    out->next_no = next;
+    for (uint32_t i = 0; i < count; ++i) {
+      UniqueInstance inst;
+      uint32_t no, nfields;
+      Slice name;
+      if (!GetVarint32(&in, &no) || !GetLengthPrefixedSlice(&in, &name) ||
+          !GetVarint32(&in, &nfields)) {
+        return Status::Corruption("unique instance");
+      }
+      inst.no = no;
+      inst.name = name.ToString();
+      for (uint32_t f = 0; f < nfields; ++f) {
+        uint32_t idx;
+        if (!GetVarint32(&in, &idx)) return Status::Corruption("unique field");
+        inst.fields.push_back(static_cast<int>(idx));
+      }
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+};
+
+struct UniqueState : public ExtState {
+  UniqueTypeDesc desc;
+  // Per instance: key encoding -> live count (should be 0 or 1, but kept
+  // as a count so undo/redo replay composes).
+  std::map<uint32_t, std::map<std::string, int64_t>> counts;
+};
+
+UniqueState* StateOf(AtContext& ctx) {
+  return static_cast<UniqueState*>(ctx.state);
+}
+
+// A row participates only if none of its constrained fields is NULL.
+bool KeyOf(const RecordView& view, const std::vector<int>& fields,
+           std::string* key) {
+  for (int f : fields) {
+    if (view.IsNull(static_cast<size_t>(f))) return false;
+  }
+  key->clear();
+  return EncodeFieldKey(view, fields, key).ok();
+}
+
+Status UqLog(AtContext& ctx, char op, uint32_t instance, const Slice& key) {
+  std::string payload(1, op);
+  PutVarint32(&payload, instance);
+  payload.append(key.data(), key.size());
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kAttachment, ctx.at_id, ctx.desc->id, std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+// (Re)build the key-count tables by scanning the base relation — used both
+// at first open and as the restart-recovery rebuild hook ("wide latitude in
+// the selection of recovery techniques").
+Status UqRebuild(AtContext& ctx);
+
+Status UqOpen(AtContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<UniqueState>();
+  DMX_RETURN_IF_ERROR(UniqueTypeDesc::DecodeFrom(ctx.at_desc, &st->desc));
+  AtContext prime_ctx = ctx;
+  prime_ctx.state = st.get();
+  DMX_RETURN_IF_ERROR(UqRebuild(prime_ctx));
+  *state = std::move(st);
+  return Status::OK();
+}
+
+Status UqRebuild(AtContext& ctx) {
+  UniqueState* st = StateOf(ctx);
+  st->counts.clear();
+  if (st->desc.instances.empty()) return Status::OK();
+  std::unique_ptr<Scan> scan;
+  const SmOps& sm = ctx.db->registry()->sm_ops(ctx.desc->sm_id);
+  SmContext sctx;
+  DMX_RETURN_IF_ERROR(ctx.db->MakeSmContext(nullptr, ctx.desc, &sctx));
+  DMX_RETURN_IF_ERROR(sm.open_scan(sctx, ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    for (const UniqueInstance& inst : st->desc.instances) {
+      std::string key;
+      if (KeyOf(item.view, inst.fields, &key)) ++st->counts[inst.no][key];
+    }
+  }
+  return Status::OK();
+}
+
+Status UqCreateInstance(AtContext& ctx, const AttrList& attrs,
+                        std::string* new_desc, uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({"fields", "name"}));
+  if (!attrs.Has("fields")) {
+    return Status::InvalidArgument("unique requires fields=<columns>");
+  }
+  UniqueInstance inst;
+  inst.name = attrs.Get("name");
+  DMX_RETURN_IF_ERROR(
+      ParseFieldList(ctx.desc->schema, attrs.Get("fields"), &inst.fields));
+
+  UniqueTypeDesc desc;
+  DMX_RETURN_IF_ERROR(UniqueTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  inst.no = desc.next_no++;
+
+  // Scan existing data: reject creation on a relation that already has
+  // duplicates. (The post-DDL reopen rescans to prime the live table.)
+  std::map<std::string, int64_t> seen;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    std::string key;
+    if (!KeyOf(item.view, inst.fields, &key)) continue;
+    if (++seen[key] > 1) {
+      return Status::Constraint("existing duplicates prevent unique '" +
+                                inst.name + "'");
+    }
+  }
+
+  *instance_no = inst.no;
+  desc.instances.push_back(std::move(inst));
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status UqDropInstance(AtContext& ctx, uint32_t instance_no,
+                      std::string* new_desc) {
+  UniqueTypeDesc desc;
+  DMX_RETURN_IF_ERROR(UniqueTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  bool found = false;
+  std::vector<UniqueInstance> kept;
+  for (UniqueInstance& inst : desc.instances) {
+    if (inst.no == instance_no) {
+      found = true;
+    } else {
+      kept.push_back(std::move(inst));
+    }
+  }
+  if (!found) {
+    return Status::NotFound("unique instance " + std::to_string(instance_no));
+  }
+  desc.instances = std::move(kept);
+  new_desc->clear();
+  if (!desc.instances.empty()) desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+Status UqAdd(AtContext& ctx, UniqueState* st, const UniqueInstance& inst,
+             const RecordView& view) {
+  std::string key;
+  if (!KeyOf(view, inst.fields, &key)) return Status::OK();
+  int64_t& count = st->counts[inst.no][key];
+  if (count > 0) {
+    return Status::Constraint(
+        "unique constraint" +
+        (inst.name.empty() ? "" : " '" + inst.name + "'") + " violated");
+  }
+  ++count;
+  return UqLog(ctx, 'I', inst.no, Slice(key));
+}
+
+Status UqRemove(AtContext& ctx, UniqueState* st, const UniqueInstance& inst,
+                const RecordView& view) {
+  std::string key;
+  if (!KeyOf(view, inst.fields, &key)) return Status::OK();
+  auto& table = st->counts[inst.no];
+  auto it = table.find(key);
+  if (it != table.end() && --it->second <= 0) table.erase(it);
+  return UqLog(ctx, 'D', inst.no, Slice(key));
+}
+
+Status UqOnInsert(AtContext& ctx, const Slice&, const Slice& new_record) {
+  UniqueState* st = StateOf(ctx);
+  RecordView view(new_record, &ctx.desc->schema);
+  for (const UniqueInstance& inst : st->desc.instances) {
+    DMX_RETURN_IF_ERROR(UqAdd(ctx, st, inst, view));
+  }
+  return Status::OK();
+}
+
+Status UqOnUpdate(AtContext& ctx, const Slice&, const Slice&,
+                  const Slice& old_record, const Slice& new_record) {
+  UniqueState* st = StateOf(ctx);
+  RecordView old_view(old_record, &ctx.desc->schema);
+  RecordView new_view(new_record, &ctx.desc->schema);
+  for (const UniqueInstance& inst : st->desc.instances) {
+    std::string okey, nkey;
+    bool had = KeyOf(old_view, inst.fields, &okey);
+    bool has = KeyOf(new_view, inst.fields, &nkey);
+    if (had && has && okey == nkey) continue;  // key unchanged
+    if (had) DMX_RETURN_IF_ERROR(UqRemove(ctx, st, inst, old_view));
+    if (has) DMX_RETURN_IF_ERROR(UqAdd(ctx, st, inst, new_view));
+  }
+  return Status::OK();
+}
+
+Status UqOnDelete(AtContext& ctx, const Slice&, const Slice& old_record) {
+  UniqueState* st = StateOf(ctx);
+  RecordView view(old_record, &ctx.desc->schema);
+  for (const UniqueInstance& inst : st->desc.instances) {
+    DMX_RETURN_IF_ERROR(UqRemove(ctx, st, inst, view));
+  }
+  return Status::OK();
+}
+
+Status UqApply(AtContext& ctx, const LogRecord& rec, bool undo) {
+  UniqueState* st = StateOf(ctx);
+  Slice in(rec.payload);
+  if (in.empty()) return Status::Corruption("unique payload");
+  char op = in[0];
+  in.remove_prefix(1);
+  uint32_t instance;
+  if (!GetVarint32(&in, &instance)) {
+    return Status::Corruption("unique instance id");
+  }
+  bool add = (op == 'I');
+  if (undo) add = !add;
+  auto& table = st->counts[instance];
+  if (add) {
+    ++table[in.ToString()];
+  } else {
+    auto it = table.find(in.ToString());
+    if (it != table.end() && --it->second <= 0) table.erase(it);
+  }
+  return Status::OK();
+}
+
+Status UqUndo(AtContext& ctx, const LogRecord& rec, Lsn) {
+  return UqApply(ctx, rec, /*undo=*/true);
+}
+
+// Redo at restart is a no-op: rebuild() reconstructs from the base
+// relation after redo/undo complete, which supersedes replay.
+Status UqRedo(AtContext&, const LogRecord&, Lsn) { return Status::OK(); }
+
+uint32_t UqInstanceCount(const Slice& at_desc) {
+  UniqueTypeDesc desc;
+  if (!UniqueTypeDesc::DecodeFrom(at_desc, &desc).ok()) return 0;
+  return static_cast<uint32_t>(desc.instances.size());
+}
+
+}  // namespace
+
+const AtOps& UniqueConstraintOps() {
+  static const AtOps ops = [] {
+    AtOps o;
+    o.name = "unique";
+    o.create_instance = UqCreateInstance;
+    o.drop_instance = UqDropInstance;
+    o.open = UqOpen;
+    o.on_insert = UqOnInsert;
+    o.on_update = UqOnUpdate;
+    o.on_delete = UqOnDelete;
+    o.undo = UqUndo;
+    o.redo = UqRedo;
+    o.rebuild = UqRebuild;
+    o.instance_count = UqInstanceCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

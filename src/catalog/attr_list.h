@@ -1,0 +1,82 @@
+// AttrList: the attribute/value list carried by data-definition operations.
+//
+// The paper: "the data definition language of the DBMS has been extended to
+// allow specification of a storage method or attachment type and an
+// attribute / value list for extension-specific parameters. Storage method
+// and attachment implementations supply generic operations to validate and
+// process the attribute lists."
+
+#ifndef DMX_CATALOG_ATTR_LIST_H_
+#define DMX_CATALOG_ATTR_LIST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// Ordered attribute/value pairs, e.g. {("key_fields","id"),("unique","1")}.
+class AttrList {
+ public:
+  AttrList() = default;
+  AttrList(std::initializer_list<std::pair<std::string, std::string>> init)
+      : attrs_(init.begin(), init.end()) {}
+
+  void Add(std::string name, std::string value) {
+    attrs_.emplace_back(std::move(name), std::move(value));
+  }
+
+  /// Value of the first attribute named `name`, or empty if absent.
+  std::string Get(const std::string& name) const {
+    for (const auto& [k, v] : attrs_) {
+      if (k == name) return v;
+    }
+    return "";
+  }
+
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : attrs_) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  /// All values for a repeated attribute, in order.
+  std::vector<std::string> GetAll(const std::string& name) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : attrs_) {
+      if (k == name) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Validation helper for extensions: fail on attributes outside `allowed`.
+  Status CheckAllowed(const std::vector<std::string>& allowed) const {
+    for (const auto& [k, v] : attrs_) {
+      bool ok = false;
+      for (const auto& a : allowed) {
+        if (k == a) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return Status::InvalidArgument("unknown attribute '" + k + "'");
+    }
+    return Status::OK();
+  }
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CATALOG_ATTR_LIST_H_

@@ -1,0 +1,146 @@
+#include "src/catalog/catalog.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+Status Catalog::Load(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::OK();  // fresh database
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Slice s(data);
+  uint32_t next_id, count;
+  if (!GetFixed32(&s, &next_id) || !GetVarint32(&s, &count)) {
+    return Status::Corruption("catalog header");
+  }
+  next_id_ = next_id;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto desc = std::make_unique<RelationDescriptor>();
+    DMX_RETURN_IF_ERROR(RelationDescriptor::DecodeFrom(&s, desc.get()));
+    by_name_[desc->name] = desc->id;
+    by_id_[desc->id] = std::move(desc);
+  }
+  return Status::OK();
+}
+
+Status Catalog::Save() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string data;
+  PutFixed32(&data, next_id_);
+  PutVarint32(&data, static_cast<uint32_t>(by_id_.size()));
+  for (const auto& [id, desc] : by_id_) {
+    desc->EncodeTo(&data);
+  }
+  std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return Status::IOError("open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out.good()) return Status::IOError("write " + tmp);
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename catalog");
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddRelation(RelationDescriptor desc, RelationId* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.count(desc.name)) {
+    return Status::InvalidArgument("relation '" + desc.name +
+                                   "' already exists");
+  }
+  desc.id = next_id_++;
+  desc.version = 1;
+  *id = desc.id;
+  by_name_[desc.name] = desc.id;
+  by_id_[desc.id] = std::make_unique<RelationDescriptor>(std::move(desc));
+  return Status::OK();
+}
+
+Status Catalog::RemoveRelation(RelationId id, RelationDescriptor* removed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("relation id " + std::to_string(id));
+  }
+  if (removed) *removed = *it->second;
+  by_name_.erase(it->second->name);
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::RestoreRelation(RelationDescriptor desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_id_.count(desc.id) || by_name_.count(desc.name)) {
+    return Status::InvalidArgument("restore collides");
+  }
+  by_name_[desc.name] = desc.id;
+  RelationId id = desc.id;
+  by_id_[id] = std::make_unique<RelationDescriptor>(std::move(desc));
+  return Status::OK();
+}
+
+Status Catalog::UpdateRelation(const RelationDescriptor& desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(desc.id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("relation id " + std::to_string(desc.id));
+  }
+  uint64_t new_version = it->second->version + 1;
+  *it->second = desc;
+  it->second->version = new_version;
+  return Status::OK();
+}
+
+Status Catalog::RenameRelation(RelationId id, const std::string& new_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("relation id " + std::to_string(id));
+  }
+  if (by_name_.count(new_name)) {
+    return Status::InvalidArgument("relation '" + new_name +
+                                   "' already exists");
+  }
+  by_name_.erase(it->second->name);
+  it->second->name = new_name;
+  ++it->second->version;
+  by_name_[new_name] = id;
+  return Status::OK();
+}
+
+const RelationDescriptor* Catalog::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return by_id_.at(it->second).get();
+}
+
+const RelationDescriptor* Catalog::Find(RelationId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Catalog::VersionOf(RelationId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? 0 : it->second->version;
+}
+
+std::vector<RelationId> Catalog::AllRelationIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RelationId> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, desc] : by_id_) out.push_back(id);
+  return out;
+}
+
+}  // namespace dmx

@@ -1,0 +1,78 @@
+// Catalog: the common descriptor management facility.
+//
+// "Instead of requiring each relation storage or access path to store and
+// access its own descriptor data, the common system will maintain and
+// manage relation descriptors. Each extension supplies and interprets the
+// contents of its own descriptor data, but the common system manages the
+// composite relation descriptor."
+//
+// The catalog is loaded entirely at open; descriptors are handed to query
+// compilation by value so plans never touch the catalog at run time.
+// Persistence is an atomic whole-file rewrite (write temp + rename),
+// performed when a DDL transaction commits.
+
+#ifndef DMX_CATALOG_CATALOG_H_
+#define DMX_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/catalog/descriptor.h"
+
+namespace dmx {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Load the catalog from `path` (missing file = empty catalog).
+  Status Load(const std::string& path);
+  /// Atomically persist the current state.
+  Status Save() const;
+
+  /// Register a new relation; assigns descriptor->id. Fails if the name is
+  /// taken. In-memory only; call Save at commit.
+  Status AddRelation(RelationDescriptor desc, RelationId* id);
+
+  /// Remove a relation from the name/id maps. Returns the removed
+  /// descriptor so a drop can be restored if the transaction aborts.
+  Status RemoveRelation(RelationId id, RelationDescriptor* removed);
+
+  /// Restore a previously removed descriptor (DDL abort path).
+  Status RestoreRelation(RelationDescriptor desc);
+
+  /// Replace a relation's descriptor (attachment create/drop). Bumps the
+  /// version so dependent plans invalidate.
+  Status UpdateRelation(const RelationDescriptor& desc);
+
+  /// Rename a relation (storage-method migration swaps names). Bumps the
+  /// version.
+  Status RenameRelation(RelationId id, const std::string& new_name);
+
+  /// Lookup by name / id. Returns a stable pointer owned by the catalog;
+  /// valid until the relation is dropped. Copy the descriptor when
+  /// embedding into a plan.
+  const RelationDescriptor* Find(const std::string& name) const;
+  const RelationDescriptor* Find(RelationId id) const;
+
+  /// Current version of a relation, or 0 if dropped — the plan-validity
+  /// check ("a uniform mechanism for recording the dependencies of
+  /// execution plans on the relations they use").
+  uint64_t VersionOf(RelationId id) const;
+
+  std::vector<RelationId> AllRelationIds() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  RelationId next_id_ = 1;
+  std::map<RelationId, std::unique_ptr<RelationDescriptor>> by_id_;
+  std::map<std::string, RelationId> by_name_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CATALOG_CATALOG_H_

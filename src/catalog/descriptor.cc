@@ -1,0 +1,71 @@
+#include "src/catalog/descriptor.h"
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+void RelationDescriptor::EncodeTo(std::string* dst) const {
+  PutFixed32(dst, id);
+  PutLengthPrefixedSlice(dst, name);
+  schema.EncodeTo(dst);
+  PutFixed16(dst, sm_id);
+  PutLengthPrefixedSlice(dst, sm_desc);
+  // Sparse attachment fields: count, then (id, blob) pairs.
+  uint32_t present = 0;
+  for (const auto& d : at_desc) {
+    if (!d.empty()) ++present;
+  }
+  PutVarint32(dst, present);
+  for (size_t i = 0; i < at_desc.size(); ++i) {
+    if (at_desc[i].empty()) continue;
+    PutFixed16(dst, static_cast<uint16_t>(i));
+    PutLengthPrefixedSlice(dst, at_desc[i]);
+  }
+  PutVarint64(dst, version);
+}
+
+Status RelationDescriptor::DecodeFrom(Slice* input, RelationDescriptor* out) {
+  uint32_t id;
+  if (!GetFixed32(input, &id)) return Status::Corruption("descriptor id");
+  out->id = id;
+  Slice name;
+  if (!GetLengthPrefixedSlice(input, &name)) {
+    return Status::Corruption("descriptor name");
+  }
+  out->name = name.ToString();
+  DMX_RETURN_IF_ERROR(Schema::DecodeFrom(input, &out->schema));
+  if (input->size() < 2) return Status::Corruption("descriptor sm_id");
+  out->sm_id = DecodeFixed16(input->data());
+  input->remove_prefix(2);
+  Slice sm_desc;
+  if (!GetLengthPrefixedSlice(input, &sm_desc)) {
+    return Status::Corruption("descriptor sm_desc");
+  }
+  out->sm_desc = sm_desc.ToString();
+  uint32_t present;
+  if (!GetVarint32(input, &present)) {
+    return Status::Corruption("descriptor attachment count");
+  }
+  out->at_desc.fill("");
+  for (uint32_t i = 0; i < present; ++i) {
+    if (input->size() < 2) return Status::Corruption("attachment field id");
+    uint16_t at = DecodeFixed16(input->data());
+    input->remove_prefix(2);
+    if (at >= out->at_desc.size()) {
+      return Status::Corruption("attachment id out of range");
+    }
+    Slice blob;
+    if (!GetLengthPrefixedSlice(input, &blob)) {
+      return Status::Corruption("attachment descriptor blob");
+    }
+    out->at_desc[at] = blob.ToString();
+  }
+  uint64_t version;
+  if (!GetVarint64(input, &version)) {
+    return Status::Corruption("descriptor version");
+  }
+  out->version = version;
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,59 @@
+// RelationDescriptor: the extensible relation descriptor.
+//
+// The paper: "The relation descriptor is composed of a relation storage
+// method descriptor and descriptors for any attachments defined on the
+// relation instance. The structure of the relation descriptor is a record
+// whose header contains the storage method identifier and whose first field
+// contains the storage method descriptor. Each attachment has an assigned
+// identifier, and the descriptor for the attachment with identifier N is
+// found in field N of the relation descriptor. If there are no instances of
+// attachment type N defined on a particular relation, then field N of that
+// relation's descriptor will be NULL."
+//
+// Each extension supplies and interprets the contents of its own descriptor
+// field; the common system only manages the composite. Descriptors are
+// fetched from the catalog at query compilation time and embedded in bound
+// plans, eliminating catalog access at run time.
+
+#ifndef DMX_CATALOG_DESCRIPTOR_H_
+#define DMX_CATALOG_DESCRIPTOR_H_
+
+#include <array>
+#include <string>
+
+#include "src/types/schema.h"
+#include "src/util/common.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+struct RelationDescriptor {
+  RelationId id = kInvalidRelationId;
+  std::string name;
+  Schema schema;
+
+  /// Header: the storage method identifier (procedure-vector index).
+  SmId sm_id = 0;
+  /// Field 0: the storage method's private descriptor encoding.
+  std::string sm_desc;
+  /// Field N: attachment type N's private descriptor (all instances of the
+  /// type are encoded within the one field). Empty string = NULL = no
+  /// instances of that type on this relation.
+  std::array<std::string, kMaxAttachmentTypes> at_desc;
+
+  /// Monotone version, bumped by every DDL change to this relation; bound
+  /// plans record it to detect invalidation.
+  uint64_t version = 1;
+
+  bool HasAttachment(AtId at) const {
+    return at < at_desc.size() && !at_desc[at].empty();
+  }
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, RelationDescriptor* out);
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CATALOG_DESCRIPTOR_H_

@@ -1,0 +1,46 @@
+#include "src/core/authorization.h"
+
+namespace dmx {
+
+void AuthorizationManager::Grant(const std::string& user, RelationId rel,
+                                 uint8_t privileges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = true;
+  grants_[{user, rel}] |= privileges;
+}
+
+void AuthorizationManager::Revoke(const std::string& user, RelationId rel,
+                                  uint8_t privileges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find({user, rel});
+  if (it == grants_.end()) return;
+  it->second &= static_cast<uint8_t>(~privileges);
+  if (it->second == 0) grants_.erase(it);
+}
+
+void AuthorizationManager::Clear(RelationId rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->first.second == rel) {
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status AuthorizationManager::Check(const std::string& user, RelationId rel,
+                                   Privilege needed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || user.empty()) return Status::OK();
+  auto it = grants_.find({user, rel});
+  if (it != grants_.end() &&
+      (it->second & static_cast<uint8_t>(needed)) != 0) {
+    return Status::OK();
+  }
+  return Status::Constraint("user '" + user + "' lacks " +
+                            PrivilegeName(needed) + " on relation " +
+                            std::to_string(rel));
+}
+
+}  // namespace dmx

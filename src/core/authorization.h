@@ -1,0 +1,74 @@
+// Uniform authorization facility.
+//
+// The paper: "Because extensions are alternative implementations of a
+// common relation abstraction, a uniform authorization facility can be
+// used to control user access to relations of all storage methods."
+//
+// Privileges are granted per (user, relation) and checked by the data
+// management facility on every generic operation — the checks are entirely
+// independent of which storage method or attachments implement the
+// relation. Authorization is off until the first grant is issued; the
+// empty user ("") is the superuser.
+
+#ifndef DMX_CORE_AUTHORIZATION_H_
+#define DMX_CORE_AUTHORIZATION_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/util/common.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+enum class Privilege : uint8_t {
+  kSelect = 1,
+  kInsert = 2,
+  kUpdate = 4,
+  kDelete = 8,
+};
+
+constexpr uint8_t kAllPrivileges = 15;
+
+inline const char* PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kSelect: return "SELECT";
+    case Privilege::kInsert: return "INSERT";
+    case Privilege::kUpdate: return "UPDATE";
+    case Privilege::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+class AuthorizationManager {
+ public:
+  /// Grant privileges (a bitwise OR of Privilege values) on a relation.
+  /// The first grant enables enforcement.
+  void Grant(const std::string& user, RelationId rel, uint8_t privileges);
+
+  /// Revoke the given privileges; no-op if not held.
+  void Revoke(const std::string& user, RelationId rel, uint8_t privileges);
+
+  /// Drop all grants on a relation (when it is dropped).
+  void Clear(RelationId rel);
+
+  /// OK if `user` holds `needed` on `rel` (or is the superuser, or
+  /// enforcement is off). Veto-style Constraint status otherwise.
+  Status Check(const std::string& user, RelationId rel,
+               Privilege needed) const;
+
+  bool enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::map<std::pair<std::string, RelationId>, uint8_t> grants_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_AUTHORIZATION_H_

@@ -1,0 +1,62 @@
+// Shared selectivity heuristics used by storage-method and access-path
+// cost estimators. Deliberately simple, System-R-style magic numbers: the
+// architecture's point is *where* costing lives (inside each extension),
+// not the sophistication of the estimates.
+
+#ifndef DMX_CORE_COSTING_H_
+#define DMX_CORE_COSTING_H_
+
+#include "src/expr/expr.h"
+
+namespace dmx {
+
+/// Cost of fetching one record by key through the storage method (record
+/// lock + buffer-pool fetch + record copy), in units of one sequentially
+/// scanned record. Calibrated against this engine: a keyed fetch measures
+/// ~150x a scan step (see bench_access_select), so access paths charge it
+/// per qualifying record and lose to a full scan once selectivity is high
+/// enough — giving the planner a realistic crossover.
+constexpr double kRecordFetchCost = 150.0;
+
+/// Rough selectivity of one predicate conjunct.
+inline double EstimateSelectivity(const ExprPtr& pred) {
+  if (!pred) return 1.0;
+  switch (pred->op()) {
+    case ExprOp::kEq: return 0.005;
+    case ExprOp::kNe: return 0.95;
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: return 0.33;
+    case ExprOp::kLike: return 0.25;
+    case ExprOp::kIsNull: return 0.1;
+    case ExprOp::kEncloses:
+    case ExprOp::kWithin:
+    case ExprOp::kOverlaps: return 0.005;
+    case ExprOp::kAnd: {
+      double s = 1.0;
+      for (const auto& c : pred->children()) s *= EstimateSelectivity(c);
+      return s;
+    }
+    case ExprOp::kOr: {
+      double s = 1.0;
+      for (const auto& c : pred->children()) s *= 1.0 - EstimateSelectivity(c);
+      return 1.0 - s;
+    }
+    case ExprOp::kNot:
+      return 1.0 - EstimateSelectivity(pred->child(0));
+    default:
+      return 0.5;
+  }
+}
+
+/// Combined selectivity of a conjunct list.
+inline double EstimateSelectivity(const std::vector<ExprPtr>& preds) {
+  double s = 1.0;
+  for (const auto& p : preds) s *= EstimateSelectivity(p);
+  return s;
+}
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_COSTING_H_

@@ -1,0 +1,790 @@
+#include "src/core/database.h"
+
+#include <sys/stat.h>
+
+#include <cassert>
+
+namespace dmx {
+
+namespace {
+constexpr uint32_t kAllInstances = UINT32_MAX;
+}  // namespace
+
+Status Database::Open(const DatabaseOptions& options,
+                      std::unique_ptr<Database>* out) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->dir_ = options.dir;
+  ::mkdir(options.dir.c_str(), 0755);
+
+  DMX_RETURN_IF_ERROR(db->page_file_.Open(options.dir + "/db.pages", true));
+  DMX_RETURN_IF_ERROR(db->log_.Open(options.dir + "/wal", true));
+  LogManager* log = &db->log_;
+  db->buffer_pool_ = std::make_unique<BufferPool>(
+      &db->page_file_, options.buffer_pool_pages,
+      [log](Lsn lsn) { return log->FlushTo(lsn); });
+  db->txn_mgr_ =
+      std::make_unique<TransactionManager>(&db->log_, &db->lock_mgr_);
+  Database* raw = db.get();
+  db->txn_mgr_->SetApplyFn(
+      [raw](const LogRecord& rec, bool undo, Lsn apply_lsn) {
+        return raw->ApplyLogRecord(rec, undo, apply_lsn);
+      });
+  db->txn_mgr_->AddObserver(&db->scan_mgr_);
+
+  // "At the factory": install procedure vectors before any dispatch.
+  RegisterBuiltinExtensions(&db->registry_);
+  if (options.register_extensions) options.register_extensions(&db->registry_);
+
+  DMX_RETURN_IF_ERROR(db->catalog_.Load(options.dir + "/catalog"));
+
+  // Restart recovery: redo (page-LSN gated), undo losers, then let
+  // extensions rebuild derived in-memory structures from base relations.
+  DMX_RETURN_IF_ERROR(db->txn_mgr_->driver()->Restart());
+  // Transaction ids continue above everything in the log: reusing an id of
+  // a committed transaction would make a future crash treat an unfinished
+  // transaction as a winner.
+  db->txn_mgr_->EnsureTxnIdAbove(db->txn_mgr_->driver()->max_txn_seen());
+  for (RelationId rel : db->catalog_.AllRelationIds()) {
+    const RelationDescriptor* desc = db->catalog_.Find(rel);
+    if (desc == nullptr) continue;
+    for (AtId at = 0; at < db->registry_.num_attachment_types(); ++at) {
+      if (!desc->HasAttachment(at)) continue;
+      const AtOps& ops = db->registry_.at_ops(at);
+      if (ops.rebuild == nullptr) continue;
+      AtContext ctx;
+      DMX_RETURN_IF_ERROR(db->MakeAtContext(nullptr, desc, at, &ctx));
+      DMX_RETURN_IF_ERROR(ops.rebuild(ctx));
+    }
+  }
+
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Database::~Database() {
+  if (!crash_on_close_) Flush().ok();
+}
+
+Status Database::Flush() {
+  DMX_RETURN_IF_ERROR(log_.FlushAll());
+  if (buffer_pool_) DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+  return catalog_.Save();
+}
+
+Status Database::Checkpoint() {
+  if (txn_mgr_->ActiveTransactionCount() > 0) {
+    return Status::Busy("active transactions block the checkpoint");
+  }
+  DMX_RETURN_IF_ERROR(log_.FlushAll());
+  DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+  DMX_RETURN_IF_ERROR(catalog_.Save());
+  // Give every storage method a chance to snapshot state the buffer pool
+  // does not cover (the mainmemory method writes its table image).
+  for (RelationId rel : catalog_.AllRelationIds()) {
+    const RelationDescriptor* desc = catalog_.Find(rel);
+    if (desc == nullptr) continue;
+    const SmOps& ops = registry_.sm_ops(desc->sm_id);
+    if (ops.checkpoint == nullptr) continue;
+    SmContext ctx;
+    DMX_RETURN_IF_ERROR(MakeSmContext(nullptr, desc, &ctx));
+    DMX_RETURN_IF_ERROR(ops.checkpoint(ctx));
+  }
+  return log_.Truncate();
+}
+
+Status Database::FindRelation(const std::string& name,
+                              const RelationDescriptor** desc) const {
+  const RelationDescriptor* d = catalog_.Find(name);
+  if (d == nullptr) {
+    return Status::InvalidArgument("no relation named '" + name + "'");
+  }
+  *desc = d;
+  return Status::OK();
+}
+
+Database::RelationRuntime* Database::GetRuntime(RelationId id) {
+  std::lock_guard<std::mutex> lock(runtime_mu_);
+  auto it = runtimes_.find(id);
+  if (it != runtimes_.end()) return it->second.get();
+  auto rt = std::make_unique<RelationRuntime>();
+  RelationRuntime* raw = rt.get();
+  runtimes_[id] = std::move(rt);
+  return raw;
+}
+
+void Database::InvalidateRuntime(RelationId id) {
+  std::lock_guard<std::mutex> lock(runtime_mu_);
+  runtimes_.erase(id);
+}
+
+void Database::InvalidateAttachmentRuntime(RelationId id) {
+  std::lock_guard<std::mutex> lock(runtime_mu_);
+  auto it = runtimes_.find(id);
+  if (it == runtimes_.end()) return;
+  for (auto& state : it->second->at_state) state.reset();
+}
+
+Status Database::MakeSmContext(Transaction* txn,
+                               const RelationDescriptor* desc,
+                               SmContext* ctx) {
+  RelationRuntime* rt = GetRuntime(desc->id);
+  ctx->db = this;
+  ctx->txn = txn;
+  ctx->desc = desc;
+  if (rt->sm_state == nullptr) {
+    const SmOps& ops = registry_.sm_ops(desc->sm_id);
+    if (ops.open != nullptr) {
+      SmContext open_ctx = *ctx;
+      open_ctx.state = nullptr;
+      DMX_RETURN_IF_ERROR(ops.open(open_ctx, &rt->sm_state));
+    }
+  }
+  ctx->state = rt->sm_state.get();
+  return Status::OK();
+}
+
+Status Database::MakeAtContext(Transaction* txn,
+                               const RelationDescriptor* desc, AtId at,
+                               AtContext* ctx) {
+  RelationRuntime* rt = GetRuntime(desc->id);
+  ctx->db = this;
+  ctx->txn = txn;
+  ctx->desc = desc;
+  ctx->at_id = at;
+  ctx->at_desc = Slice(desc->at_desc[at]);
+  if (rt->at_state[at] == nullptr) {
+    const AtOps& ops = registry_.at_ops(at);
+    if (ops.open != nullptr) {
+      AtContext open_ctx = *ctx;
+      open_ctx.state = nullptr;
+      DMX_RETURN_IF_ERROR(ops.open(open_ctx, &rt->at_state[at]));
+    }
+  }
+  ctx->state = rt->at_state[at].get();
+  return Status::OK();
+}
+
+Status Database::ApplyLogRecord(const LogRecord& rec, bool undo,
+                                Lsn apply_lsn) {
+  const RelationDescriptor* desc = catalog_.Find(rec.relation);
+  if (desc == nullptr) return Status::OK();  // relation dropped since
+  if (rec.ext_kind == ExtKind::kStorageMethod) {
+    const SmOps& ops = registry_.sm_ops(rec.ext_id);
+    SmContext ctx;
+    DMX_RETURN_IF_ERROR(MakeSmContext(nullptr, desc, &ctx));
+    return undo ? ops.undo(ctx, rec, apply_lsn)
+                : ops.redo(ctx, rec, apply_lsn);
+  }
+  const AtOps& ops = registry_.at_ops(rec.ext_id);
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(
+      MakeAtContext(nullptr, desc, static_cast<AtId>(rec.ext_id), &ctx));
+  if (undo) {
+    return ops.undo ? ops.undo(ctx, rec, apply_lsn) : Status::OK();
+  }
+  return ops.redo ? ops.redo(ctx, rec, apply_lsn) : Status::OK();
+}
+
+// -- data definition -----------------------------------------------------------
+
+Status Database::CreateRelation(Transaction* txn, const std::string& name,
+                                const Schema& schema,
+                                const std::string& sm_name,
+                                const AttrList& attrs) {
+  int sm = registry_.FindStorageMethod(sm_name);
+  if (sm < 0) {
+    return Status::InvalidArgument("no storage method '" + sm_name + "'");
+  }
+  const SmOps& ops = registry_.sm_ops(static_cast<SmId>(sm));
+
+  RelationDescriptor desc;
+  desc.name = name;
+  desc.schema = schema;
+  desc.sm_id = static_cast<SmId>(sm);
+  DMX_RETURN_IF_ERROR(ops.validate(schema, attrs, &desc.sm_desc));
+
+  RelationId id;
+  DMX_RETURN_IF_ERROR(catalog_.AddRelation(desc, &id));
+  const RelationDescriptor* stored = catalog_.Find(id);
+
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(id),
+                                     LockMode::kX));
+
+  // Build initial storage; the storage method may refine its descriptor
+  // (e.g. record an allocated anchor page). The context carries no runtime
+  // state yet — state can only be derived once the descriptor is final.
+  SmContext ctx;
+  ctx.db = this;
+  ctx.txn = txn;
+  ctx.desc = stored;
+  ctx.state = nullptr;
+  std::string sm_desc = stored->sm_desc;
+  Status s = ops.create(ctx, &sm_desc);
+  if (!s.ok()) {
+    catalog_.RemoveRelation(id, nullptr);
+    InvalidateRuntime(id);
+    return s;
+  }
+  RelationDescriptor updated = *stored;
+  updated.sm_desc = sm_desc;
+  DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+  InvalidateRuntime(id);  // state derived from the old descriptor
+
+  // Undoable DDL: abort destroys the storage and the catalog entry;
+  // commit persists the catalog.
+  txn->Defer(TxnEvent::kAbort, [this, id](Transaction* t) {
+    const RelationDescriptor* d = catalog_.Find(id);
+    if (d == nullptr) return Status::OK();
+    const SmOps& sm_ops = registry_.sm_ops(d->sm_id);
+    SmContext drop_ctx;
+    Status st = MakeSmContext(t, d, &drop_ctx);
+    if (st.ok() && sm_ops.drop != nullptr) sm_ops.drop(drop_ctx);
+    catalog_.RemoveRelation(id, nullptr);
+    InvalidateRuntime(id);
+    return Status::OK();
+  });
+  txn->Defer(TxnEvent::kCommit,
+             [this](Transaction*) { return catalog_.Save(); });
+  return Status::OK();
+}
+
+Status Database::DropRelation(Transaction* txn, const std::string& name) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(name, &desc));
+  RelationId id = desc->id;
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(id),
+                                     LockMode::kX));
+  RelationDescriptor saved;
+  DMX_RETURN_IF_ERROR(catalog_.RemoveRelation(id, &saved));
+
+  // "The actual release of the relation or access path state is deferred
+  // until the transaction commits", making the drop undoable without
+  // logging the relation's entire state.
+  txn->Defer(TxnEvent::kCommit, [this, saved](Transaction* t) {
+    // Release attachment storage first, then the relation storage.
+    // A temporary descriptor is restored into the catalog so contexts can
+    // be built, then finally removed.
+    RelationDescriptor tmp = saved;
+    tmp.name = "#dropping#" + std::to_string(saved.id);
+    // Reuse the original id so runtime state and log records line up.
+    Status st = catalog_.RestoreRelation(tmp);
+    if (st.ok()) {
+      const RelationDescriptor* d = catalog_.Find(saved.id);
+      for (AtId at = 0; at < registry_.num_attachment_types(); ++at) {
+        if (!d->HasAttachment(at)) continue;
+        const AtOps& aops = registry_.at_ops(at);
+        if (aops.release_instance != nullptr) {
+          AtContext actx;
+          if (MakeAtContext(t, d, at, &actx).ok()) {
+            aops.release_instance(actx, kAllInstances);
+          }
+        }
+      }
+      const SmOps& sops = registry_.sm_ops(d->sm_id);
+      if (sops.drop != nullptr) {
+        SmContext sctx;
+        if (MakeSmContext(t, d, &sctx).ok()) sops.drop(sctx);
+      }
+      catalog_.RemoveRelation(saved.id, nullptr);
+    }
+    auth_.Clear(saved.id);
+    InvalidateRuntime(saved.id);
+    return catalog_.Save();
+  });
+  txn->Defer(TxnEvent::kAbort, [this, saved](Transaction*) {
+    return catalog_.RestoreRelation(saved);
+  });
+  InvalidateRuntime(id);
+  return Status::OK();
+}
+
+Status Database::CreateAttachment(Transaction* txn, const std::string& rel,
+                                  const std::string& at_name,
+                                  const AttrList& attrs,
+                                  uint32_t* instance_no) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  int at = registry_.FindAttachmentType(at_name);
+  if (at < 0) {
+    return Status::InvalidArgument("no attachment type '" + at_name + "'");
+  }
+  const AtOps& ops = registry_.at_ops(static_cast<AtId>(at));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(desc->id),
+                                     LockMode::kX));
+
+  std::string old_desc = desc->at_desc[at];
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(
+      MakeAtContext(txn, desc, static_cast<AtId>(at), &ctx));
+  std::string new_desc;
+  uint32_t inst = 0;
+  DMX_RETURN_IF_ERROR(ops.create_instance(ctx, attrs, &new_desc, &inst));
+  if (instance_no != nullptr) *instance_no = inst;
+
+  RelationDescriptor updated = *desc;
+  updated.at_desc[at] = new_desc;
+  DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+  InvalidateAttachmentRuntime(desc->id);
+
+  RelationId id = desc->id;
+  txn->Defer(TxnEvent::kAbort,
+             [this, id, at, old_desc, inst](Transaction* t) {
+               const RelationDescriptor* d = catalog_.Find(id);
+               if (d == nullptr) return Status::OK();
+               const AtOps& aops = registry_.at_ops(static_cast<AtId>(at));
+               if (aops.release_instance != nullptr) {
+                 AtContext actx;
+                 if (MakeAtContext(t, d, static_cast<AtId>(at), &actx).ok()) {
+                   aops.release_instance(actx, inst);
+                 }
+               }
+               RelationDescriptor reverted = *d;
+               reverted.at_desc[at] = old_desc;
+               catalog_.UpdateRelation(reverted);
+               InvalidateAttachmentRuntime(id);
+               return Status::OK();
+             });
+  txn->Defer(TxnEvent::kCommit,
+             [this](Transaction*) { return catalog_.Save(); });
+  return Status::OK();
+}
+
+Status Database::DropAttachment(Transaction* txn, const std::string& rel,
+                                const std::string& at_name,
+                                uint32_t instance_no) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  int at = registry_.FindAttachmentType(at_name);
+  if (at < 0) {
+    return Status::InvalidArgument("no attachment type '" + at_name + "'");
+  }
+  if (!desc->HasAttachment(static_cast<AtId>(at))) {
+    return Status::NotFound("no '" + at_name + "' attachment on " + rel);
+  }
+  const AtOps& ops = registry_.at_ops(static_cast<AtId>(at));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(desc->id),
+                                     LockMode::kX));
+
+  std::string old_desc = desc->at_desc[at];
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(
+      MakeAtContext(txn, desc, static_cast<AtId>(at), &ctx));
+  std::string new_desc;
+  DMX_RETURN_IF_ERROR(ops.drop_instance(ctx, instance_no, &new_desc));
+
+  RelationDescriptor updated = *desc;
+  updated.at_desc[at] = new_desc;
+  DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+  InvalidateAttachmentRuntime(desc->id);
+
+  RelationId id = desc->id;
+  // Deferred release at commit; catalog restore on abort.
+  txn->Defer(TxnEvent::kCommit,
+             [this, id, at, instance_no, old_desc](Transaction* t) {
+               const RelationDescriptor* d = catalog_.Find(id);
+               if (d != nullptr) {
+                 const AtOps& aops = registry_.at_ops(static_cast<AtId>(at));
+                 if (aops.release_instance != nullptr) {
+                   AtContext actx;
+                   if (MakeAtContext(t, d, static_cast<AtId>(at), &actx)
+                           .ok()) {
+                     // Hand the release the *pre-drop* descriptor so it can
+                     // locate the dropped instance's storage.
+                     actx.at_desc = Slice(old_desc);
+                     aops.release_instance(actx, instance_no);
+                   }
+                 }
+               }
+               return catalog_.Save();
+             });
+  txn->Defer(TxnEvent::kAbort, [this, id, at, old_desc](Transaction*) {
+    const RelationDescriptor* d = catalog_.Find(id);
+    if (d == nullptr) return Status::OK();
+    RelationDescriptor reverted = *d;
+    reverted.at_desc[at] = old_desc;
+    catalog_.UpdateRelation(reverted);
+    InvalidateAttachmentRuntime(id);
+    return Status::OK();
+  });
+  return Status::OK();
+}
+
+Status Database::ChangeStorageMethod(Transaction* txn,
+                                     const std::string& rel,
+                                     const std::string& new_sm,
+                                     const AttrList& attrs) {
+  const RelationDescriptor* old_desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &old_desc));
+  const std::string tmp_name = "#migrate#" + rel;
+  DMX_RETURN_IF_ERROR(
+      CreateRelation(txn, tmp_name, old_desc->schema, new_sm, attrs));
+  const RelationDescriptor* new_desc;
+  DMX_RETURN_IF_ERROR(FindRelation(tmp_name, &new_desc));
+
+  // Copy every record through the generic interfaces.
+  {
+    std::unique_ptr<Scan> scan;
+    DMX_RETURN_IF_ERROR(OpenScanOn(txn, old_desc,
+                                   AccessPathId::StorageMethod(), ScanSpec{},
+                                   &scan));
+    ScanItem item;
+    while (true) {
+      Status s = scan->Next(&item);
+      if (s.IsNotFound()) break;
+      DMX_RETURN_IF_ERROR(s);
+      std::string key;
+      DMX_RETURN_IF_ERROR(
+          InsertRecord(txn, new_desc, item.view.raw(), &key));
+    }
+  }
+
+  // Swap: drop the old relation (deferred release; abort restores it),
+  // then take over its name. On abort the rename reverts harmlessly: the
+  // new relation is destroyed by CreateRelation's abort action, which runs
+  // first (deferred actions execute in enqueue order).
+  DMX_RETURN_IF_ERROR(DropRelation(txn, rel));
+  RelationId new_id = new_desc->id;
+  DMX_RETURN_IF_ERROR(catalog_.RenameRelation(new_id, rel));
+  InvalidateAttachmentRuntime(new_id);
+  txn->Defer(TxnEvent::kCommit,
+             [this](Transaction*) { return catalog_.Save(); });
+  return Status::OK();
+}
+
+// -- relation modification -------------------------------------------------------
+
+Status Database::Insert(Transaction* txn, const std::string& rel,
+                        const std::vector<Value>& values,
+                        std::string* record_key) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  Record rec;
+  DMX_RETURN_IF_ERROR(Record::Encode(desc->schema, values, &rec));
+  return InsertRecord(txn, desc, rec.slice(), record_key);
+}
+
+Status Database::InsertRecord(Transaction* txn,
+                              const RelationDescriptor* desc,
+                              const Slice& record, std::string* record_key) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kInsert));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kIX));
+  DMX_RETURN_IF_ERROR(EnsureAttachmentStates(txn, desc));
+  const Lsn before = txn->last_lsn();
+
+  // Step 1: storage method, via the procedure vectors.
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+  std::string key;
+  ++stats_.sm_calls;
+  Status s = sm.insert(ctx, record, &key);
+  if (s.ok()) {
+    s = lock_mgr_.Lock(txn->id(), LockNames::Record(desc->id, key),
+                       LockMode::kX);
+  }
+  // Step 2: attached procedures (once per attachment type with instances).
+  if (s.ok()) {
+    s = NotifyAttachments(txn, desc, /*op=*/0, Slice(), Slice(key), Slice(),
+                          record);
+  }
+  if (!s.ok()) {
+    // Veto or failure: common log drives undo of the partial effects.
+    if (s.IsVeto()) ++stats_.vetoes;
+    ++stats_.partial_rollbacks;
+    Status rb = txn_mgr_->RollbackTo(txn, before);
+    if (!rb.ok()) return rb;
+    return s;
+  }
+  if (record_key != nullptr) *record_key = std::move(key);
+  return Status::OK();
+}
+
+Status Database::Update(Transaction* txn, const std::string& rel,
+                        const Slice& record_key,
+                        const std::vector<Value>& new_values,
+                        std::string* new_key) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  Record rec;
+  DMX_RETURN_IF_ERROR(Record::Encode(desc->schema, new_values, &rec));
+  return UpdateRecord(txn, desc, record_key, rec.slice(), new_key);
+}
+
+Status Database::UpdateRecord(Transaction* txn,
+                              const RelationDescriptor* desc,
+                              const Slice& record_key,
+                              const Slice& new_record, std::string* new_key) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kUpdate));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kIX));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(
+      txn->id(), LockNames::Record(desc->id, record_key), LockMode::kX));
+  DMX_RETURN_IF_ERROR(EnsureAttachmentStates(txn, desc));
+
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+
+  // The old record value is needed by the attached procedures.
+  std::string old_record;
+  ++stats_.sm_calls;
+  DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+
+  const Lsn before = txn->last_lsn();
+  std::string moved_key;
+  ++stats_.sm_calls;
+  Status s = sm.update(ctx, record_key, Slice(old_record), new_record,
+                       &moved_key);
+  if (s.ok() && Slice(moved_key) != record_key) {
+    s = lock_mgr_.Lock(txn->id(), LockNames::Record(desc->id, moved_key),
+                       LockMode::kX);
+  }
+  if (s.ok()) {
+    s = NotifyAttachments(txn, desc, /*op=*/1, record_key, Slice(moved_key),
+                          Slice(old_record), new_record);
+  }
+  if (!s.ok()) {
+    if (s.IsVeto()) ++stats_.vetoes;
+    ++stats_.partial_rollbacks;
+    Status rb = txn_mgr_->RollbackTo(txn, before);
+    if (!rb.ok()) return rb;
+    return s;
+  }
+  if (new_key != nullptr) *new_key = std::move(moved_key);
+  return Status::OK();
+}
+
+Status Database::Delete(Transaction* txn, const std::string& rel,
+                        const Slice& record_key) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  return DeleteRecord(txn, desc, record_key);
+}
+
+Status Database::DeleteRecord(Transaction* txn,
+                              const RelationDescriptor* desc,
+                              const Slice& record_key) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kDelete));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kIX));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(
+      txn->id(), LockNames::Record(desc->id, record_key), LockMode::kX));
+  DMX_RETURN_IF_ERROR(EnsureAttachmentStates(txn, desc));
+
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+
+  std::string old_record;
+  ++stats_.sm_calls;
+  DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+
+  const Lsn before = txn->last_lsn();
+  ++stats_.sm_calls;
+  Status s = sm.erase(ctx, record_key, Slice(old_record));
+  if (s.ok()) {
+    s = NotifyAttachments(txn, desc, /*op=*/2, record_key, Slice(),
+                          Slice(old_record), Slice());
+  }
+  if (!s.ok()) {
+    if (s.IsVeto()) ++stats_.vetoes;
+    ++stats_.partial_rollbacks;
+    Status rb = txn_mgr_->RollbackTo(txn, before);
+    if (!rb.ok()) return rb;
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Database::EnsureAttachmentStates(Transaction* txn,
+                                        const RelationDescriptor* desc) {
+  for (AtId at = 0; at < registry_.num_attachment_types(); ++at) {
+    if (!desc->HasAttachment(at)) continue;
+    AtContext ctx;
+    DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+  }
+  return Status::OK();
+}
+
+Status Database::NotifyAttachments(Transaction* txn,
+                                   const RelationDescriptor* desc, int op,
+                                   const Slice& old_key, const Slice& new_key,
+                                   const Slice& old_rec,
+                                   const Slice& new_rec) {
+  // "The relation descriptor is consulted to determine which attachment
+  // types have instances on the relation and must, therefore, be notified
+  // of the relation modification." Each type is invoked at most once and
+  // services all of its instances.
+  for (AtId at = 0; at < registry_.num_attachment_types(); ++at) {
+    if (!desc->HasAttachment(at)) continue;
+    const AtOps& ops = registry_.at_ops(at);
+    AtContext ctx;
+    DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+    Status s;
+    switch (op) {
+      case 0:
+        if (ops.on_insert == nullptr) continue;
+        ++stats_.at_calls;
+        s = ops.on_insert(ctx, new_key, new_rec);
+        break;
+      case 1:
+        if (ops.on_update == nullptr) continue;
+        ++stats_.at_calls;
+        s = ops.on_update(ctx, old_key, new_key, old_rec, new_rec);
+        break;
+      default:
+        if (ops.on_delete == nullptr) continue;
+        ++stats_.at_calls;
+        s = ops.on_delete(ctx, old_key, old_rec);
+        break;
+    }
+    DMX_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+// -- data access ------------------------------------------------------------------
+
+Status Database::Fetch(Transaction* txn, const std::string& rel,
+                       const Slice& record_key, Record* out) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  std::string rec;
+  DMX_RETURN_IF_ERROR(FetchRecord(txn, desc, record_key, &rec));
+  *out = Record(std::move(rec));
+  return Status::OK();
+}
+
+Status Database::FetchRecord(Transaction* txn,
+                             const RelationDescriptor* desc,
+                             const Slice& record_key, std::string* record) {
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kSelect));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kIS));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(
+      txn->id(), LockNames::Record(desc->id, record_key), LockMode::kS));
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+  ++stats_.sm_calls;
+  return sm.fetch(ctx, record_key, record);
+}
+
+Status Database::OpenScan(Transaction* txn, const std::string& rel,
+                          const AccessPathId& path, const ScanSpec& spec,
+                          std::unique_ptr<Scan>* out) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  return OpenScanOn(txn, desc, path, spec, out);
+}
+
+Status Database::OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
+                            const AccessPathId& path, const ScanSpec& spec,
+                            std::unique_ptr<Scan>* out) {
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kSelect));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kS));
+  std::unique_ptr<Scan> inner;
+  if (path.is_storage_method()) {
+    const SmOps& sm = registry_.sm_ops(desc->sm_id);
+    SmContext ctx;
+    DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+    ++stats_.sm_calls;
+    DMX_RETURN_IF_ERROR(sm.open_scan(ctx, spec, &inner));
+  } else {
+    AtId at = path.at_id();
+    if (at >= registry_.num_attachment_types() ||
+        !desc->HasAttachment(at)) {
+      return Status::InvalidArgument("no such access path");
+    }
+    const AtOps& ops = registry_.at_ops(at);
+    if (ops.open_scan == nullptr) {
+      return Status::NotSupported("attachment is not an access path");
+    }
+    AtContext ctx;
+    DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+    ++stats_.at_calls;
+    DMX_RETURN_IF_ERROR(ops.open_scan(ctx, path.instance, spec, &inner));
+  }
+  *out = std::make_unique<ManagedScan>(&scan_mgr_, txn, std::move(inner));
+  return Status::OK();
+}
+
+Status Database::Lookup(Transaction* txn, const std::string& rel,
+                        const AccessPathId& path, const Slice& key,
+                        std::vector<std::string>* record_keys) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kSelect));
+  if (path.is_storage_method()) {
+    return Status::InvalidArgument("Lookup requires an access path");
+  }
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
+                                     LockNames::Relation(desc->id),
+                                     LockMode::kIS));
+  AtId at = path.at_id();
+  if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
+    return Status::InvalidArgument("no such access path");
+  }
+  const AtOps& ops = registry_.at_ops(at);
+  if (ops.lookup == nullptr) {
+    return Status::NotSupported("attachment has no direct-by-key access");
+  }
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+  ++stats_.at_calls;
+  return ops.lookup(ctx, path.instance, key, record_keys);
+}
+
+Status Database::EstimateCost(Transaction* txn,
+                              const RelationDescriptor* desc,
+                              const AccessPathId& path,
+                              const std::vector<ExprPtr>& predicates,
+                              AccessCost* out) {
+  if (path.is_storage_method()) {
+    const SmOps& sm = registry_.sm_ops(desc->sm_id);
+    SmContext ctx;
+    DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+    if (sm.cost == nullptr) {
+      return Status::NotSupported("storage method has no cost estimator");
+    }
+    return sm.cost(ctx, predicates, out);
+  }
+  AtId at = path.at_id();
+  if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
+    out->usable = false;
+    return Status::OK();
+  }
+  const AtOps& ops = registry_.at_ops(at);
+  if (ops.cost == nullptr) {
+    out->usable = false;
+    return Status::OK();
+  }
+  AtContext ctx;
+  DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+  return ops.cost(ctx, path.instance, predicates, out);
+}
+
+Status Database::CountRecords(Transaction* txn,
+                              const RelationDescriptor* desc,
+                              uint64_t* count) {
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  if (sm.count == nullptr) {
+    *count = 0;
+    return Status::OK();
+  }
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+  return sm.count(ctx, count);
+}
+
+}  // namespace dmx

@@ -1,0 +1,285 @@
+// Database: the data management facility — the paper's central dispatcher
+// plus the common services environment (log, locks, buffer pool, catalog,
+// predicate evaluation, scan coordination, deferred actions).
+//
+// Relation modifications execute in the paper's two steps: (1) the storage
+// method routine, selected through the storage-method procedure vectors by
+// the identifier in the relation descriptor header; (2) the attached
+// procedures of every attachment type with instances on the relation,
+// selected through the attachment procedure vectors by descriptor field
+// presence. Any step may veto; the common log then drives the partial
+// rollback of the already-executed effects.
+
+#ifndef DMX_CORE_DATABASE_H_
+#define DMX_CORE_DATABASE_H_
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/core/authorization.h"
+#include "src/core/extension.h"
+#include "src/core/registry.h"
+#include "src/core/scan_manager.h"
+#include "src/expr/evaluator.h"
+#include "src/storage/buffer_pool.h"
+#include "src/txn/transaction_manager.h"
+#include "src/wal/log_manager.h"
+
+namespace dmx {
+
+struct DatabaseOptions {
+  /// Directory holding db.pages, wal, and catalog files. Created if absent.
+  std::string dir;
+  size_t buffer_pool_pages = 256;
+  /// Hook to register user extensions "at the factory" — runs after the
+  /// built-ins are registered and before restart recovery, so recovery can
+  /// dispatch into them.
+  std::function<void(ExtensionRegistry*)> register_extensions;
+};
+
+/// Identifies an access path for data access operations. "Access path
+/// extensions are selected using their attachment identifier plus an
+/// instance number (e.g. access via B-tree number 3). Access path zero is
+/// interpreted as an access to the storage method."
+struct AccessPathId {
+  uint16_t path = 0;  // 0 = storage method, else attachment type id + 1
+  uint32_t instance = 0;
+
+  static AccessPathId StorageMethod() { return {}; }
+  static AccessPathId Attachment(AtId at, uint32_t instance) {
+    return {static_cast<uint16_t>(at + 1), instance};
+  }
+  bool is_storage_method() const { return path == 0; }
+  AtId at_id() const { return static_cast<AtId>(path - 1); }
+};
+
+/// Dispatch counters (the tuple-at-a-time call-volume experiments).
+struct DatabaseStats {
+  uint64_t sm_calls = 0;       // storage-method entry-point activations
+  uint64_t at_calls = 0;       // attached-procedure activations
+  uint64_t vetoes = 0;         // relation modifications vetoed
+  uint64_t partial_rollbacks = 0;
+};
+
+class Database {
+ public:
+  /// Open (creating if necessary) the database in options.dir, register
+  /// built-in and user extensions, and run restart recovery.
+  static Status Open(const DatabaseOptions& options,
+                     std::unique_ptr<Database>* out);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- transactions ----------------------------------------------------------
+  Transaction* Begin() { return txn_mgr_->Begin(); }
+  /// Begin as a specific user (uniform authorization facility); the empty
+  /// user is the superuser.
+  Transaction* BeginAs(const std::string& user) {
+    Transaction* txn = txn_mgr_->Begin();
+    txn->set_user(user);
+    return txn;
+  }
+  Status Commit(Transaction* txn) { return txn_mgr_->Commit(txn); }
+  Status Abort(Transaction* txn) { return txn_mgr_->Abort(txn); }
+  Status Savepoint(Transaction* txn, const std::string& name) {
+    return txn_mgr_->Savepoint(txn, name);
+  }
+  Status RollbackToSavepoint(Transaction* txn, const std::string& name) {
+    return txn_mgr_->RollbackToSavepoint(txn, name);
+  }
+
+  // -- data definition --------------------------------------------------------
+  /// CREATE TABLE ... USING <sm_name> WITH (<attrs>).
+  Status CreateRelation(Transaction* txn, const std::string& name,
+                        const Schema& schema, const std::string& sm_name,
+                        const AttrList& attrs);
+  /// DROP TABLE. Storage release is deferred to commit; an abort restores
+  /// the catalog entry (the paper's undoable drop without state logging).
+  Status DropRelation(Transaction* txn, const std::string& name);
+  /// CREATE INDEX / CONSTRAINT / TRIGGER ... ON rel USING <at_name>
+  /// WITH (<attrs>). Returns the new instance number.
+  Status CreateAttachment(Transaction* txn, const std::string& rel,
+                          const std::string& at_name, const AttrList& attrs,
+                          uint32_t* instance_no = nullptr);
+  /// DROP the given instance of attachment type `at_name` on `rel`.
+  Status DropAttachment(Transaction* txn, const std::string& rel,
+                        const std::string& at_name, uint32_t instance_no);
+
+  /// Migrate a relation to a different storage method in place — the
+  /// paper's motivation of installing "improved, but representation
+  /// incompatible, versions of data storage ... without impacting existing
+  /// applications". Data is copied row by row through the generic
+  /// interfaces; the relation keeps its name (bound plans invalidate via
+  /// the dependency versions). Attachments are NOT carried over — recreate
+  /// them on the new relation as needed.
+  Status ChangeStorageMethod(Transaction* txn, const std::string& rel,
+                             const std::string& new_sm,
+                             const AttrList& attrs);
+
+  // -- relation modification (direct generic operations) ----------------------
+  Status Insert(Transaction* txn, const std::string& rel,
+                const std::vector<Value>& values,
+                std::string* record_key = nullptr);
+  Status Update(Transaction* txn, const std::string& rel,
+                const Slice& record_key, const std::vector<Value>& new_values,
+                std::string* new_key = nullptr);
+  Status Delete(Transaction* txn, const std::string& rel,
+                const Slice& record_key);
+
+  /// Raw-record variants used by executors and cascading attachments.
+  Status InsertRecord(Transaction* txn, const RelationDescriptor* desc,
+                      const Slice& record, std::string* record_key);
+  Status UpdateRecord(Transaction* txn, const RelationDescriptor* desc,
+                      const Slice& record_key, const Slice& new_record,
+                      std::string* new_key);
+  Status DeleteRecord(Transaction* txn, const RelationDescriptor* desc,
+                      const Slice& record_key);
+
+  // -- data access -------------------------------------------------------------
+  /// Direct-by-key fetch through the storage method.
+  Status Fetch(Transaction* txn, const std::string& rel,
+               const Slice& record_key, Record* out);
+  Status FetchRecord(Transaction* txn, const RelationDescriptor* desc,
+                     const Slice& record_key, std::string* record);
+
+  /// Key-sequential access via the selected access path (0 = storage
+  /// method). The returned scan participates in savepoint save/restore and
+  /// is closed at transaction termination.
+  Status OpenScan(Transaction* txn, const std::string& rel,
+                  const AccessPathId& path, const ScanSpec& spec,
+                  std::unique_ptr<Scan>* out);
+  Status OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
+                    const AccessPathId& path, const ScanSpec& spec,
+                    std::unique_ptr<Scan>* out);
+
+  /// Direct access-path probe: map an access-path key to record keys.
+  Status Lookup(Transaction* txn, const std::string& rel,
+                const AccessPathId& path, const Slice& key,
+                std::vector<std::string>* record_keys);
+
+  /// Cost estimation for the planner: ask one access path to judge the
+  /// eligible predicates.
+  Status EstimateCost(Transaction* txn, const RelationDescriptor* desc,
+                      const AccessPathId& path,
+                      const std::vector<ExprPtr>& predicates, AccessCost* out);
+  /// Approximate record count via the storage method.
+  Status CountRecords(Transaction* txn, const RelationDescriptor* desc,
+                      uint64_t* count);
+
+  // -- common services exposed to extensions -----------------------------------
+  Catalog* catalog() { return &catalog_; }
+  BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  LogManager* log() { return &log_; }
+  LockManager* lock_manager() { return &lock_mgr_; }
+  TransactionManager* txn_manager() { return txn_mgr_.get(); }
+  ExtensionRegistry* registry() { return &registry_; }
+  ScanManager* scan_manager() { return &scan_mgr_; }
+  ExprEvaluator* evaluator() { return &evaluator_; }
+  /// The uniform authorization facility: privileges are granted per
+  /// (user, relation) and enforced identically for every storage method
+  /// and access path. Checks also apply to cascaded modifications.
+  AuthorizationManager* authorization() { return &auth_; }
+  const DatabaseStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DatabaseStats(); }
+
+  /// Flush everything (buffer pool, log, catalog) — a clean shutdown point.
+  Status Flush();
+
+  /// Quiesced checkpoint: with no transactions active, flush all state
+  /// (pages, catalog, memory-resident storage-method snapshots) and
+  /// truncate the common log — bounding restart-recovery work and the
+  /// main-memory replay source. Returns Busy if transactions are active.
+  Status Checkpoint();
+
+  /// Database directory (extensions derive snapshot paths from it).
+  const std::string& dir() const { return dir_; }
+
+  /// Test hook: when set, the destructor performs no flush at all, so
+  /// closing the Database behaves like a process crash (the log keeps only
+  /// what was explicitly forced).
+  void SimulateCrashOnClose() { crash_on_close_ = true; }
+
+  /// Descriptor lookup helper returning InvalidArgument for unknown names.
+  Status FindRelation(const std::string& name,
+                      const RelationDescriptor** desc) const;
+
+  /// Build an SmContext/AtContext for `desc` with lazily-opened state.
+  /// Public so extension implementations can reach other relations (e.g.
+  /// referential-integrity cascades) and the recovery path can dispatch.
+  Status MakeSmContext(Transaction* txn, const RelationDescriptor* desc,
+                       SmContext* ctx);
+  Status MakeAtContext(Transaction* txn, const RelationDescriptor* desc,
+                       AtId at, AtContext* ctx);
+
+  /// Drop all cached runtime state for a relation (relation created or
+  /// dropped). For memory-resident storage methods the SM state *is* the
+  /// data, so this is only safe when the relation's storage itself is new
+  /// or gone.
+  void InvalidateRuntime(RelationId id);
+
+  /// Drop only the cached attachment states (attachment DDL): descriptors
+  /// changed, but the storage method's state — possibly the data itself —
+  /// remains valid.
+  void InvalidateAttachmentRuntime(RelationId id);
+
+ private:
+  Database() : txn_mgr_(nullptr) {}
+
+  /// The recovery driver's dispatch callback.
+  Status ApplyLogRecord(const LogRecord& rec, bool undo, Lsn apply_lsn);
+
+  /// Ensure every attachment type with instances on the relation has its
+  /// runtime state open *before* the storage-method step runs — states
+  /// that prime themselves by scanning the relation (unique, hash, rtree,
+  /// stats, join) must not first open mid-modification, or they would see
+  /// the half-applied operation.
+  Status EnsureAttachmentStates(Transaction* txn,
+                                const RelationDescriptor* desc);
+
+  /// Invoke attached procedures of all attachment types with instances on
+  /// the relation. `op`: 0 insert, 1 update, 2 delete.
+  Status NotifyAttachments(Transaction* txn, const RelationDescriptor* desc,
+                           int op, const Slice& old_key, const Slice& new_key,
+                           const Slice& old_rec, const Slice& new_rec);
+
+  struct RelationRuntime {
+    std::unique_ptr<ExtState> sm_state;
+    std::array<std::unique_ptr<ExtState>, kMaxAttachmentTypes> at_state;
+  };
+  RelationRuntime* GetRuntime(RelationId id);
+
+  std::string dir_;
+  PageFile page_file_;
+  LogManager log_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  LockManager lock_mgr_;
+  std::unique_ptr<TransactionManager> txn_mgr_;
+  Catalog catalog_;
+  ExtensionRegistry registry_;
+  AuthorizationManager auth_;
+  ScanManager scan_mgr_;
+  ExprEvaluator evaluator_;
+  DatabaseStats stats_;
+
+  std::mutex runtime_mu_;
+  std::map<RelationId, std::unique_ptr<RelationRuntime>> runtimes_;
+  bool crash_on_close_ = false;
+};
+
+/// Registers the built-in storage methods and attachment types shipped with
+/// the library (heap, temp, mainmemory, btree, appendonly, foreign; btree
+/// index, hash index, rtree index, check constraint, unique, refint,
+/// trigger, join index, stats, deferred check). Implemented across the
+/// sm/ and attach/ modules.
+void RegisterBuiltinExtensions(ExtensionRegistry* registry);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_DATABASE_H_

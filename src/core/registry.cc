@@ -1,0 +1,36 @@
+#include "src/core/registry.h"
+
+#include <cassert>
+
+namespace dmx {
+
+SmId ExtensionRegistry::RegisterStorageMethod(const SmOps& ops) {
+  assert(ops.name != nullptr);
+  assert(FindStorageMethod(ops.name) < 0);
+  sm_ops_.push_back(ops);
+  return static_cast<SmId>(sm_ops_.size() - 1);
+}
+
+AtId ExtensionRegistry::RegisterAttachmentType(const AtOps& ops) {
+  assert(ops.name != nullptr);
+  assert(FindAttachmentType(ops.name) < 0);
+  assert(at_ops_.size() < kMaxAttachmentTypes);
+  at_ops_.push_back(ops);
+  return static_cast<AtId>(at_ops_.size() - 1);
+}
+
+int ExtensionRegistry::FindStorageMethod(const std::string& name) const {
+  for (size_t i = 0; i < sm_ops_.size(); ++i) {
+    if (name == sm_ops_[i].name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ExtensionRegistry::FindAttachmentType(const std::string& name) const {
+  for (size_t i = 0; i < at_ops_.size(); ++i) {
+    if (name == at_ops_[i].name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace dmx

@@ -1,0 +1,57 @@
+// ExtensionRegistry: the procedure vectors.
+//
+// "For each generic operation on stored relations, there is a vector of
+// procedures with an entry for each relation storage method. For generic
+// operations on attachments, there is a vector of procedures with an entry
+// for each attachment type... Storage method and attachment internal
+// identifiers are small integers that serve as indexes into the vectors of
+// procedures. This approach makes the activation of the appropriate
+// extension quite efficient."
+//
+// Registration happens "at the factory": extensions are compiled and linked
+// into the binary and install their operation tables at database startup.
+// Identifiers are assigned in registration order; the registry is frozen
+// before transactions run, so dispatch needs no synchronization.
+
+#ifndef DMX_CORE_REGISTRY_H_
+#define DMX_CORE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+class ExtensionRegistry {
+ public:
+  ExtensionRegistry() = default;
+
+  /// Install a storage method's entry points; returns its SmId (its index
+  /// in the storage-method procedure vectors).
+  SmId RegisterStorageMethod(const SmOps& ops);
+
+  /// Install an attachment type's entry points; returns its AtId (its
+  /// procedure-vector index *and* its relation-descriptor field number).
+  AtId RegisterAttachmentType(const AtOps& ops);
+
+  /// O(1) dispatch: index the vector with the identifier from the relation
+  /// descriptor.
+  const SmOps& sm_ops(SmId id) const { return sm_ops_[id]; }
+  const AtOps& at_ops(AtId id) const { return at_ops_[id]; }
+
+  size_t num_storage_methods() const { return sm_ops_.size(); }
+  size_t num_attachment_types() const { return at_ops_.size(); }
+
+  /// Name lookup, used only by DDL parsing (never on data paths).
+  int FindStorageMethod(const std::string& name) const;
+  int FindAttachmentType(const std::string& name) const;
+
+ private:
+  std::vector<SmOps> sm_ops_;
+  std::vector<AtOps> at_ops_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_REGISTRY_H_

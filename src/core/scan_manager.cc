@@ -1,0 +1,93 @@
+#include "src/core/scan_manager.h"
+
+namespace dmx {
+
+ManagedScan::ManagedScan(ScanManager* mgr, Transaction* txn,
+                         std::unique_ptr<Scan> inner)
+    : mgr_(mgr), txn_(txn), inner_(std::move(inner)) {
+  mgr_->Register(txn_, this);
+}
+
+ManagedScan::~ManagedScan() { mgr_->Deregister(txn_, this); }
+
+Status ManagedScan::Next(ScanItem* out) {
+  if (closed_) {
+    return Status::Aborted("scan closed at transaction termination");
+  }
+  return inner_->Next(out);
+}
+
+Status ManagedScan::SavePosition(std::string* out) const {
+  if (closed_) return Status::Aborted("scan closed");
+  return inner_->SavePosition(out);
+}
+
+Status ManagedScan::RestorePosition(const Slice& pos) {
+  if (closed_) return Status::Aborted("scan closed");
+  return inner_->RestorePosition(pos);
+}
+
+void ScanManager::Register(Transaction* txn, ManagedScan* scan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_[txn->id()].insert(scan);
+}
+
+void ScanManager::Deregister(Transaction* txn, ManagedScan* scan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(txn->id());
+  if (it != open_.end()) {
+    it->second.erase(scan);
+    if (it->second.empty()) open_.erase(it);
+  }
+  // Drop any saved positions referencing this scan.
+  for (auto& [key, positions] : saved_) positions.erase(scan);
+}
+
+void ScanManager::OnTransactionEnd(Transaction* txn, bool /*committed*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(txn->id());
+  if (it != open_.end()) {
+    // Close (do not destroy: the user still owns the object).
+    for (ManagedScan* scan : it->second) scan->closed_ = true;
+    open_.erase(it);
+  }
+  // Saved positions die with the transaction.
+  for (auto sit = saved_.begin(); sit != saved_.end();) {
+    if (sit->first.first == txn->id()) {
+      sit = saved_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+}
+
+void ScanManager::OnSavepoint(Transaction* txn, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& positions = saved_[{txn->id(), name}];
+  positions.clear();
+  auto it = open_.find(txn->id());
+  if (it == open_.end()) return;
+  for (ManagedScan* scan : it->second) {
+    std::string pos;
+    if (scan->inner_->SavePosition(&pos).ok()) positions[scan] = pos;
+  }
+}
+
+void ScanManager::OnPartialRollback(Transaction* txn,
+                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sit = saved_.find({txn->id(), name});
+  if (sit == saved_.end()) return;
+  for (auto& [scan, pos] : sit->second) {
+    scan->inner_->RestorePosition(Slice(pos)).ok();
+  }
+  // Positions are retained: the savepoint itself survives the rollback.
+}
+
+size_t ScanManager::OpenScanCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(txn);
+  return it == open_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dmx

@@ -1,0 +1,79 @@
+// ScanManager: common service coordinating key-sequential access positions
+// with transaction events.
+//
+// The paper: "all key-sequential accesses must be terminated at transaction
+// termination... A common service facility will notify all storage methods
+// and attachments which used key-sequential accesses during the transaction
+// when the transaction completes so that they can clean up (i.e., close)
+// any open scans." And for partial rollback: "when a transaction rollback
+// point is established, the storage methods and attachments are driven by
+// the system to obtain their key-sequential access positions. The scan
+// positions are retained until the rollback point is canceled or until they
+// are used to restore the key-sequential positions following a partial
+// rollback." (Scan moves are not logged, for performance — hence the
+// save/restore protocol.)
+
+#ifndef DMX_CORE_SCAN_MANAGER_H_
+#define DMX_CORE_SCAN_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "src/core/extension.h"
+#include "src/txn/transaction_manager.h"
+
+namespace dmx {
+
+class ScanManager;
+
+/// Wrapper handed to users by Database::OpenScan. Forwards to the
+/// extension's scan; refuses further access once the owning transaction has
+/// terminated (the manager closes it); deregisters itself on destruction.
+class ManagedScan : public Scan {
+ public:
+  ManagedScan(ScanManager* mgr, Transaction* txn,
+              std::unique_ptr<Scan> inner);
+  ~ManagedScan() override;
+
+  Status Next(ScanItem* out) override;
+  Status SavePosition(std::string* out) const override;
+  Status RestorePosition(const Slice& pos) override;
+
+  bool closed() const { return closed_; }
+
+ private:
+  friend class ScanManager;
+  ScanManager* mgr_;
+  Transaction* txn_;
+  std::unique_ptr<Scan> inner_;
+  bool closed_ = false;
+};
+
+class ScanManager : public TxnObserver {
+ public:
+  // TxnObserver:
+  void OnTransactionEnd(Transaction* txn, bool committed) override;
+  void OnSavepoint(Transaction* txn, const std::string& name) override;
+  void OnPartialRollback(Transaction* txn, const std::string& name) override;
+
+  /// Number of open scans for `txn` (tests).
+  size_t OpenScanCount(TxnId txn) const;
+
+ private:
+  friend class ManagedScan;
+
+  void Register(Transaction* txn, ManagedScan* scan);
+  void Deregister(Transaction* txn, ManagedScan* scan);
+
+  mutable std::mutex mu_;
+  std::map<TxnId, std::set<ManagedScan*>> open_;
+  // Saved positions: (txn, savepoint) -> scan -> encoded position.
+  std::map<std::pair<TxnId, std::string>, std::map<ManagedScan*, std::string>>
+      saved_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_SCAN_MANAGER_H_

@@ -1,0 +1,259 @@
+#include "src/query/executor.h"
+
+#include "src/sm/key_codec.h"
+
+namespace dmx {
+
+AccessSource::AccessSource(Database* db, Transaction* txn,
+                           const BoundPlan* plan)
+    : db_(db), txn_(txn), plan_(plan) {}
+
+Status AccessSource::Open() {
+  opened_ = true;
+  const AccessPlan& access = plan_->access;
+  if (access.probe_key.has_value()) {
+    probe_results_.clear();
+    probe_pos_ = 0;
+    DMX_RETURN_IF_ERROR(db_->Lookup(txn_, plan_->relation.name, access.path,
+                                    Slice(*access.probe_key),
+                                    &probe_results_));
+    return Status::OK();
+  }
+  return db_->OpenScanOn(txn_, &plan_->relation, access.path, access.spec,
+                         &scan_);
+}
+
+Status AccessSource::Next(Row* row) {
+  if (!opened_) DMX_RETURN_IF_ERROR(Open());
+  const AccessPlan& access = plan_->access;
+  const Schema* schema = &plan_->relation.schema;
+  while (true) {
+    std::string record_key;
+    std::string access_key;
+    RecordView direct_view;
+    if (access.probe_key.has_value()) {
+      if (probe_pos_ >= probe_results_.size()) {
+        return Status::NotFound("end of probe");
+      }
+      record_key = probe_results_[probe_pos_++];
+    } else {
+      ScanItem item;
+      Status s = scan_->Next(&item);
+      if (s.IsNotFound()) return Status::NotFound("end of scan");
+      DMX_RETURN_IF_ERROR(s);
+      record_key = std::move(item.record_key);
+      access_key = std::move(item.access_key);
+      direct_view = item.view;
+    }
+
+    if (direct_view.valid() && !access.needs_fetch) {
+      // Storage-method scan: the filter already ran in the buffer pool.
+      // Materialize only the fields the query reads ("returns selected
+      // data fields"); unread fields stay NULL.
+      if (access.needed_fields.empty()) {
+        row->values = direct_view.GetValues();
+      } else {
+        row->values.assign(schema->num_columns(), Value());
+        for (int f : access.needed_fields) {
+          row->values[static_cast<size_t>(f)] =
+              direct_view.GetValue(static_cast<size_t>(f));
+        }
+      }
+      row->record_key = std::move(record_key);
+      return Status::OK();
+    }
+
+    if (access.index_only) {
+      // Decode the needed fields straight from the access-path key — the
+      // storage method is never touched.
+      std::vector<TypeId> types;
+      types.reserve(access.key_fields.size());
+      for (int f : access.key_fields) {
+        types.push_back(
+            schema->column(static_cast<size_t>(f)).type);
+      }
+      std::vector<Value> decoded;
+      DMX_RETURN_IF_ERROR(
+          DecodeFieldKey(Slice(access_key), types, &decoded));
+      std::vector<Value> values(schema->num_columns());
+      for (size_t i = 0; i < access.key_fields.size(); ++i) {
+        values[static_cast<size_t>(access.key_fields[i])] =
+            std::move(decoded[i]);
+      }
+      if (access.residual != nullptr) {
+        bool passes = false;
+        DMX_RETURN_IF_ERROR(db_->evaluator()->EvalPredicate(
+            *access.residual, values, &passes));
+        if (!passes) continue;
+      }
+      row->values = std::move(values);
+      row->record_key = std::move(record_key);
+      return Status::OK();
+    }
+
+    // Access-path protocol: fetch the record via the storage method, then
+    // re-check the residual predicate.
+    std::string record;
+    Status fs = db_->FetchRecord(txn_, &plan_->relation, Slice(record_key),
+                                 &record);
+    if (fs.IsNotFound()) continue;  // key raced a delete; skip
+    DMX_RETURN_IF_ERROR(fs);
+    RecordView view{Slice(record), schema};
+    if (access.residual != nullptr) {
+      bool passes = false;
+      DMX_RETURN_IF_ERROR(
+          db_->evaluator()->EvalPredicate(*access.residual, view, &passes));
+      if (!passes) continue;
+    }
+    row->values = view.GetValues();
+    row->record_key = std::move(record_key);
+    return Status::OK();
+  }
+}
+
+Status FilterSource::Next(Row* row) {
+  while (true) {
+    Status s = child_->Next(row);
+    if (!s.ok()) return s;
+    if (predicate_ == nullptr) return Status::OK();
+    bool passes = false;
+    DMX_RETURN_IF_ERROR(
+        db_->evaluator()->EvalPredicate(*predicate_, row->values, &passes));
+    if (passes) return Status::OK();
+  }
+}
+
+Status ProjectSource::Next(Row* row) {
+  Row child_row;
+  Status s = child_->Next(&child_row);
+  if (!s.ok()) return s;
+  row->values.clear();
+  row->values.reserve(columns_.size());
+  for (int c : columns_) {
+    row->values.push_back(child_row.values[static_cast<size_t>(c)]);
+  }
+  row->record_key = std::move(child_row.record_key);
+  return Status::OK();
+}
+
+Status NestedLoopJoinSource::Next(Row* row) {
+  while (true) {
+    if (!outer_valid_) {
+      Status s = outer_->Next(&outer_row_);
+      if (!s.ok()) return s;  // NotFound ends the join
+      outer_valid_ = true;
+      DMX_RETURN_IF_ERROR(inner_factory_(&inner_));
+    }
+    Row inner_row;
+    Status s = inner_->Next(&inner_row);
+    if (s.IsNotFound()) {
+      outer_valid_ = false;  // next outer row
+      continue;
+    }
+    DMX_RETURN_IF_ERROR(s);
+    row->values = outer_row_.values;
+    row->values.insert(row->values.end(), inner_row.values.begin(),
+                       inner_row.values.end());
+    row->record_key.clear();
+    if (predicate_ != nullptr) {
+      bool passes = false;
+      DMX_RETURN_IF_ERROR(
+          db_->evaluator()->EvalPredicate(*predicate_, row->values, &passes));
+      if (!passes) continue;
+    }
+    return Status::OK();
+  }
+}
+
+Status IndexJoinSource::Next(Row* row) {
+  while (true) {
+    if (!outer_valid_) {
+      Status s = outer_->Next(&outer_row_);
+      if (!s.ok()) return s;
+      outer_valid_ = true;
+      // Compose the probe key from the outer row's join columns.
+      std::vector<Value> key_values;
+      for (int c : outer_key_columns_) {
+        key_values.push_back(outer_row_.values[static_cast<size_t>(c)]);
+      }
+      std::string key;
+      DMX_RETURN_IF_ERROR(EncodeValueKey(key_values, &key));
+      matches_.clear();
+      match_pos_ = 0;
+      DMX_RETURN_IF_ERROR(db_->Lookup(txn_, inner_->name, inner_path_,
+                                      Slice(key), &matches_));
+    }
+    if (match_pos_ >= matches_.size()) {
+      outer_valid_ = false;
+      continue;
+    }
+    const std::string& record_key = matches_[match_pos_++];
+    std::string record;
+    Status fs = db_->FetchRecord(txn_, inner_, Slice(record_key), &record);
+    if (fs.IsNotFound()) continue;
+    DMX_RETURN_IF_ERROR(fs);
+    RecordView view{Slice(record), &inner_->schema};
+    row->values = outer_row_.values;
+    std::vector<Value> inner_values = view.GetValues();
+    row->values.insert(row->values.end(), inner_values.begin(),
+                       inner_values.end());
+    row->record_key.clear();
+    return Status::OK();
+  }
+}
+
+Status AggregateSource::Next(Row* row) {
+  if (done_) return Status::NotFound("aggregate consumed");
+  done_ = true;
+  uint64_t count = 0;
+  double sum = 0;
+  Value min_v, max_v;
+  Row child_row;
+  while (true) {
+    Status s = child_->Next(&child_row);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    ++count;
+    if (kind_ == AggKind::kCount) continue;
+    const Value& v = child_row.values[static_cast<size_t>(column_)];
+    if (v.is_null()) continue;
+    sum += v.AsDouble();
+    if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+    if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+  }
+  row->record_key.clear();
+  row->values.clear();
+  switch (kind_) {
+    case AggKind::kCount:
+      row->values.push_back(Value::Int(static_cast<int64_t>(count)));
+      break;
+    case AggKind::kSum:
+      row->values.push_back(Value::Double(sum));
+      break;
+    case AggKind::kAvg:
+      row->values.push_back(
+          count == 0 ? Value::Null()
+                     : Value::Double(sum / static_cast<double>(count)));
+      break;
+    case AggKind::kMin:
+      row->values.push_back(min_v);
+      break;
+    case AggKind::kMax:
+      row->values.push_back(max_v);
+      break;
+  }
+  return Status::OK();
+}
+
+Status CollectRows(RowSource* source, std::vector<Row>* rows) {
+  rows->clear();
+  Row row;
+  while (true) {
+    Status s = source->Next(&row);
+    if (s.IsNotFound()) return Status::OK();
+    DMX_RETURN_IF_ERROR(s);
+    rows->push_back(std::move(row));
+  }
+}
+
+}  // namespace dmx

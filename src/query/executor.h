@@ -1,0 +1,156 @@
+// Tuple-at-a-time execution operators over the generic data management
+// interfaces. "The interfaces to storage methods and attachments are
+// tuple-at-a-time interfaces" — each operator pulls one row at a time, and
+// access-path operators follow the paper's protocol: probe the access path
+// for a record key, then fetch the record through the storage method.
+
+#ifndef DMX_QUERY_EXECUTOR_H_
+#define DMX_QUERY_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/query/plan_cache.h"
+
+namespace dmx {
+
+/// One materialized row flowing between operators.
+struct Row {
+  std::vector<Value> values;
+  std::string record_key;  // of the base record (single-relation sources)
+};
+
+/// Pull-based operator interface.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  /// Produce the next row; NotFound at end of stream.
+  virtual Status Next(Row* row) = 0;
+};
+
+/// Executes a planned single-relation access: storage-method scan with
+/// pushed filter, ordered access-path scan + fetch, or direct probe +
+/// fetch; applies the residual predicate.
+class AccessSource : public RowSource {
+ public:
+  /// `plan` must outlive the source (hold the shared_ptr at the call site).
+  AccessSource(Database* db, Transaction* txn, const BoundPlan* plan);
+  Status Next(Row* row) override;
+
+ private:
+  Status Open();
+
+  Database* db_;
+  Transaction* txn_;
+  const BoundPlan* plan_;
+  bool opened_ = false;
+  std::unique_ptr<Scan> scan_;               // scan-shaped paths
+  std::vector<std::string> probe_results_;   // probe-shaped paths
+  size_t probe_pos_ = 0;
+};
+
+/// Keeps rows satisfying `predicate` (field indexes refer to child rows).
+class FilterSource : public RowSource {
+ public:
+  FilterSource(Database* db, std::unique_ptr<RowSource> child,
+               ExprPtr predicate)
+      : db_(db), child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Status Next(Row* row) override;
+
+ private:
+  Database* db_;
+  std::unique_ptr<RowSource> child_;
+  ExprPtr predicate_;
+};
+
+/// Projects child rows onto the given column indexes.
+class ProjectSource : public RowSource {
+ public:
+  ProjectSource(std::unique_ptr<RowSource> child, std::vector<int> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+  Status Next(Row* row) override;
+
+ private:
+  std::unique_ptr<RowSource> child_;
+  std::vector<int> columns_;
+};
+
+/// Nested-loop join: re-opens the inner source for every outer row (the
+/// join that "can easily result in thousands of calls to storage method and
+/// attachment routines"). The join predicate sees outer columns first, then
+/// inner columns.
+class NestedLoopJoinSource : public RowSource {
+ public:
+  using InnerFactory = std::function<Status(std::unique_ptr<RowSource>*)>;
+
+  NestedLoopJoinSource(Database* db, std::unique_ptr<RowSource> outer,
+                       InnerFactory inner_factory, ExprPtr predicate)
+      : db_(db),
+        outer_(std::move(outer)),
+        inner_factory_(std::move(inner_factory)),
+        predicate_(std::move(predicate)) {}
+  Status Next(Row* row) override;
+
+ private:
+  Database* db_;
+  std::unique_ptr<RowSource> outer_;
+  InnerFactory inner_factory_;
+  ExprPtr predicate_;
+  Row outer_row_;
+  bool outer_valid_ = false;
+  std::unique_ptr<RowSource> inner_;
+};
+
+/// Index nested-loop join: for each outer row, probes an access path on the
+/// inner relation with a key composed from outer columns, fetches the
+/// matching records, and emits combined rows.
+class IndexJoinSource : public RowSource {
+ public:
+  IndexJoinSource(Database* db, Transaction* txn,
+                  std::unique_ptr<RowSource> outer,
+                  const RelationDescriptor* inner, AccessPathId inner_path,
+                  std::vector<int> outer_key_columns)
+      : db_(db),
+        txn_(txn),
+        outer_(std::move(outer)),
+        inner_(inner),
+        inner_path_(inner_path),
+        outer_key_columns_(std::move(outer_key_columns)) {}
+  Status Next(Row* row) override;
+
+ private:
+  Database* db_;
+  Transaction* txn_;
+  std::unique_ptr<RowSource> outer_;
+  const RelationDescriptor* inner_;
+  AccessPathId inner_path_;
+  std::vector<int> outer_key_columns_;
+  Row outer_row_;
+  std::vector<std::string> matches_;
+  size_t match_pos_ = 0;
+  bool outer_valid_ = false;
+};
+
+/// Simple aggregates over the whole child stream.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+class AggregateSource : public RowSource {
+ public:
+  /// `column` is ignored for kCount.
+  AggregateSource(std::unique_ptr<RowSource> child, AggKind kind, int column)
+      : child_(std::move(child)), kind_(kind), column_(column) {}
+  Status Next(Row* row) override;
+
+ private:
+  std::unique_ptr<RowSource> child_;
+  AggKind kind_;
+  int column_;
+  bool done_ = false;
+};
+
+/// Drain a source into a vector (tests, examples).
+Status CollectRows(RowSource* source, std::vector<Row>* rows);
+
+}  // namespace dmx
+
+#endif  // DMX_QUERY_EXECUTOR_H_

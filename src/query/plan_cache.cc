@@ -1,0 +1,58 @@
+#include "src/query/plan_cache.h"
+
+namespace dmx {
+
+bool PlanCache::IsValid(const BoundPlan& plan) const {
+  for (const auto& [rel, version] : plan.dependencies) {
+    if (db_->catalog()->VersionOf(rel) != version) return false;
+  }
+  return true;
+}
+
+Status PlanCache::Get(const std::string& key, const Builder& builder,
+                      std::shared_ptr<const BoundPlan>* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      if (IsValid(*it->second)) {
+        ++stats_.hits;
+        *out = it->second;
+        return Status::OK();
+      }
+      // Stale: drop and re-translate below.
+      plans_.erase(it);
+      ++stats_.retranslations;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  auto plan = std::make_shared<BoundPlan>();
+  DMX_RETURN_IF_ERROR(builder(plan.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[key] = plan;
+  *out = std::move(plan);
+  return Status::OK();
+}
+
+Status PlanCache::GetAccessPlan(Transaction* txn, const std::string& relation,
+                                const ExprPtr& predicate,
+                                const std::string& key,
+                                std::shared_ptr<const BoundPlan>* out,
+                                const std::vector<int>* needed_fields) {
+  return Get(key, [&](BoundPlan* plan) -> Status {
+    const RelationDescriptor* desc;
+    DMX_RETURN_IF_ERROR(db_->FindRelation(relation, &desc));
+    plan->relation = *desc;  // descriptor embedded in the plan
+    plan->dependencies = {{desc->id, desc->version}};
+    return PlanAccess(db_, txn, desc, predicate, &plan->access,
+                      needed_fields);
+  }, out);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace dmx

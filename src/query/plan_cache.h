@@ -1,0 +1,81 @@
+// PlanCache: bound query plans with dependency-based invalidation.
+//
+// "It is important to retain the translations of queries into query
+// execution plans that directly invoke the relation and access path
+// operations, and to use the saved query execution plans whenever the
+// queries are subsequently executed. This query binding approach avoids the
+// non-trivial costs of accessing the relation descriptions and optimizing
+// the query at query execution time... A uniform mechanism for recording
+// the dependencies of execution plans on the relations they use allows the
+// system to invalidate any plans which depend upon relations or access
+// paths that have been deleted. Invalidated execution plans are
+// automatically re-translated, by the common system, the next time the
+// query is invoked."
+//
+// A bound plan embeds a *snapshot* of the relation descriptor (so execution
+// touches no catalogs) plus (relation id, version) dependencies; any DDL on
+// a dependency bumps its version and the next lookup re-translates.
+
+#ifndef DMX_QUERY_PLAN_CACHE_H_
+#define DMX_QUERY_PLAN_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/query/planner.h"
+
+namespace dmx {
+
+/// A retained translation of a query.
+struct BoundPlan {
+  /// Descriptor snapshot taken at bind time; the executor reads this, not
+  /// the catalog.
+  RelationDescriptor relation;
+  AccessPlan access;
+  /// (relation id, catalog version at bind time) — validity certificate.
+  std::vector<std::pair<RelationId, uint64_t>> dependencies;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(Database* db) : db_(db) {}
+
+  using Builder = std::function<Status(BoundPlan* plan)>;
+
+  /// Fetch the plan bound under `key`, validating its dependencies; on a
+  /// miss or a stale plan, invoke `builder` to (re-)translate and cache the
+  /// result. The returned shared_ptr stays valid even if the entry is later
+  /// invalidated.
+  Status Get(const std::string& key, const Builder& builder,
+             std::shared_ptr<const BoundPlan>* out);
+
+  /// Bind helper: single-relation access plan for (relation, predicate).
+  /// `needed_fields` (optional) enables index-only plans (see PlanAccess).
+  Status GetAccessPlan(Transaction* txn, const std::string& relation,
+                       const ExprPtr& predicate, const std::string& key,
+                       std::shared_ptr<const BoundPlan>* out,
+                       const std::vector<int>* needed_fields = nullptr);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t retranslations = 0;  // stale plans rebuilt
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  size_t size() const;
+
+ private:
+  bool IsValid(const BoundPlan& plan) const;
+
+  Database* db_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const BoundPlan>> plans_;
+  Stats stats_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_QUERY_PLAN_CACHE_H_

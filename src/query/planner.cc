@@ -1,0 +1,280 @@
+#include "src/query/planner.h"
+
+#include <limits>
+
+#include "src/sm/key_codec.h"
+
+namespace dmx {
+
+std::string AccessPlan::DebugString(const ExtensionRegistry* registry) const {
+  if (path.is_storage_method()) return "storage-method scan";
+  std::string name = registry->at_ops(path.at_id()).name;
+  std::string out = name + "#" + std::to_string(path.instance);
+  if (index_only) out += " (index-only)";
+  return out;
+}
+
+Status EnumerateAccessPaths(Database* db, Transaction* txn,
+                            const RelationDescriptor* desc,
+                            const std::vector<ExprPtr>& conjuncts,
+                            std::vector<AccessCandidate>* out) {
+  out->clear();
+  // Access path zero: the storage method.
+  {
+    AccessCandidate c;
+    c.path = AccessPathId::StorageMethod();
+    DMX_RETURN_IF_ERROR(db->EstimateCost(txn, desc, c.path, conjuncts,
+                                         &c.cost));
+    out->push_back(std::move(c));
+  }
+  // Every instance of every access-path attachment type present.
+  const ExtensionRegistry* registry = db->registry();
+  for (AtId at = 0; at < registry->num_attachment_types(); ++at) {
+    if (!desc->HasAttachment(at)) continue;
+    const AtOps& ops = registry->at_ops(at);
+    if (ops.cost == nullptr || ops.list_instances == nullptr) continue;
+    std::vector<uint32_t> instances;
+    DMX_RETURN_IF_ERROR(
+        ops.list_instances(Slice(desc->at_desc[at]), &instances));
+    for (uint32_t inst : instances) {
+      AccessCandidate c;
+      c.path = AccessPathId::Attachment(at, inst);
+      DMX_RETURN_IF_ERROR(
+          db->EstimateCost(txn, desc, c.path, conjuncts, &c.cost));
+      if (c.cost.usable) out->push_back(std::move(c));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Compose key bounds for an ordered multi-field access path: the longest
+// equality prefix over the leading key fields, then range predicates on
+// the next field (the paper's partial-key access).
+void BuildKeyRange(const std::vector<ExprPtr>& conjuncts,
+                   const std::vector<int>& key_fields, ScanSpec* spec) {
+  // Equality value per field, if any.
+  auto eq_value = [&](int field, Value* out) {
+    for (const ExprPtr& c : conjuncts) {
+      int f;
+      ExprOp op;
+      Value constant;
+      if (MatchFieldCompare(c, &f, &op, &constant) && f == field &&
+          op == ExprOp::kEq) {
+        *out = std::move(constant);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::string prefix;
+  size_t depth = 0;
+  for (int field : key_fields) {
+    Value v;
+    if (!eq_value(field, &v)) break;
+    if (!EncodeKeyValue(v, &prefix).ok()) break;
+    ++depth;
+  }
+
+  std::string low = prefix;
+  std::string high = prefix;
+  bool have_range = false;
+  if (depth < key_fields.size()) {
+    // Range predicates on the field following the prefix tighten the
+    // bounds within the prefix.
+    int next = key_fields[depth];
+    std::optional<Value> lo_v, hi_v;
+    for (const ExprPtr& c : conjuncts) {
+      int f;
+      ExprOp op;
+      Value constant;
+      if (!MatchFieldCompare(c, &f, &op, &constant) || f != next) continue;
+      switch (op) {
+        case ExprOp::kGt:
+        case ExprOp::kGe:
+          if (!lo_v || constant.Compare(*lo_v) > 0) lo_v = constant;
+          break;
+        case ExprOp::kLt:
+        case ExprOp::kLe:
+          if (!hi_v || constant.Compare(*hi_v) < 0) hi_v = constant;
+          break;
+        default:
+          break;
+      }
+    }
+    if (lo_v) {
+      EncodeKeyValue(*lo_v, &low).ok();
+      have_range = true;
+    }
+    if (hi_v) {
+      EncodeKeyValue(*hi_v, &high).ok();
+      high += '\xff';  // include multi-field extensions of the bound
+      have_range = true;
+    }
+  }
+
+  if (depth == 0 && !have_range) return;  // nothing to bound
+  if (low != prefix || depth > 0) {
+    spec->low_key = low;
+    spec->low_inclusive = true;  // residual re-checks strictness
+  }
+  if (high != prefix || depth > 0) {
+    if (high == prefix) high += '\xff';  // pure prefix: cover extensions
+    spec->high_key = high;
+    spec->high_inclusive = true;
+  }
+}
+
+// Compose the hash probe key: equality values in hashed-field order.
+bool BuildProbeKey(const std::vector<ExprPtr>& conjuncts,
+                   const std::vector<int>& key_fields, std::string* probe) {
+  probe->clear();
+  for (int field : key_fields) {
+    bool found = false;
+    for (const ExprPtr& c : conjuncts) {
+      int f;
+      ExprOp op;
+      Value constant;
+      if (MatchFieldCompare(c, &f, &op, &constant) && f == field &&
+          op == ExprOp::kEq) {
+        if (!EncodeKeyValue(constant, probe).ok()) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Does `needed` (field indexes) fall entirely inside `key_fields`?
+bool CoveredBy(const std::vector<int>& needed,
+               const std::vector<int>& key_fields) {
+  for (int f : needed) {
+    bool found = false;
+    for (int k : key_fields) found |= (k == f);
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status PlanAccess(Database* db, Transaction* txn,
+                  const RelationDescriptor* desc, const ExprPtr& predicate,
+                  AccessPlan* out, const std::vector<int>* needed_fields) {
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(predicate, &conjuncts);
+
+  std::vector<AccessCandidate> candidates;
+  DMX_RETURN_IF_ERROR(
+      EnumerateAccessPaths(db, txn, desc, conjuncts, &candidates));
+
+  const ExtensionRegistry* registry = db->registry();
+
+  // Effective cost of a candidate: index-only plans (all needed fields in
+  // the access key) skip the record fetches.
+  auto key_fields_of = [&](const AccessCandidate& c,
+                           std::vector<int>* fields) {
+    if (c.path.is_storage_method()) return false;
+    const AtOps& ops = registry->at_ops(c.path.at_id());
+    if (ops.instance_fields == nullptr) return false;
+    return ops.instance_fields(Slice(desc->at_desc[c.path.at_id()]),
+                               c.path.instance, fields)
+        .ok();
+  };
+  auto can_cover = [&](const AccessCandidate& c) {
+    if (needed_fields == nullptr || c.path.is_storage_method()) return false;
+    std::vector<int> key_fields;
+    if (!key_fields_of(c, &key_fields)) return false;
+    // The residual predicate also runs against the decoded key fields, so
+    // every field the predicate touches must be covered too.
+    std::vector<int> all_needed = *needed_fields;
+    if (predicate != nullptr) predicate->CollectFields(&all_needed);
+    return CoveredBy(all_needed, key_fields);
+  };
+  auto effective_total = [&](const AccessCandidate& c) {
+    double total = c.cost.total();
+    if (can_cover(c)) total -= c.cost.fetch_cost;
+    return total;
+  };
+
+  const AccessCandidate* best = nullptr;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (const AccessCandidate& c : candidates) {
+    if (!c.cost.usable) continue;
+    double total = effective_total(c);
+    if (best == nullptr || total < best_total) {
+      best = &c;
+      best_total = total;
+    }
+  }
+  if (best == nullptr) {
+    return Status::Internal("no usable access path");
+  }
+
+  out->path = best->path;
+  out->cost = best->cost;
+  out->spec = ScanSpec();
+  out->probe_key.reset();
+  out->residual = nullptr;
+  out->needs_fetch = false;
+  out->index_only = false;
+  out->key_fields.clear();
+  out->needed_fields.clear();
+  if (needed_fields != nullptr) {
+    out->needed_fields = *needed_fields;
+    if (predicate != nullptr) predicate->CollectFields(&out->needed_fields);
+    out->spec.fields = out->needed_fields;
+  }
+
+  if (best->path.is_storage_method()) {
+    // The storage-method scan evaluates the whole predicate itself, while
+    // the record bytes are still in the buffer pool.
+    out->spec.filter = predicate;
+    return Status::OK();
+  }
+
+  // Access-path scans return keys; the executor re-checks the whole
+  // predicate (correct even where the key range already guarantees some
+  // conjuncts).
+  out->residual = predicate;
+  std::vector<int> key_fields;
+  key_fields_of(*best, &key_fields);
+  out->key_fields = key_fields;
+  if (can_cover(*best)) {
+    out->index_only = true;
+    out->needs_fetch = false;
+  } else {
+    out->needs_fetch = true;
+  }
+
+  const AtOps& ops = registry->at_ops(best->path.at_id());
+  const std::string name = ops.name;
+  if (name == "hash_index") {
+    std::string probe;
+    if (!BuildProbeKey(conjuncts, key_fields, &probe)) {
+      return Status::Internal("hash path chosen without equality cover");
+    }
+    out->probe_key = std::move(probe);
+    // Probe results carry no access key, so hash paths always fetch.
+    out->index_only = false;
+    out->needs_fetch = true;
+    return Status::OK();
+  }
+  if (name == "rtree_index") {
+    // The rtree scan extracts its query rectangle from the pushed filter;
+    // it returns record keys only.
+    out->spec.filter = predicate;
+    out->index_only = false;
+    out->needs_fetch = true;
+    return Status::OK();
+  }
+  // Ordered paths (btree_index and future ordered access paths).
+  BuildKeyRange(conjuncts, key_fields, &out->spec);
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,80 @@
+// Access-path planner: the query-planning side of the architecture.
+//
+// "Given a list of 'eligible' predicates supplied by the query planner, the
+// storage method or access attachment can determine the 'relevance' of the
+// predicates to the access path instance and then estimate the I/O and CPU
+// costs to return the record fields or keys that satisfy the predicates."
+//
+// The planner enumerates access path 0 (the storage method) plus every
+// instance of every access-path attachment on the relation, asks each for a
+// cost, and picks the cheapest usable one. The chosen AccessPlan carries
+// everything the executor needs: the path id, a ScanSpec (with key range
+// and pushed filter for paths that evaluate predicates themselves), an
+// optional direct probe key (hash paths have no ordered scans), and the
+// residual predicate the executor re-checks after fetching records.
+
+#ifndef DMX_QUERY_PLANNER_H_
+#define DMX_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+
+namespace dmx {
+
+/// A planned single-relation access.
+struct AccessPlan {
+  AccessPathId path;
+  AccessCost cost;
+  ScanSpec spec;
+  /// For probe-only access paths (hash): the direct-by-key lookup key.
+  std::optional<std::string> probe_key;
+  /// Predicate the executor evaluates against fetched records; null when
+  /// the access path evaluates everything itself (storage-method scans).
+  ExprPtr residual;
+  /// True when the path returns record keys that must be fetched from the
+  /// storage method ("First the access path is accessed to obtain a record
+  /// key, which is then used to access the relation record").
+  bool needs_fetch = false;
+  /// Index-only access: every needed field is part of the access-path key,
+  /// so the executor decodes field values from the key and never touches
+  /// the storage method ("some access path attachments may be able to
+  /// return record fields when the access path key is a multi-field
+  /// value").
+  bool index_only = false;
+  /// Record fields composing the access key, in key order (set for
+  /// attachment paths with field-composed keys).
+  std::vector<int> key_fields;
+  /// Fields the caller reads (from PlanAccess's needed_fields); empty =
+  /// all. Sources materialize only these ("returns selected data fields
+  /// from a record"); unread fields surface as NULL.
+  std::vector<int> needed_fields;
+
+  /// Display form for examples/tests, e.g. "btree_index#1" or "heap scan".
+  std::string DebugString(const ExtensionRegistry* registry) const;
+};
+
+/// Choose the cheapest access path for `predicate` (may be null = full
+/// scan) on `desc`. `needed_fields` (optional) lists the record fields the
+/// caller will read — enabling index-only plans when an access-path key
+/// covers them.
+Status PlanAccess(Database* db, Transaction* txn,
+                  const RelationDescriptor* desc, const ExprPtr& predicate,
+                  AccessPlan* out,
+                  const std::vector<int>* needed_fields = nullptr);
+
+/// All candidate costs, for tests/benches that inspect planner behaviour.
+struct AccessCandidate {
+  AccessPathId path;
+  AccessCost cost;
+};
+Status EnumerateAccessPaths(Database* db, Transaction* txn,
+                            const RelationDescriptor* desc,
+                            const std::vector<ExprPtr>& conjuncts,
+                            std::vector<AccessCandidate>* out);
+
+}  // namespace dmx
+
+#endif  // DMX_QUERY_PLANNER_H_

@@ -1,0 +1,100 @@
+// A small SQL front end over the data management extension architecture.
+//
+// Supported statements (case-insensitive keywords):
+//   CREATE TABLE t (col TYPE [NOT NULL], ...) [USING sm [WITH (k=v, ...)]]
+//   DROP TABLE t
+//   CREATE [UNIQUE] INDEX ON t (col, ...) [USING btree_index|hash_index]
+//   CREATE ATTACHMENT ON t USING type [WITH (k = v, ...)]
+//   ALTER TABLE t ADD [DEFERRED] CHECK (expr) [NAME ident]
+//   ALTER TABLE t SET STORAGE sm [WITH (k = v, ...)]   (live migration)
+//   DESCRIBE t
+//   INSERT INTO t VALUES (v, ...), (v, ...) ...
+//   SELECT * | cols | COUNT(*) | SUM(c)|AVG(c)|MIN(c)|MAX(c)
+//     FROM t [, u] [WHERE expr] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   UPDATE t SET col = expr, ... [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//   EXPLAIN SELECT ...                 (reports the chosen access path)
+//   GRANT priv[, priv] ON t TO user    (priv: SELECT|INSERT|UPDATE|DELETE|ALL)
+//   REVOKE priv[, priv] ON t FROM user
+//   SET USER name                      (identity for authorization checks)
+//   CHECKPOINT                         (quiesced checkpoint + log truncation)
+//   BEGIN / COMMIT / ROLLBACK / SAVEPOINT name / ROLLBACK TO name
+//
+// Types: INT, DOUBLE, STRING (or TEXT), BOOL. Expressions support
+// comparisons, AND/OR/NOT, arithmetic, LIKE, BETWEEN, IN (...), IS [NOT]
+// NULL, literals
+// (integers, decimals, 'strings', TRUE/FALSE, NULL), and `?` runtime
+// parameters (bind values via Session::Execute's params overload).
+//
+// Two-table SELECTs run a join; when the WHERE clause contains an equality
+// between a column of each table and the inner table has a B-tree or hash
+// access path on its column, the session picks an index nested-loop join,
+// otherwise a plain nested loop.
+//
+// SELECT statements are bound through the session's PlanCache: repeated
+// queries reuse their translation until DDL invalidates it (the paper's
+// query-binding model).
+
+#ifndef DMX_QUERY_SQL_H_
+#define DMX_QUERY_SQL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/query/executor.h"
+
+namespace dmx {
+
+/// Result of one statement.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  /// For DDL/DML: affected-row count (-1 when not applicable).
+  int64_t affected = -1;
+  std::string message;
+
+  /// Render as an ASCII table (examples).
+  std::string ToString() const;
+};
+
+/// A connection-like object: owns the current transaction (autocommit when
+/// no BEGIN is active) and a plan cache.
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db), plans_(db) {}
+  ~Session();
+
+  /// Execute one SQL statement.
+  Status Execute(const std::string& sql, QueryResult* result);
+
+  /// Execute with runtime parameters bound to `?` placeholders, in order
+  /// (the common evaluator's "variable data"). The statement's bound plan
+  /// is cached by SQL text, so repeated executions with different
+  /// parameters reuse one translation.
+  Status Execute(const std::string& sql, const std::vector<Value>& params,
+                 QueryResult* result);
+
+  PlanCache* plan_cache() { return &plans_; }
+  Database* db() { return db_; }
+
+  /// User identity for the uniform authorization facility (also settable
+  /// via the SET USER statement); "" = superuser.
+  void set_user(std::string user) { user_ = std::move(user); }
+  const std::string& user() const { return user_; }
+
+  /// The transaction opened by BEGIN, or null (autocommit mode).
+  Transaction* current_txn() { return txn_; }
+
+ private:
+  friend class SqlExecutor;
+
+  Database* db_;
+  PlanCache plans_;
+  Transaction* txn_ = nullptr;
+  std::string user_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_QUERY_SQL_H_

@@ -1,0 +1,30 @@
+#include "src/sm/appendonly.h"
+
+#include "src/sm/heap.h"
+
+namespace dmx {
+namespace {
+
+Status RejectUpdate(SmContext&, const Slice&, const Slice&, const Slice&,
+                    std::string*) {
+  return Status::NotSupported("appendonly relations cannot be updated");
+}
+
+Status RejectErase(SmContext&, const Slice&, const Slice&) {
+  return Status::NotSupported("appendonly relations cannot be deleted from");
+}
+
+}  // namespace
+
+const SmOps& AppendOnlyStorageMethodOps() {
+  static const SmOps ops = [] {
+    SmOps o = HeapStorageMethodOps();  // same pages, keys, scans, recovery
+    o.name = "appendonly";
+    o.update = RejectUpdate;
+    o.erase = RejectErase;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

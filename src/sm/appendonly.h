@@ -1,0 +1,21 @@
+// "appendonly" storage method: write-once relation storage standing in for
+// the paper's read-only optical-disk "database publishing" motivation (see
+// DESIGN.md substitutions). Shares the heap's page format and recovery; the
+// generic update and delete operations are rejected with NotSupported —
+// the architecture's point being that such restricted storage methods plug
+// into the same procedure vectors (compare the paper's remark that
+// ENCOMPASS allows alternative relation storage only "with significant
+// restrictions (e.g., no updates)").
+
+#ifndef DMX_SM_APPENDONLY_H_
+#define DMX_SM_APPENDONLY_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const SmOps& AppendOnlyStorageMethodOps();
+
+}  // namespace dmx
+
+#endif  // DMX_SM_APPENDONLY_H_

@@ -1,0 +1,573 @@
+#include "src/sm/btree_core.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+namespace {
+
+// Node layout after the 8-byte page LSN:
+//   [8]      node type: 1 = leaf, 2 = internal
+//   [9,11)   entry count (u16)
+//   [11,15)  leaf: next-leaf page id; internal: leftmost child page id
+//   [15..)   entries
+// Leaf entries: varint32 length + composite bytes, sorted ascending.
+// Internal entries: varint32 length + separator composite + u32 child;
+// child subtree holds composites >= separator (leftmost holds the rest).
+constexpr size_t kTypeOff = 8;
+constexpr size_t kCountOff = 9;
+constexpr size_t kLinkOff = 11;
+constexpr size_t kEntriesOff = 15;
+constexpr char kLeaf = 1;
+constexpr char kInternal = 2;
+// Split threshold: rewrite must always fit a page.
+constexpr size_t kNodeCapacity = kPageSize - 64;
+
+struct LeafNode {
+  PageId next = kInvalidPageId;
+  std::vector<std::string> entries;
+};
+
+struct InternalNode {
+  PageId leftmost = kInvalidPageId;
+  std::vector<std::pair<std::string, PageId>> entries;
+};
+
+char NodeType(const Page& p) { return p.data[kTypeOff]; }
+
+uint16_t EntryCount(const Page& p) { return DecodeFixed16(p.data + kCountOff); }
+
+PageId NodeLink(const Page& p) { return DecodeFixed32(p.data + kLinkOff); }
+
+Status ParseLeaf(const Page& p, LeafNode* out) {
+  out->next = NodeLink(p);
+  uint16_t n = EntryCount(p);
+  Slice in(p.data + kEntriesOff, kPageSize - kEntriesOff);
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Slice e;
+    if (!GetLengthPrefixedSlice(&in, &e)) {
+      return Status::Corruption("btree leaf entry");
+    }
+    out->entries.push_back(e.ToString());
+  }
+  return Status::OK();
+}
+
+Status ParseInternal(const Page& p, InternalNode* out) {
+  out->leftmost = NodeLink(p);
+  uint16_t n = EntryCount(p);
+  Slice in(p.data + kEntriesOff, kPageSize - kEntriesOff);
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Slice sep;
+    if (!GetLengthPrefixedSlice(&in, &sep)) {
+      return Status::Corruption("btree internal separator");
+    }
+    uint32_t child;
+    if (!GetFixed32(&in, &child)) {
+      return Status::Corruption("btree internal child");
+    }
+    out->entries.emplace_back(sep.ToString(), child);
+  }
+  return Status::OK();
+}
+
+size_t SerializedLeafSize(const LeafNode& n) {
+  size_t s = kEntriesOff;
+  for (const auto& e : n.entries) s += 5 + e.size();
+  return s;
+}
+
+size_t SerializedInternalSize(const InternalNode& n) {
+  size_t s = kEntriesOff;
+  for (const auto& [sep, child] : n.entries) s += 5 + sep.size() + 4;
+  return s;
+}
+
+void WriteLeaf(Page* p, const LeafNode& n, Lsn keep_lsn) {
+  memset(p->data + 8, 0, kPageSize - 8);
+  SetPageLsn(p, keep_lsn);
+  p->data[kTypeOff] = kLeaf;
+  uint16_t count = static_cast<uint16_t>(n.entries.size());
+  memcpy(p->data + kCountOff, &count, 2);
+  memcpy(p->data + kLinkOff, &n.next, 4);
+  std::string body;
+  for (const auto& e : n.entries) PutLengthPrefixedSlice(&body, e);
+  assert(kEntriesOff + body.size() <= kPageSize);
+  memcpy(p->data + kEntriesOff, body.data(), body.size());
+}
+
+void WriteInternal(Page* p, const InternalNode& n, Lsn keep_lsn) {
+  memset(p->data + 8, 0, kPageSize - 8);
+  SetPageLsn(p, keep_lsn);
+  p->data[kTypeOff] = kInternal;
+  uint16_t count = static_cast<uint16_t>(n.entries.size());
+  memcpy(p->data + kCountOff, &count, 2);
+  memcpy(p->data + kLinkOff, &n.leftmost, 4);
+  std::string body;
+  for (const auto& [sep, child] : n.entries) {
+    PutLengthPrefixedSlice(&body, sep);
+    PutFixed32(&body, child);
+  }
+  assert(kEntriesOff + body.size() <= kPageSize);
+  memcpy(p->data + kEntriesOff, body.data(), body.size());
+}
+
+}  // namespace
+
+std::string BTreeComposeEntry(const Slice& key, const Slice& value) {
+  // Escape 0x00 in the key as 0x00 0xFF and terminate with 0x00 0x00 so
+  // that composite memcmp order equals (key, value) lexicographic order.
+  std::string out;
+  out.reserve(key.size() + value.size() + 2);
+  for (size_t i = 0; i < key.size(); ++i) {
+    out.push_back(key[i]);
+    if (key[i] == '\0') out.push_back('\xff');
+  }
+  out.push_back('\0');
+  out.push_back('\0');
+  out.append(value.data(), value.size());
+  return out;
+}
+
+Status BTreeSplitEntry(const Slice& entry, std::string* key,
+                       std::string* value) {
+  key->clear();
+  size_t i = 0;
+  while (i < entry.size()) {
+    if (entry[i] == '\0') {
+      if (i + 1 >= entry.size()) return Status::Corruption("btree composite");
+      if (entry[i + 1] == '\0') {
+        value->assign(entry.data() + i + 2, entry.size() - i - 2);
+        return Status::OK();
+      }
+      key->push_back('\0');
+      i += 2;
+    } else {
+      key->push_back(entry[i]);
+      ++i;
+    }
+  }
+  return Status::Corruption("btree composite unterminated");
+}
+
+Status BTree::Create(BufferPool* bp, PageId* anchor) {
+  PageId root;
+  PageHandle rh;
+  DMX_RETURN_IF_ERROR(bp->New(&root, &rh));
+  LeafNode empty;
+  WriteLeaf(rh.page(), empty, kInvalidLsn);
+  rh.MarkDirty();
+
+  PageHandle ah;
+  DMX_RETURN_IF_ERROR(bp->New(anchor, &ah));
+  memcpy(ah.page()->data + 8, &root, 4);
+  ah.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Destroy(BufferPool* bp, PageId anchor) {
+  PageId root;
+  {
+    PageHandle ah;
+    DMX_RETURN_IF_ERROR(bp->Fetch(anchor, &ah));
+    root = DecodeFixed32(ah.page()->data + 8);
+  }
+  // Iterative DFS freeing all nodes.
+  std::vector<PageId> stack = {root};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    {
+      PageHandle h;
+      DMX_RETURN_IF_ERROR(bp->Fetch(id, &h));
+      if (NodeType(*h.page()) == kInternal) {
+        InternalNode n;
+        DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &n));
+        stack.push_back(n.leftmost);
+        for (const auto& [sep, child] : n.entries) stack.push_back(child);
+      }
+    }
+    DMX_RETURN_IF_ERROR(bp->FreePage(id));
+  }
+  return bp->FreePage(anchor);
+}
+
+Status BTree::RootPage(PageId* root) {
+  PageHandle ah;
+  DMX_RETURN_IF_ERROR(bp_->Fetch(anchor_, &ah));
+  *root = DecodeFixed32(ah.page()->data + 8);
+  return Status::OK();
+}
+
+Status BTree::SetRootPage(PageId root) {
+  PageHandle ah;
+  DMX_RETURN_IF_ERROR(bp_->Fetch(anchor_, &ah));
+  memcpy(ah.page()->data + 8, &root, 4);
+  ah.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::FindLeaf(const Slice& key, const Slice& value, PageId* leaf) {
+  std::string composite = BTreeComposeEntry(key, value);
+  PageId node;
+  DMX_RETURN_IF_ERROR(RootPage(&node));
+  while (true) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    if (NodeType(*h.page()) == kLeaf) {
+      *leaf = node;
+      return Status::OK();
+    }
+    InternalNode n;
+    DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &n));
+    PageId child = n.leftmost;
+    for (const auto& [sep, ch] : n.entries) {
+      if (Slice(composite).compare(Slice(sep)) >= 0) {
+        child = ch;
+      } else {
+        break;
+      }
+    }
+    node = child;
+  }
+}
+
+namespace {
+
+struct SplitResult {
+  std::string separator;
+  PageId right;
+};
+
+}  // namespace
+
+// Recursive insert helper declared here to keep BTree's header small.
+namespace {
+
+Status InsertRec(BufferPool* bp, PageId node, const std::string& composite,
+                 std::optional<SplitResult>* split, bool* inserted) {
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(bp->Fetch(node, &h));
+  if (NodeType(*h.page()) == kLeaf) {
+    LeafNode leaf;
+    DMX_RETURN_IF_ERROR(ParseLeaf(*h.page(), &leaf));
+    auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(),
+                               composite);
+    if (it != leaf.entries.end() && *it == composite) {
+      *inserted = false;  // exact (key,value) already present: idempotent
+      return Status::OK();
+    }
+    leaf.entries.insert(it, composite);
+    if (SerializedLeafSize(leaf) > kNodeCapacity && leaf.entries.size() > 1) {
+      // Split: right half to a fresh page.
+      size_t mid = leaf.entries.size() / 2;
+      LeafNode right;
+      right.entries.assign(leaf.entries.begin() + mid, leaf.entries.end());
+      leaf.entries.resize(mid);
+      right.next = leaf.next;
+      PageId right_id;
+      PageHandle rh;
+      DMX_RETURN_IF_ERROR(bp->New(&right_id, &rh));
+      leaf.next = right_id;
+      WriteLeaf(rh.page(), right, kInvalidLsn);
+      rh.MarkDirty();
+      *split = SplitResult{right.entries.front(), right_id};
+    }
+    WriteLeaf(h.page(), leaf, PageLsn(*h.page()));
+    h.MarkDirty();
+    *inserted = true;
+    return Status::OK();
+  }
+
+  InternalNode n;
+  DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &n));
+  PageId child = n.leftmost;
+  size_t child_pos = 0;  // 0 = leftmost, i+1 = entries[i].child
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (Slice(composite).compare(Slice(n.entries[i].first)) >= 0) {
+      child = n.entries[i].second;
+      child_pos = i + 1;
+    } else {
+      break;
+    }
+  }
+  std::optional<SplitResult> child_split;
+  DMX_RETURN_IF_ERROR(InsertRec(bp, child, composite, &child_split, inserted));
+  if (!child_split.has_value()) return Status::OK();
+
+  n.entries.insert(n.entries.begin() + static_cast<long>(child_pos),
+                   {child_split->separator, child_split->right});
+  if (SerializedInternalSize(n) > kNodeCapacity && n.entries.size() > 2) {
+    size_t mid = n.entries.size() / 2;
+    InternalNode right;
+    right.leftmost = n.entries[mid].second;
+    right.entries.assign(n.entries.begin() + static_cast<long>(mid) + 1,
+                         n.entries.end());
+    std::string promoted = n.entries[mid].first;
+    n.entries.resize(mid);
+    PageId right_id;
+    PageHandle rh;
+    DMX_RETURN_IF_ERROR(bp->New(&right_id, &rh));
+    WriteInternal(rh.page(), right, kInvalidLsn);
+    rh.MarkDirty();
+    *split = SplitResult{std::move(promoted), right_id};
+  }
+  WriteInternal(h.page(), n, PageLsn(*h.page()));
+  h.MarkDirty();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BTree::Insert(const Slice& key, const Slice& value, bool unique) {
+  std::string composite = BTreeComposeEntry(key, value);
+  if (composite.size() > kPageSize / 8) {
+    return Status::InvalidArgument("btree entry too large");
+  }
+  if (unique) {
+    // A duplicate (key, other-value) may live in a different leaf than the
+    // one the full composite routes to, so uniqueness is checked by key.
+    std::vector<std::string> existing;
+    DMX_RETURN_IF_ERROR(Lookup(key, &existing));
+    for (const std::string& v : existing) {
+      if (Slice(v) != value) {
+        return Status::Constraint("duplicate key in unique index");
+      }
+    }
+  }
+  PageId root;
+  DMX_RETURN_IF_ERROR(RootPage(&root));
+  std::optional<SplitResult> split;
+  bool inserted = false;
+  DMX_RETURN_IF_ERROR(InsertRec(bp_, root, composite, &split, &inserted));
+  if (split.has_value()) {
+    // Grow a new root.
+    InternalNode new_root;
+    new_root.leftmost = root;
+    new_root.entries.emplace_back(split->separator, split->right);
+    PageId new_root_id;
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->New(&new_root_id, &h));
+    WriteInternal(h.page(), new_root, kInvalidLsn);
+    h.MarkDirty();
+    DMX_RETURN_IF_ERROR(SetRootPage(new_root_id));
+  }
+  return Status::OK();
+}
+
+Status BTree::Remove(const Slice& key, const Slice& value, bool idempotent) {
+  std::string composite = BTreeComposeEntry(key, value);
+  PageId leaf_id;
+  DMX_RETURN_IF_ERROR(FindLeaf(key, value, &leaf_id));
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(bp_->Fetch(leaf_id, &h));
+  LeafNode leaf;
+  DMX_RETURN_IF_ERROR(ParseLeaf(*h.page(), &leaf));
+  auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(),
+                             composite);
+  if (it == leaf.entries.end() || *it != composite) {
+    return idempotent ? Status::OK()
+                      : Status::NotFound("btree entry absent");
+  }
+  leaf.entries.erase(it);
+  WriteLeaf(h.page(), leaf, PageLsn(*h.page()));
+  h.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Lookup(const Slice& key, std::vector<std::string>* values) {
+  values->clear();
+  std::unique_ptr<BTreeIterator> it;
+  DMX_RETURN_IF_ERROR(
+      NewIterator(&it, BTreeComposeEntry(key, Slice()), true));
+  // The iterator position composite(key,"") sorts before all (key, v>"")
+  // and any equal entry (key,"") itself; use inclusive start.
+  std::string k, v;
+  while (true) {
+    Status s = it->Next(&k, &v);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    if (Slice(k) != key) break;
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status BTree::Contains(const Slice& key, bool* found) {
+  std::vector<std::string> values;
+  DMX_RETURN_IF_ERROR(Lookup(key, &values));
+  *found = !values.empty();
+  return Status::OK();
+}
+
+Status BTree::NewIterator(std::unique_ptr<BTreeIterator>* it,
+                          const std::optional<std::string>& low,
+                          bool low_inclusive) {
+  std::string pos = low.value_or("");
+  // "Inclusive" means an entry equal to pos may be returned.
+  *it = std::make_unique<BTreeIterator>(this, std::move(pos),
+                                        /*position_exclusive=*/!low_inclusive);
+  return Status::OK();
+}
+
+Status BTree::Count(uint64_t* n) {
+  *n = 0;
+  PageId node;
+  DMX_RETURN_IF_ERROR(RootPage(&node));
+  // Descend to the leftmost leaf.
+  while (true) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    if (NodeType(*h.page()) == kLeaf) break;
+    InternalNode in;
+    DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &in));
+    node = in.leftmost;
+  }
+  while (node != kInvalidPageId) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    *n += EntryCount(*h.page());
+    node = NodeLink(*h.page());
+  }
+  return Status::OK();
+}
+
+Status BTree::LeafPages(uint64_t* n) {
+  *n = 0;
+  PageId node;
+  DMX_RETURN_IF_ERROR(RootPage(&node));
+  while (true) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    if (NodeType(*h.page()) == kLeaf) break;
+    InternalNode in;
+    DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &in));
+    node = in.leftmost;
+  }
+  while (node != kInvalidPageId) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    ++*n;
+    node = NodeLink(*h.page());
+  }
+  return Status::OK();
+}
+
+Status BTree::Height(uint32_t* height) {
+  *height = 1;
+  PageId node;
+  DMX_RETURN_IF_ERROR(RootPage(&node));
+  while (true) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp_->Fetch(node, &h));
+    if (NodeType(*h.page()) == kLeaf) return Status::OK();
+    InternalNode in;
+    DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &in));
+    node = in.leftmost;
+    ++*height;
+  }
+}
+
+namespace {
+bool g_leaf_cache_enabled = true;
+}  // namespace
+
+void BTreeIteratorSetLeafCacheEnabled(bool enabled) {
+  g_leaf_cache_enabled = enabled;
+}
+
+struct BTreeIterator::LeafCache {
+  PageId page_id = kInvalidPageId;
+  Page image;         // raw page bytes at parse time
+  LeafNode parsed;
+  size_t index = 0;   // next entry to serve
+};
+
+Status BTreeIterator::Next(std::string* key, std::string* value) {
+  if (!g_leaf_cache_enabled) cache_.reset();
+  // Fast path: the cached leaf still matches the on-disk image and has an
+  // unserved entry.
+  if (cache_ != nullptr && cache_->page_id != kInvalidPageId) {
+    PageHandle h;
+    Status s = tree_->bp_->Fetch(cache_->page_id, &h);
+    if (s.ok() &&
+        memcmp(h.page()->data, cache_->image.data, kPageSize) == 0) {
+      if (cache_->index < cache_->parsed.entries.size()) {
+        const std::string& entry = cache_->parsed.entries[cache_->index++];
+        DMX_RETURN_IF_ERROR(BTreeSplitEntry(Slice(entry), key, value));
+        pos_ = entry;
+        exclusive_ = true;
+        return Status::OK();
+      }
+      // Exhausted this leaf: hop to the next via the chain, below.
+    } else {
+      cache_.reset();  // leaf changed (or vanished): full re-descend
+    }
+  }
+
+  PageId node;
+  if (cache_ != nullptr && cache_->page_id != kInvalidPageId &&
+      cache_->index >= cache_->parsed.entries.size()) {
+    node = cache_->parsed.next;
+    cache_.reset();
+  } else {
+    // Locate the leaf that would contain pos_. pos_ is a composite;
+    // FindLeaf wants (key, value) — decompose when possible, else treat
+    // the whole position as a key with empty value.
+    std::string pk, pv;
+    if (BTreeSplitEntry(Slice(pos_), &pk, &pv).ok()) {
+      DMX_RETURN_IF_ERROR(tree_->FindLeaf(Slice(pk), Slice(pv), &node));
+    } else {
+      DMX_RETURN_IF_ERROR(tree_->FindLeaf(Slice(pos_), Slice(), &node));
+    }
+  }
+  while (node != kInvalidPageId) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(tree_->bp_->Fetch(node, &h));
+    LeafNode leaf;
+    DMX_RETURN_IF_ERROR(ParseLeaf(*h.page(), &leaf));
+    auto it = exclusive_
+                  ? std::upper_bound(leaf.entries.begin(), leaf.entries.end(),
+                                     pos_)
+                  : std::lower_bound(leaf.entries.begin(), leaf.entries.end(),
+                                     pos_);
+    if (it != leaf.entries.end()) {
+      DMX_RETURN_IF_ERROR(BTreeSplitEntry(Slice(*it), key, value));
+      pos_ = *it;
+      exclusive_ = true;
+      if (!g_leaf_cache_enabled) return Status::OK();
+      // Populate the cache for subsequent Next() calls.
+      cache_ = std::make_shared<LeafCache>();
+      cache_->page_id = node;
+      memcpy(cache_->image.data, h.page()->data, kPageSize);
+      cache_->index =
+          static_cast<size_t>(it - leaf.entries.begin()) + 1;
+      cache_->parsed = std::move(leaf);
+      return Status::OK();
+    }
+    node = leaf.next;
+  }
+  return Status::NotFound("end of btree");
+}
+
+void BTreeIterator::SavePosition(std::string* out) const {
+  out->assign(1, exclusive_ ? 1 : 0);
+  out->append(pos_);
+}
+
+Status BTreeIterator::RestorePosition(const Slice& pos) {
+  if (pos.empty()) return Status::InvalidArgument("empty btree position");
+  exclusive_ = pos[0] != 0;
+  pos_.assign(pos.data() + 1, pos.size() - 1);
+  cache_.reset();  // position moved: the cached cursor is meaningless
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,137 @@
+// BTree: shared page-based B+-tree used by the "btree" storage method
+// (records stored in the leaves) and by the B-tree index attachment
+// (index key -> record key mappings).
+//
+// Entries are (key, value) byte-string pairs, ordered by (key, value) so
+// duplicate keys are supported deterministically. Leaves are chained for
+// key-sequential access. An anchor page (whose id never changes and is what
+// descriptors reference) stores the current root page id, so root splits do
+// not mutate descriptors.
+//
+// Concurrency: callers serialize through the lock manager (record/relation
+// locks); the tree itself performs no latching beyond buffer-pool pins.
+// Recovery: callers log *logical* operations; BTree::Insert/Remove are
+// idempotent (insert skips an already-present (key,value); remove of an
+// absent entry is a no-op success when `idempotent` is set), which makes
+// logical redo/undo safe. Structural changes (splits) are not themselves
+// logged — see DESIGN.md for the crash-consistency discussion.
+
+#ifndef DMX_SM_BTREE_CORE_H_
+#define DMX_SM_BTREE_CORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+class BTreeIterator;
+
+class BTree {
+ public:
+  /// Allocate anchor + empty root leaf; returns the anchor page id.
+  static Status Create(BufferPool* bp, PageId* anchor);
+
+  /// Free every page of the tree including the anchor.
+  static Status Destroy(BufferPool* bp, PageId anchor);
+
+  BTree(BufferPool* bp, PageId anchor) : bp_(bp), anchor_(anchor) {}
+
+  /// Insert (key, value). If `unique` and an entry with equal key (any
+  /// value) exists, fails with Constraint. If the exact (key, value) pair
+  /// exists already, succeeds without change (logical idempotence).
+  Status Insert(const Slice& key, const Slice& value, bool unique = false);
+
+  /// Remove the exact (key, value) entry. Absent entry: NotFound, unless
+  /// `idempotent` (recovery replay) in which case OK.
+  Status Remove(const Slice& key, const Slice& value,
+                bool idempotent = false);
+
+  /// All values for `key`, in value order.
+  Status Lookup(const Slice& key, std::vector<std::string>* values);
+
+  /// True if any entry with `key` exists.
+  Status Contains(const Slice& key, bool* found);
+
+  /// Iterator positioned before the first entry with key >= `low`
+  /// (or the tree start if `low` is unset).
+  Status NewIterator(std::unique_ptr<BTreeIterator>* it,
+                     const std::optional<std::string>& low = std::nullopt,
+                     bool low_inclusive = true);
+
+  /// Entry count (walks the leaf chain).
+  Status Count(uint64_t* n);
+  /// Leaf page count (costing).
+  Status LeafPages(uint64_t* n);
+
+  /// Tree height (1 = root is a leaf). For cost estimation.
+  Status Height(uint32_t* h);
+
+  BufferPool* buffer_pool() const { return bp_; }
+  PageId anchor() const { return anchor_; }
+
+ private:
+  friend class BTreeIterator;
+
+  Status RootPage(PageId* root);
+  Status SetRootPage(PageId root);
+  /// Leaf that should contain `key`+`value`.
+  Status FindLeaf(const Slice& key, const Slice& value, PageId* leaf);
+
+  BufferPool* bp_;
+  PageId anchor_;
+};
+
+/// Key-sequential access over a BTree. Position = the composite
+/// (key, value) of the last returned entry; Next returns the first entry
+/// strictly greater, so deletions at the position leave the iterator
+/// "just after" the deleted entry (the paper's scan semantics).
+///
+/// Next() caches the current leaf (page id, raw image, parsed entries):
+/// while the on-disk leaf image is byte-identical to the cache, successive
+/// entries are served without re-descending or re-parsing; any
+/// modification of the leaf (including a delete at the position) is
+/// detected by the image comparison and falls back to a fresh descent,
+/// preserving the position semantics exactly.
+class BTreeIterator {
+ public:
+  BTreeIterator(BTree* tree, std::string position, bool position_exclusive)
+      : tree_(tree),
+        pos_(std::move(position)),
+        exclusive_(position_exclusive) {}
+
+  /// Advance; fills key/value; NotFound at end.
+  Status Next(std::string* key, std::string* value);
+
+  /// Serialize / restore the position (savepoint support).
+  void SavePosition(std::string* out) const;
+  Status RestorePosition(const Slice& pos);
+
+ private:
+  struct LeafCache;  // defined in btree_core.cc
+
+  BTree* tree_;
+  std::string pos_;  // composite (key,value) encoding of last returned
+  bool exclusive_;   // if false, an entry equal to pos_ may be returned
+  std::shared_ptr<LeafCache> cache_;
+};
+
+/// Ablation toggle (benchmarks): disable the iterator's leaf cache so
+/// every Next() re-descends from the root and re-parses the leaf. Global;
+/// not for concurrent flipping.
+void BTreeIteratorSetLeafCacheEnabled(bool enabled);
+
+/// Composite entry encoding helpers (key + value, length-framed so the
+/// composite ordering equals (key, value) lexicographic ordering).
+std::string BTreeComposeEntry(const Slice& key, const Slice& value);
+Status BTreeSplitEntry(const Slice& entry, std::string* key,
+                       std::string* value);
+
+}  // namespace dmx
+
+#endif  // DMX_SM_BTREE_CORE_H_

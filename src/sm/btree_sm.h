@@ -1,0 +1,29 @@
+// "btree" storage method: records stored in the leaves of a B-tree, keyed
+// by designated fields (the paper's example of an alternative recoverable
+// storage method: "the records of the relation ... may be stored in the
+// leaves of a B-tree index").
+//
+// DDL attributes: key=<col>[,<col>...] — the key fields; they must be
+// unique across records (the record key must identify the record).
+//
+// Descriptor: fixed32 anchor page | varint field count | varint fields...
+// Log payloads are logical ('I' key rec / 'D' key rec / 'U' old-key old
+// new-key new); undo/redo replay them idempotently through the tree.
+
+#ifndef DMX_SM_BTREE_SM_H_
+#define DMX_SM_BTREE_SM_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const SmOps& BTreeStorageMethodOps();
+
+/// Parse a comma-separated column list into field indexes (shared with the
+/// attachments that take key-field attributes).
+Status ParseFieldList(const Schema& schema, const std::string& list,
+                      std::vector<int>* fields);
+
+}  // namespace dmx
+
+#endif  // DMX_SM_BTREE_SM_H_

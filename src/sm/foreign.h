@@ -1,0 +1,37 @@
+// "foreign" storage method: a relation whose storage lives in another
+// database instance, accessed through a narrow server registry — the
+// paper's "another relation storage method might support access to a
+// foreign database by simulating relation accesses via (remote) accesses
+// to relations in the foreign database".
+//
+// The remote side is simulated by a second in-process Database (see
+// DESIGN.md substitutions). Each forwarded operation runs in its own
+// foreign transaction (auto-commit); local rollback issues compensating
+// operations, so there is no distributed atomicity — a documented property
+// of the simulation, not of the architecture.
+//
+// DDL attributes: server=<registered name>, relation=<foreign relation>.
+
+#ifndef DMX_SM_FOREIGN_H_
+#define DMX_SM_FOREIGN_H_
+
+#include <string>
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+class Database;
+
+const SmOps& ForeignStorageMethodOps();
+
+/// Process-global registry of foreign servers ("at the factory" wiring).
+/// The caller keeps ownership of the Database and must unregister before
+/// destroying it.
+void RegisterForeignServer(const std::string& name, Database* db);
+void UnregisterForeignServer(const std::string& name);
+Database* FindForeignServer(const std::string& name);
+
+}  // namespace dmx
+
+#endif  // DMX_SM_FOREIGN_H_

@@ -1,0 +1,466 @@
+#include "src/sm/heap.h"
+
+#include <cassert>
+
+#include "src/core/costing.h"
+#include "src/core/database.h"
+#include "src/sm/rid.h"
+#include "src/storage/slotted_page.h"
+#include "src/util/coding.h"
+
+namespace dmx {
+namespace {
+
+// Slack kept free on fresh inserts so in-place update growth and undo
+// restores rarely fail (see DESIGN.md, heap recovery notes).
+constexpr size_t kUpdateReserve = 256;
+
+struct HeapState : public ExtState {
+  PageId first = kInvalidPageId;
+  PageId last = kInvalidPageId;
+  uint64_t pages = 0;
+  uint64_t records = 0;
+};
+
+HeapState* StateOf(SmContext& ctx) {
+  return static_cast<HeapState*>(ctx.state);
+}
+
+PageId FirstPageOf(const Slice& sm_desc) {
+  if (sm_desc.size() < 4) return kInvalidPageId;
+  return DecodeFixed32(sm_desc.data());
+}
+
+Status HeapValidate(const Schema& schema, const AttrList& attrs,
+                    std::string* sm_desc) {
+  (void)schema;
+  DMX_RETURN_IF_ERROR(attrs.CheckAllowed({}));
+  sm_desc->clear();
+  return Status::OK();
+}
+
+Status HeapCreate(SmContext& ctx, std::string* sm_desc) {
+  PageId first;
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(ctx.db->buffer_pool()->New(&first, &h));
+  SlottedPage sp(h.page());
+  sp.Init();
+  h.MarkDirty();
+  sm_desc->clear();
+  PutFixed32(sm_desc, first);
+  return Status::OK();
+}
+
+Status HeapDrop(SmContext& ctx) {
+  PageId page = FirstPageOf(Slice(ctx.desc->sm_desc));
+  BufferPool* bp = ctx.db->buffer_pool();
+  while (page != kInvalidPageId) {
+    PageId next;
+    {
+      PageHandle h;
+      DMX_RETURN_IF_ERROR(bp->Fetch(page, &h));
+      next = SlottedPage(h.page()).next_page();
+    }
+    DMX_RETURN_IF_ERROR(bp->FreePage(page));
+    page = next;
+  }
+  return Status::OK();
+}
+
+Status HeapOpen(SmContext& ctx, std::unique_ptr<ExtState>* state) {
+  auto st = std::make_unique<HeapState>();
+  st->first = FirstPageOf(Slice(ctx.desc->sm_desc));
+  if (st->first == kInvalidPageId) {
+    return Status::Corruption("heap descriptor missing first page");
+  }
+  BufferPool* bp = ctx.db->buffer_pool();
+  PageId page = st->first;
+  while (page != kInvalidPageId) {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp->Fetch(page, &h));
+    SlottedPage sp(h.page());
+    for (uint16_t s = 0; s < sp.num_slots(); ++s) {
+      if (sp.IsLive(s)) ++st->records;
+    }
+    ++st->pages;
+    st->last = page;
+    page = sp.next_page();
+  }
+  *state = std::move(st);
+  return Status::OK();
+}
+
+// Appends a heap update record to the common log and returns its LSN.
+Status LogHeapOp(SmContext& ctx, std::string payload, Lsn* lsn) {
+  LogRecord rec = MakeUpdateRecord(
+      ctx.txn != nullptr ? ctx.txn->id() : kInvalidTxnId,
+      ExtKind::kStorageMethod, ctx.desc->sm_id, ctx.desc->id,
+      std::move(payload));
+  rec.prev_lsn = ctx.txn != nullptr ? ctx.txn->last_lsn() : kInvalidLsn;
+  DMX_RETURN_IF_ERROR(ctx.db->log()->Append(&rec));
+  if (ctx.txn != nullptr) ctx.txn->set_last_lsn(rec.lsn);
+  *lsn = rec.lsn;
+  return Status::OK();
+}
+
+Status HeapInsert(SmContext& ctx, const Slice& record,
+                  std::string* record_key) {
+  HeapState* st = StateOf(ctx);
+  BufferPool* bp = ctx.db->buffer_pool();
+
+  // Try the tail page; if full, chain on a fresh page.
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(bp->Fetch(st->last, &h));
+  SlottedPage sp(h.page());
+  uint16_t slot;
+  PageId target = st->last;
+  PageId link_prev = kInvalidPageId;
+  Status s = sp.Insert(record, &slot, kUpdateReserve);
+  if (s.IsBusy()) {
+    PageId fresh;
+    PageHandle nh;
+    DMX_RETURN_IF_ERROR(bp->New(&fresh, &nh));
+    SlottedPage nsp(nh.page());
+    nsp.Init();
+    DMX_RETURN_IF_ERROR(nsp.Insert(record, &slot, kUpdateReserve));
+    // Link: old tail -> fresh.
+    sp.set_next_page(fresh);
+    h.MarkDirty();
+    link_prev = st->last;
+    st->last = fresh;
+    ++st->pages;
+    target = fresh;
+    h = std::move(nh);
+  } else if (!s.ok()) {
+    return s;
+  }
+
+  Rid rid{target, slot};
+  std::string payload = "I" + rid.Encode();
+  PutFixed32(&payload, link_prev);
+  payload.append(record.data(), record.size());
+  Lsn lsn;
+  DMX_RETURN_IF_ERROR(LogHeapOp(ctx, std::move(payload), &lsn));
+  SetPageLsn(h.page(), lsn);
+  h.MarkDirty();
+  ++st->records;
+  *record_key = rid.Encode();
+  return Status::OK();
+}
+
+Status HeapErase(SmContext& ctx, const Slice& record_key,
+                 const Slice& old_record) {
+  HeapState* st = StateOf(ctx);
+  Rid rid;
+  DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(ctx.db->buffer_pool()->Fetch(rid.page, &h));
+  SlottedPage sp(h.page());
+  DMX_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  std::string payload = "D" + rid.Encode();
+  payload.append(old_record.data(), old_record.size());
+  Lsn lsn;
+  DMX_RETURN_IF_ERROR(LogHeapOp(ctx, std::move(payload), &lsn));
+  SetPageLsn(h.page(), lsn);
+  h.MarkDirty();
+  --st->records;
+  return Status::OK();
+}
+
+Status HeapUpdate(SmContext& ctx, const Slice& record_key,
+                  const Slice& old_record, const Slice& new_record,
+                  std::string* new_key) {
+  Rid rid;
+  DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
+  {
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(ctx.db->buffer_pool()->Fetch(rid.page, &h));
+    SlottedPage sp(h.page());
+    Status s = sp.Update(rid.slot, new_record);
+    if (s.ok()) {
+      std::string payload = "U" + rid.Encode();
+      PutLengthPrefixedSlice(&payload, old_record);
+      PutLengthPrefixedSlice(&payload, new_record);
+      Lsn lsn;
+      DMX_RETURN_IF_ERROR(LogHeapOp(ctx, std::move(payload), &lsn));
+      SetPageLsn(h.page(), lsn);
+      h.MarkDirty();
+      *new_key = record_key.ToString();
+      return Status::OK();
+    }
+    if (!s.IsBusy()) return s;
+    // Doesn't fit: Update() tombstoned the slot; revive it before moving.
+    sp.InsertAt(rid.slot, old_record).ok();
+  }
+  // Move: delete + insert (the record key changes).
+  DMX_RETURN_IF_ERROR(HeapErase(ctx, record_key, old_record));
+  return HeapInsert(ctx, new_record, new_key);
+}
+
+Status HeapFetch(SmContext& ctx, const Slice& record_key,
+                 std::string* record) {
+  Rid rid;
+  DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(ctx.db->buffer_pool()->Fetch(rid.page, &h));
+  SlottedPage sp(h.page());
+  Slice data;
+  DMX_RETURN_IF_ERROR(sp.Get(rid.slot, &data));
+  record->assign(data.data(), data.size());
+  return Status::OK();
+}
+
+// -- scan ---------------------------------------------------------------------
+
+class HeapScan : public Scan {
+ public:
+  HeapScan(Database* db, const RelationDescriptor* desc, PageId first,
+           const ScanSpec& spec)
+      : db_(db), desc_(desc), spec_(spec) {
+    next_ = Rid{first, 0};
+    if (spec_.low_key.has_value()) {
+      Rid low;
+      if (Rid::Decode(Slice(*spec_.low_key), &low).ok()) {
+        next_ = low;
+        if (!spec_.low_inclusive) ++next_.slot;
+      }
+    }
+  }
+
+  Status Next(ScanItem* out) override {
+    while (true) {
+      if (next_.page == kInvalidPageId) return Status::NotFound("end of scan");
+      if (!pinned_.valid() || pinned_.page_id() != next_.page) {
+        pinned_.Release();
+        DMX_RETURN_IF_ERROR(db_->buffer_pool()->Fetch(next_.page, &pinned_));
+      }
+      SlottedPage sp(pinned_.page());
+      if (next_.slot >= sp.num_slots()) {
+        next_ = Rid{sp.next_page(), 0};
+        continue;
+      }
+      Rid current = next_;
+      ++next_.slot;
+      Slice data;
+      if (!sp.Get(current.slot, &data).ok()) continue;  // tombstone
+      if (spec_.high_key.has_value()) {
+        std::string enc = current.Encode();
+        int cmp = Slice(enc).compare(Slice(*spec_.high_key));
+        if (cmp > 0 || (cmp == 0 && !spec_.high_inclusive)) {
+          return Status::NotFound("end of scan");
+        }
+      }
+      // Evaluate the filter against the record while it is still in the
+      // buffer pool (common predicate-evaluation service; zero copy).
+      RecordView view(data, &desc_->schema);
+      if (spec_.filter != nullptr) {
+        bool passes = false;
+        DMX_RETURN_IF_ERROR(
+            db_->evaluator()->EvalPredicate(*spec_.filter, view, &passes));
+        if (!passes) continue;
+      }
+      out->record_key = current.Encode();
+      out->view = view;
+      last_returned_ = current;
+      return Status::OK();
+    }
+  }
+
+  Status SavePosition(std::string* out) const override {
+    // Position = next candidate; deletions at the current item naturally
+    // leave the scan "just after" it.
+    *out = next_.Encode();
+    return Status::OK();
+  }
+
+  Status RestorePosition(const Slice& pos) override {
+    return Rid::Decode(pos, &next_);
+  }
+
+ private:
+  Database* db_;
+  const RelationDescriptor* desc_;
+  ScanSpec spec_;
+  Rid next_;
+  Rid last_returned_;
+  PageHandle pinned_;
+};
+
+Status HeapOpenScan(SmContext& ctx, const ScanSpec& spec,
+                    std::unique_ptr<Scan>* scan) {
+  HeapState* st = StateOf(ctx);
+  *scan = std::make_unique<HeapScan>(ctx.db, ctx.desc, st->first, spec);
+  return Status::OK();
+}
+
+Status HeapCost(SmContext& ctx, const std::vector<ExprPtr>& predicates,
+                AccessCost* out) {
+  HeapState* st = StateOf(ctx);
+  out->usable = true;
+  out->io_cost = static_cast<double>(st->pages);
+  out->cpu_cost = static_cast<double>(st->records);
+  out->selectivity = EstimateSelectivity(predicates);
+  // A full scan evaluates every eligible predicate itself (pushed filter).
+  out->handled_predicates.clear();
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    out->handled_predicates.push_back(static_cast<int>(i));
+  }
+  return Status::OK();
+}
+
+Status HeapCount(SmContext& ctx, uint64_t* records) {
+  *records = StateOf(ctx)->records;
+  return Status::OK();
+}
+
+// -- recovery ------------------------------------------------------------------
+
+// Parse a heap log payload.
+struct HeapLogOp {
+  char op;
+  Rid rid;
+  PageId link_prev = kInvalidPageId;
+  Slice record;        // I: record, D: old record
+  Slice old_rec, new_rec;  // U
+};
+
+Status ParseHeapPayload(const Slice& payload, HeapLogOp* out) {
+  Slice in = payload;
+  if (in.size() < 7) return Status::Corruption("heap log payload");
+  out->op = in[0];
+  in.remove_prefix(1);
+  DMX_RETURN_IF_ERROR(Rid::Decode(Slice(in.data(), 6), &out->rid));
+  in.remove_prefix(6);
+  switch (out->op) {
+    case 'I': {
+      uint32_t prev;
+      if (!GetFixed32(&in, &prev)) return Status::Corruption("heap I link");
+      out->link_prev = prev;
+      out->record = in;
+      return Status::OK();
+    }
+    case 'D':
+      out->record = in;
+      return Status::OK();
+    case 'U':
+      if (!GetLengthPrefixedSlice(&in, &out->old_rec) ||
+          !GetLengthPrefixedSlice(&in, &out->new_rec)) {
+        return Status::Corruption("heap U payload");
+      }
+      return Status::OK();
+    default:
+      return Status::Corruption("heap log op");
+  }
+}
+
+// Apply one parsed op (or its inverse) to the page, stamping apply_lsn.
+Status ApplyHeapOp(SmContext& ctx, const HeapLogOp& op, bool undo,
+                   Lsn apply_lsn, bool gate_on_page_lsn) {
+  HeapState* st = StateOf(ctx);
+  BufferPool* bp = ctx.db->buffer_pool();
+
+  // Redo of an insert that chained a fresh page must restore the link.
+  if (!undo && op.op == 'I' && op.link_prev != kInvalidPageId) {
+    PageHandle ph;
+    DMX_RETURN_IF_ERROR(bp->Fetch(op.link_prev, &ph));
+    SlottedPage prev(ph.page());
+    if (prev.next_page() == kInvalidPageId) {
+      prev.set_next_page(op.rid.page);
+      ph.MarkDirty();
+      if (st->last == op.link_prev) {
+        st->last = op.rid.page;
+        ++st->pages;
+      }
+    }
+  }
+
+  PageHandle h;
+  DMX_RETURN_IF_ERROR(bp->Fetch(op.rid.page, &h));
+  if (gate_on_page_lsn && PageLsn(*h.page()) >= apply_lsn) {
+    return Status::OK();  // effect already on the page
+  }
+  SlottedPage sp(h.page());
+  if (sp.num_slots() == 0 && sp.next_page() == kInvalidPageId &&
+      PageLsn(*h.page()) == kInvalidLsn) {
+    sp.Init();  // fresh page whose format was lost in the crash
+  }
+  Status s;
+  char effective = op.op;
+  if (undo && op.op == 'I') effective = 'd';   // undo insert = delete
+  if (undo && op.op == 'D') effective = 'i';   // undo delete = revive
+  if (undo && op.op == 'U') effective = 'u';   // undo update = restore old
+  switch (effective) {
+    case 'I':
+    case 'i':
+      s = sp.InsertAt(op.rid.slot, op.record);
+      if (s.ok()) ++st->records;
+      break;
+    case 'D':
+    case 'd':
+      s = sp.Delete(op.rid.slot);
+      if (s.ok()) --st->records;
+      break;
+    case 'U':
+      s = sp.Update(op.rid.slot, op.new_rec);
+      break;
+    case 'u':
+      s = sp.Update(op.rid.slot, op.old_rec);
+      break;
+    default:
+      s = Status::Corruption("heap apply op");
+  }
+  // Idempotence slack for redo: "already deleted" / "already present" are
+  // fine when gating could not apply (e.g. slot states already match).
+  if (!s.ok() && gate_on_page_lsn &&
+      (s.IsNotFound() || s.IsInvalidArgument())) {
+    s = Status::OK();
+  }
+  DMX_RETURN_IF_ERROR(s);
+  SetPageLsn(h.page(), apply_lsn);
+  h.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
+  HeapLogOp op;
+  DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
+  // During a CLR *redo* (restart replaying an interrupted rollback) the
+  // page may already carry the compensation: gate on the page LSN. The
+  // recovery driver passes the CLR's LSN as apply_lsn in both cases, so
+  // gating is always safe.
+  return ApplyHeapOp(ctx, op, /*undo=*/true, apply_lsn,
+                     /*gate_on_page_lsn=*/true);
+}
+
+Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
+  HeapLogOp op;
+  DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
+  return ApplyHeapOp(ctx, op, /*undo=*/false, apply_lsn,
+                     /*gate_on_page_lsn=*/true);
+}
+
+}  // namespace
+
+const SmOps& HeapStorageMethodOps() {
+  static const SmOps ops = [] {
+    SmOps o;
+    o.name = "heap";
+    o.validate = HeapValidate;
+    o.create = HeapCreate;
+    o.drop = HeapDrop;
+    o.open = HeapOpen;
+    o.insert = HeapInsert;
+    o.update = HeapUpdate;
+    o.erase = HeapErase;
+    o.fetch = HeapFetch;
+    o.open_scan = HeapOpenScan;
+    o.cost = HeapCost;
+    o.undo = HeapUndo;
+    o.redo = HeapRedo;
+    o.count = HeapCount;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace dmx

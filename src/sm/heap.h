@@ -1,0 +1,29 @@
+// Heap storage method: records in a chain of slotted pages; record key =
+// RID. The default recoverable relation storage method (the analogue of the
+// paper's sequential disk-file storage).
+//
+// Descriptor encoding: fixed32 first-page id (the chain anchor; immutable
+// for the life of the relation).
+//
+// Log payloads (ExtKind::kStorageMethod):
+//   'I' rid[6] link_prev[4] record          — insert (link_prev != 0 when a
+//                                             fresh page was chained on)
+//   'D' rid[6] old_record                   — delete
+//   'U' rid[6] varlen(old) varlen(new)      — in-place update
+// A growing update that no longer fits its page is executed (and logged)
+// as delete + insert, changing the record key, as the architecture allows.
+
+#ifndef DMX_SM_HEAP_H_
+#define DMX_SM_HEAP_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+/// Entry-point table of the heap storage method (registered by
+/// RegisterBuiltinExtensions as "heap").
+const SmOps& HeapStorageMethodOps();
+
+}  // namespace dmx
+
+#endif  // DMX_SM_HEAP_H_

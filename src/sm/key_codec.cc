@@ -1,0 +1,125 @@
+#include "src/sm/key_codec.h"
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+Status EncodeKeyValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back('\0');
+    return Status::OK();
+  }
+  out->push_back('\1');
+  switch (v.type()) {
+    case TypeId::kBool:
+      out->push_back(v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case TypeId::kInt64:
+      // Encode integers as ordered doubles so that INT and DOUBLE key
+      // components compare consistently (cross-type numeric predicates).
+      PutOrderedDouble(out, static_cast<double>(v.int_value()));
+      return Status::OK();
+    case TypeId::kDouble:
+      PutOrderedDouble(out, v.double_value());
+      return Status::OK();
+    case TypeId::kString: {
+      const std::string& s = v.string_value();
+      for (char c : s) {
+        out->push_back(c);
+        if (c == '\0') out->push_back('\xff');
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      return Status::OK();
+    }
+    case TypeId::kNull:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unencodable key value");
+}
+
+Status EncodeFieldKey(const RecordView& view, const std::vector<int>& fields,
+                      std::string* out) {
+  for (int f : fields) {
+    DMX_RETURN_IF_ERROR(
+        EncodeKeyValue(view.GetValue(static_cast<size_t>(f)), out));
+  }
+  return Status::OK();
+}
+
+Status EncodeValueKey(const std::vector<Value>& values, std::string* out) {
+  for (const Value& v : values) {
+    DMX_RETURN_IF_ERROR(EncodeKeyValue(v, out));
+  }
+  return Status::OK();
+}
+
+Status DecodeKeyValue(Slice* in, TypeId type, Value* out) {
+  if (in->empty()) return Status::Corruption("key truncated");
+  char tag = (*in)[0];
+  in->remove_prefix(1);
+  if (tag == '\0') {
+    *out = Value::Null();
+    return Status::OK();
+  }
+  switch (type) {
+    case TypeId::kBool:
+      if (in->empty()) return Status::Corruption("key bool");
+      *out = Value::Bool((*in)[0] != 0);
+      in->remove_prefix(1);
+      return Status::OK();
+    case TypeId::kInt64: {
+      if (in->size() < 8) return Status::Corruption("key int");
+      double d = DecodeOrderedDouble(in->data());
+      in->remove_prefix(8);
+      // Integers were widened to ordered doubles; narrow back.
+      *out = Value::Int(static_cast<int64_t>(d));
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      if (in->size() < 8) return Status::Corruption("key double");
+      *out = Value::Double(DecodeOrderedDouble(in->data()));
+      in->remove_prefix(8);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      std::string s;
+      while (true) {
+        if (in->empty()) return Status::Corruption("key string");
+        char c = (*in)[0];
+        in->remove_prefix(1);
+        if (c != '\0') {
+          s.push_back(c);
+          continue;
+        }
+        if (in->empty()) return Status::Corruption("key string escape");
+        char next = (*in)[0];
+        in->remove_prefix(1);
+        if (next == '\0') break;  // terminator
+        if (next != '\xff') return Status::Corruption("key string escape");
+        s.push_back('\0');
+      }
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+    case TypeId::kNull:
+      *out = Value::Null();
+      return Status::OK();
+  }
+  return Status::Corruption("key type");
+}
+
+Status DecodeFieldKey(const Slice& key, const std::vector<TypeId>& types,
+                      std::vector<Value>* out) {
+  out->clear();
+  Slice in = key;
+  for (TypeId t : types) {
+    Value v;
+    DMX_RETURN_IF_ERROR(DecodeKeyValue(&in, t, &v));
+    out->push_back(std::move(v));
+  }
+  if (!in.empty()) return Status::Corruption("trailing key bytes");
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,29 @@
+// Memory-resident storage methods.
+//
+//  * "temp" — temporary relations (the base system's storage method with
+//    internal identifier 1, per the paper's example). Not logged, not
+//    recoverable: contents live only as long as the process, and survive
+//    transaction abort (classic System-R temporary-relation semantics).
+//
+//  * "mainmemory" — the paper's intro motivation: "main memory data storage
+//    methods for selected high traffic relations". Fully transactional:
+//    operations are logged logically through the common log; state is
+//    reconstructed by restart redo replaying the log into the empty table
+//    (an extension exercising its latitude to choose a recovery technique).
+//
+// Record keys are 8-byte big-endian insertion counters, so key-sequential
+// order is insertion order.
+
+#ifndef DMX_SM_MEMORY_H_
+#define DMX_SM_MEMORY_H_
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+const SmOps& TempStorageMethodOps();
+const SmOps& MainMemoryStorageMethodOps();
+
+}  // namespace dmx
+
+#endif  // DMX_SM_MEMORY_H_

@@ -1,0 +1,47 @@
+// RID: the record key of page-based storage methods — (page, slot),
+// encoded big-endian so memcmp order equals physical scan order.
+
+#ifndef DMX_SM_RID_H_
+#define DMX_SM_RID_H_
+
+#include <string>
+
+#include "src/util/common.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  std::string Encode() const {
+    std::string out(6, '\0');
+    out[0] = static_cast<char>(page >> 24);
+    out[1] = static_cast<char>(page >> 16);
+    out[2] = static_cast<char>(page >> 8);
+    out[3] = static_cast<char>(page);
+    out[4] = static_cast<char>(slot >> 8);
+    out[5] = static_cast<char>(slot);
+    return out;
+  }
+
+  static Status Decode(const Slice& in, Rid* out) {
+    if (in.size() != 6) return Status::InvalidArgument("bad RID length");
+    auto b = [&](int i) { return static_cast<uint8_t>(in[i]); };
+    out->page = (static_cast<PageId>(b(0)) << 24) |
+                (static_cast<PageId>(b(1)) << 16) |
+                (static_cast<PageId>(b(2)) << 8) | b(3);
+    out->slot = static_cast<uint16_t>((b(4) << 8) | b(5));
+    return Status::OK();
+  }
+
+  bool operator==(const Rid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+}  // namespace dmx
+
+#endif  // DMX_SM_RID_H_

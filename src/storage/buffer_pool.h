@@ -1,0 +1,124 @@
+// BufferPool: fixed set of in-memory frames over a PageFile with clock
+// eviction, pin counts, and WAL-before-write enforcement.
+//
+// Extensions (heap and B-tree structures) access pages only through pinned
+// PageHandles; RecordViews handed to the common predicate evaluator alias
+// the pinned frame, which is how filtering happens "while the field values
+// ... are still in the buffer pool" (paper, Common Services).
+
+#ifndef DMX_STORAGE_BUFFER_POOL_H_
+#define DMX_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/page_file.h"
+#include "src/util/common.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+class BufferPool;
+
+/// RAII pin on a buffer frame. Move-only; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle() { Release(); }
+
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+
+  /// Mark the frame dirty (call after mutating the page image).
+  void MarkDirty();
+
+  /// Unpin early (before destruction).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId pid, Page* page)
+      : pool_(pool), frame_(frame), page_id_(pid), page_(page) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+};
+
+/// Statistics counters (for tests and benchmarks).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// Buffer manager over one PageFile. Thread-safe (single internal mutex;
+/// page content latching is the caller's concern — the lock manager
+/// serializes record-level access above this layer).
+class BufferPool {
+ public:
+  /// `wal_flush` is invoked with a page's LSN before that page is written
+  /// back, enforcing write-ahead logging; pass nullptr for WAL-less use.
+  BufferPool(PageFile* file, size_t capacity,
+             std::function<Status(Lsn)> wal_flush = nullptr);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pin an existing page.
+  Status Fetch(PageId id, PageHandle* out);
+  /// Allocate and pin a fresh zeroed page.
+  Status New(PageId* id, PageHandle* out);
+  /// Drop a page: must not be pinned; discards the frame and frees the page.
+  Status FreePage(PageId id);
+
+  /// Write back all dirty frames (does not evict).
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId pid = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+    bool in_use = false;
+  };
+
+  void Unpin(size_t frame, PageId pid);
+  // Requires mu_ held. Finds a victim frame, writing it back if dirty.
+  Status GetFreeFrame(size_t* frame);
+  // Requires mu_ held.
+  Status FlushFrame(Frame& f);
+
+  PageFile* file_;
+  size_t capacity_;
+  std::function<Status(Lsn)> wal_flush_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+  std::mutex mu_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_STORAGE_BUFFER_POOL_H_

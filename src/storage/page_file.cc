@@ -1,0 +1,155 @@
+#include "src/storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+namespace {
+constexpr uint32_t kMagic = 0x444D5831;  // "DMX1"
+}  // namespace
+
+Lsn PageLsn(const Page& p) { return DecodeFixed64(p.data); }
+
+void SetPageLsn(Page* p, Lsn lsn) {
+  char buf[8];
+  memcpy(buf, &lsn, 8);
+  memcpy(p->data, buf, 8);
+}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) Close();
+}
+
+Status PageFile::Open(const std::string& path, bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size == 0) {
+    // Fresh file: write the header page.
+    page_count_ = 1;
+    freelist_head_ = kInvalidPageId;
+    return WriteHeader();
+  }
+  return ReadHeader();
+}
+
+Status PageFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = WriteHeader();
+  ::close(fd_);
+  fd_ = -1;
+  return s;
+}
+
+Status PageFile::ReadRaw(PageId id, char* buf) {
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status PageFile::WriteRaw(PageId id, const char* buf) {
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status PageFile::ReadHeader() {
+  char buf[kPageSize];
+  DMX_RETURN_IF_ERROR(ReadRaw(0, buf));
+  if (DecodeFixed32(buf) != kMagic) {
+    return Status::Corruption("bad magic in '" + path_ + "'");
+  }
+  page_count_ = DecodeFixed32(buf + 4);
+  freelist_head_ = DecodeFixed32(buf + 8);
+  return Status::OK();
+}
+
+Status PageFile::WriteHeader() {
+  char buf[kPageSize];
+  memset(buf, 0, kPageSize);
+  std::string hdr;
+  PutFixed32(&hdr, kMagic);
+  PutFixed32(&hdr, page_count_);
+  PutFixed32(&hdr, freelist_head_);
+  memcpy(buf, hdr.data(), hdr.size());
+  return WriteRaw(0, buf);
+}
+
+Status PageFile::Allocate(PageId* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freelist_head_ != kInvalidPageId) {
+    PageId reused = freelist_head_;
+    char buf[kPageSize];
+    DMX_RETURN_IF_ERROR(ReadRaw(reused, buf));
+    freelist_head_ = DecodeFixed32(buf + 8);  // next ptr after LSN word
+    memset(buf, 0, kPageSize);
+    DMX_RETURN_IF_ERROR(WriteRaw(reused, buf));
+    DMX_RETURN_IF_ERROR(WriteHeader());
+    *id = reused;
+    return Status::OK();
+  }
+  PageId fresh = page_count_++;
+  char buf[kPageSize];
+  memset(buf, 0, kPageSize);
+  DMX_RETURN_IF_ERROR(WriteRaw(fresh, buf));
+  DMX_RETURN_IF_ERROR(WriteHeader());
+  *id = fresh;
+  return Status::OK();
+}
+
+Status PageFile::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("free of invalid page " +
+                                   std::to_string(id));
+  }
+  char buf[kPageSize];
+  memset(buf, 0, kPageSize);
+  std::string next;
+  PutFixed32(&next, freelist_head_);
+  memcpy(buf + 8, next.data(), 4);
+  DMX_RETURN_IF_ERROR(WriteRaw(id, buf));
+  freelist_head_ = id;
+  return WriteHeader();
+}
+
+Status PageFile::Read(PageId id, Page* page) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("read of invalid page " +
+                                   std::to_string(id));
+  }
+  return ReadRaw(id, page->data);
+}
+
+Status PageFile::Write(PageId id, const Page& page) {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::InvalidArgument("write of invalid page " +
+                                   std::to_string(id));
+  }
+  return WriteRaw(id, page.data);
+}
+
+Status PageFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::IOError("fsync");
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,75 @@
+// PageFile: page-granular file storage with an embedded free list.
+//
+// One PageFile backs all page-based structures of a database (heap segments,
+// B-tree segments, catalog). Page 0 is the file header:
+//   u32 magic | u32 page_count | u32 freelist_head
+// Free pages form a singly linked list threaded through their first 4 bytes
+// after the LSN word.
+
+#ifndef DMX_STORAGE_PAGE_FILE_H_
+#define DMX_STORAGE_PAGE_FILE_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/util/common.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// An 8 KiB page image. By convention the first 8 bytes of every data page
+/// hold the page LSN (see PageLsn/SetPageLsn) so the buffer pool can enforce
+/// the WAL rule.
+struct Page {
+  char data[kPageSize];
+};
+
+/// Read the page LSN from a page image.
+Lsn PageLsn(const Page& p);
+/// Stamp the page LSN on a page image.
+void SetPageLsn(Page* p, Lsn lsn);
+
+/// Thread-safe page-granular file. All methods may be called concurrently.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Open (or create) the file at `path`.
+  Status Open(const std::string& path, bool create);
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Allocate a fresh page (zeroed). Reuses freed pages first.
+  Status Allocate(PageId* id);
+  /// Return a page to the free list.
+  Status Free(PageId id);
+
+  Status Read(PageId id, Page* page);
+  Status Write(PageId id, const Page& page);
+
+  /// Total pages including header and free pages.
+  uint32_t page_count() const { return page_count_; }
+
+  /// fsync the file.
+  Status Sync();
+
+ private:
+  Status ReadHeader();
+  Status WriteHeader();
+  Status ReadRaw(PageId id, char* buf);
+  Status WriteRaw(PageId id, const char* buf);
+
+  int fd_ = -1;
+  std::string path_;
+  uint32_t page_count_ = 0;
+  PageId freelist_head_ = kInvalidPageId;
+  std::mutex mu_;  // guards allocation metadata
+};
+
+}  // namespace dmx
+
+#endif  // DMX_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,147 @@
+#include "src/txn/lock_manager.h"
+
+#include <functional>
+
+namespace dmx {
+
+namespace {
+
+// compat[held][req]
+constexpr bool kCompat[5][5] = {
+    //            IS     IX     S      SIX    X
+    /* IS  */ {true, true, true, true, false},
+    /* IX  */ {true, true, false, false, false},
+    /* S   */ {true, false, true, false, false},
+    /* SIX */ {true, false, false, false, false},
+    /* X   */ {false, false, false, false, false},
+};
+
+}  // namespace
+
+bool LockCompatible(LockMode held, LockMode req) {
+  return kCompat[static_cast<int>(held)][static_cast<int>(req)];
+}
+
+LockMode LockSupremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  auto has = [&](LockMode m) { return a == m || b == m; };
+  if (has(LockMode::kSIX)) return LockMode::kSIX;
+  if (has(LockMode::kS) && has(LockMode::kIX)) return LockMode::kSIX;
+  if (has(LockMode::kS)) return LockMode::kS;   // S ∨ IS
+  if (has(LockMode::kIX)) return LockMode::kIX; // IX ∨ IS
+  return LockMode::kIS;
+}
+
+bool LockManager::CanGrant(const Entry& e, TxnId txn, LockMode mode) const {
+  for (const auto& [holder, held] : e.granted) {
+    if (holder == txn) continue;
+    if (!LockCompatible(held, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, const std::string& resource,
+                                LockMode mode) const {
+  // DFS over the waits-for graph: waiter -> {incompatible holders of the
+  // resource it waits on} -> resources those are waiting on -> ...
+  std::set<TxnId> visited;
+  std::function<bool(TxnId, const std::string&, LockMode)> blocked_by_waiter =
+      [&](TxnId w, const std::string& res, LockMode m) -> bool {
+    auto it = table_.find(res);
+    if (it == table_.end()) return false;
+    for (const auto& [holder, held] : it->second.granted) {
+      if (holder == w) continue;
+      if (LockCompatible(held, m)) continue;
+      if (holder == waiter) return true;  // cycle back to original waiter
+      if (!visited.insert(holder).second) continue;
+      // What is `holder` itself waiting on?
+      for (const auto& [res2, entry2] : table_) {
+        auto wit = entry2.waiting.find(holder);
+        if (wit != entry2.waiting.end()) {
+          if (blocked_by_waiter(holder, res2, wit->second)) return true;
+        }
+      }
+    }
+    return false;
+  };
+  return blocked_by_waiter(waiter, resource, mode);
+}
+
+Status LockManager::Lock(TxnId txn, const std::string& resource,
+                         LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry& e = table_[resource];
+  auto mine = e.granted.find(txn);
+  LockMode needed = mode;
+  if (mine != e.granted.end()) {
+    needed = LockSupremum(mine->second, mode);
+    if (needed == mine->second) return Status::OK();  // already dominated
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (!CanGrant(e, txn, needed)) {
+    if (WouldDeadlock(txn, resource, needed)) {
+      return Status::Deadlock("lock '" + resource + "'");
+    }
+    e.waiting[txn] = needed;
+    auto result = cv_.wait_until(lock, deadline);
+    e.waiting.erase(txn);
+    if (result == std::cv_status::timeout) {
+      return Status::Busy("lock timeout on '" + resource + "'");
+    }
+  }
+  e.granted[txn] = needed;
+  by_txn_[txn].insert(resource);
+  return Status::OK();
+}
+
+Status LockManager::TryLock(TxnId txn, const std::string& resource,
+                            LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = table_[resource];
+  auto mine = e.granted.find(txn);
+  LockMode needed = mode;
+  if (mine != e.granted.end()) {
+    needed = LockSupremum(mine->second, mode);
+    if (needed == mine->second) return Status::OK();
+  }
+  if (!CanGrant(e, txn, needed)) {
+    return Status::Busy("lock '" + resource + "' held incompatibly");
+  }
+  e.granted[txn] = needed;
+  by_txn_[txn].insert(resource);
+  return Status::OK();
+}
+
+void LockManager::UnlockAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const std::string& res : it->second) {
+    auto tit = table_.find(res);
+    if (tit == table_.end()) continue;
+    tit->second.granted.erase(txn);
+    if (tit->second.granted.empty() && tit->second.waiting.empty()) {
+      table_.erase(tit);
+    }
+  }
+  by_txn_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& resource,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(resource);
+  if (it == table_.end()) return false;
+  auto g = it->second.granted.find(txn);
+  if (g == it->second.granted.end()) return false;
+  return LockSupremum(g->second, mode) == g->second;
+}
+
+size_t LockManager::LockedResourceCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace dmx

@@ -1,0 +1,95 @@
+// LockManager: the system-supplied locking-based concurrency controller.
+//
+// The paper: "the architecture assumes that all storage method and
+// attachment implementations will use a locking-based concurrency
+// controller... a system-supplied lock manager will be available...
+// all lock controllers must be able to participate in transaction commit
+// and system-wide deadlock detection events."
+//
+// Hierarchical modes (IS/IX/S/SIX/X) over named resources; relation- and
+// record-granularity names are composed with the LockNames helpers.
+// Deadlocks are detected with a waits-for graph check when a request is
+// about to block; the requester is the victim.
+
+#ifndef DMX_TXN_LOCK_MANAGER_H_
+#define DMX_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kSIX = 3, kX = 4 };
+
+/// True if a holder in `held` permits another transaction to acquire `req`.
+bool LockCompatible(LockMode held, LockMode req);
+
+/// Least mode that dominates both (lattice join), e.g. S ∨ IX = SIX.
+LockMode LockSupremum(LockMode a, LockMode b);
+
+/// Canonical lock resource names.
+struct LockNames {
+  static std::string Relation(RelationId rel) {
+    return "rel:" + std::to_string(rel);
+  }
+  static std::string Record(RelationId rel, const Slice& key) {
+    return "rec:" + std::to_string(rel) + ":" + key.ToString();
+  }
+};
+
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Acquire (or upgrade to) `mode` on `resource` for `txn`. Blocks while
+  /// incompatible; returns Deadlock if granting would require waiting on a
+  /// cycle, Busy on timeout.
+  Status Lock(TxnId txn, const std::string& resource, LockMode mode);
+
+  /// Non-blocking acquire; Busy if it would wait.
+  Status TryLock(TxnId txn, const std::string& resource, LockMode mode);
+
+  /// Release all locks held by `txn` (at commit/abort: strict 2PL).
+  void UnlockAll(TxnId txn);
+
+  /// True if `txn` holds `resource` at a mode dominating `mode`.
+  bool Holds(TxnId txn, const std::string& resource, LockMode mode) const;
+
+  /// Number of distinct resources currently locked (tests).
+  size_t LockedResourceCount() const;
+
+  /// How long to wait before declaring Busy (deadlocks are detected
+  /// eagerly; the timeout is a safety net).
+  void set_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+ private:
+  struct Entry {
+    std::map<TxnId, LockMode> granted;
+    // Transactions currently blocked on this resource and the mode needed.
+    std::map<TxnId, LockMode> waiting;
+  };
+
+  // All require mu_ held:
+  bool CanGrant(const Entry& e, TxnId txn, LockMode mode) const;
+  bool WouldDeadlock(TxnId waiter, const std::string& resource,
+                     LockMode mode) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Entry> table_;
+  std::map<TxnId, std::set<std::string>> by_txn_;
+  std::chrono::milliseconds timeout_{2000};
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TXN_LOCK_MANAGER_H_

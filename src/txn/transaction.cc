@@ -1,0 +1,40 @@
+#include "src/txn/transaction.h"
+
+namespace dmx {
+
+void Transaction::Defer(TxnEvent event, DeferredAction action) {
+  deferred_[event].push_back({std::move(action), last_lsn_});
+}
+
+size_t Transaction::DeferredCount(TxnEvent event) const {
+  auto it = deferred_.find(event);
+  return it == deferred_.end() ? 0 : it->second.size();
+}
+
+Status Transaction::RunDeferred(TxnEvent event, bool stop_on_error) {
+  auto it = deferred_.find(event);
+  if (it == deferred_.end()) return Status::OK();
+  std::vector<QueuedAction> queue;
+  queue.swap(it->second);
+  Status first_error;
+  for (QueuedAction& qa : queue) {
+    Status s = qa.action(this);
+    if (!s.ok()) {
+      if (stop_on_error) return s;
+      if (first_error.ok()) first_error = s;
+    }
+  }
+  return first_error;
+}
+
+void Transaction::DropDeferredAfter(Lsn lsn) {
+  for (auto& [event, queue] : deferred_) {
+    std::vector<QueuedAction> kept;
+    for (QueuedAction& qa : queue) {
+      if (qa.enqueue_lsn <= lsn) kept.push_back(std::move(qa));
+    }
+    queue.swap(kept);
+  }
+}
+
+}  // namespace dmx

@@ -1,0 +1,140 @@
+#include "src/txn/transaction_manager.h"
+
+namespace dmx {
+
+Transaction* TransactionManager::Begin() {
+  TxnId id = next_txn_id_.fetch_add(1);
+  auto txn = std::unique_ptr<Transaction>(new Transaction(id));
+  LogRecord rec;
+  rec.type = LogRecType::kBegin;
+  rec.txn = id;
+  rec.prev_lsn = kInvalidLsn;
+  log_->Append(&rec);
+  txn->set_last_lsn(rec.lsn);
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[id] = std::move(txn);
+  return raw;
+}
+
+Status TransactionManager::FinishTxn(Transaction* txn, bool committed) {
+  for (TxnObserver* obs : observers_) {
+    obs->OnTransactionEnd(txn, committed);
+  }
+  locks_->UnlockAll(txn->id());
+  LogRecord end;
+  end.type = LogRecType::kEnd;
+  end.txn = txn->id();
+  end.prev_lsn = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(log_->Append(&end));
+  txn->set_last_lsn(end.lsn);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(txn->id());  // frees the Transaction
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+
+  // Deferred integrity constraints run now; a failure aborts.
+  Status pre = txn->RunDeferred(TxnEvent::kBeforePrepare,
+                                /*stop_on_error=*/true);
+  if (!pre.ok()) {
+    Status abort_status = Abort(txn);
+    if (!abort_status.ok()) return abort_status;
+    return pre;
+  }
+
+  LogRecord commit;
+  commit.type = LogRecType::kCommit;
+  commit.txn = txn->id();
+  commit.prev_lsn = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(log_->Append(&commit));
+  txn->set_last_lsn(commit.lsn);
+  DMX_RETURN_IF_ERROR(log_->FlushTo(commit.lsn));  // force at commit
+  txn->state_ = TxnState::kCommitted;
+
+  // Complete deferred work (e.g. release storage of dropped relations).
+  Status post = txn->RunDeferred(TxnEvent::kCommit, /*stop_on_error=*/false);
+
+  DMX_RETURN_IF_ERROR(FinishTxn(txn, /*committed=*/true));
+  return post;
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() == TxnState::kAborted) return Status::OK();
+  if (txn->state() == TxnState::kCommitted) {
+    return Status::Aborted("cannot abort a committed transaction");
+  }
+  LogRecord abort_rec;
+  abort_rec.type = LogRecType::kAbort;
+  abort_rec.txn = txn->id();
+  abort_rec.prev_lsn = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(log_->Append(&abort_rec));
+  txn->set_last_lsn(abort_rec.lsn);
+
+  Lsn last = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), kInvalidLsn, &last));
+  txn->set_last_lsn(last);
+
+  txn->RunDeferred(TxnEvent::kAbort, /*stop_on_error=*/false);
+  txn->state_ = TxnState::kAborted;
+  return FinishTxn(txn, /*committed=*/false);
+}
+
+Status TransactionManager::Savepoint(Transaction* txn,
+                                     const std::string& name) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  LogRecord rec;
+  rec.type = LogRecType::kSavepoint;
+  rec.txn = txn->id();
+  rec.prev_lsn = txn->last_lsn();
+  rec.savepoint_name = name;
+  DMX_RETURN_IF_ERROR(log_->Append(&rec));
+  txn->set_last_lsn(rec.lsn);
+  // Replace an existing savepoint of the same name.
+  auto& sps = txn->savepoints_;
+  for (auto it = sps.begin(); it != sps.end(); ++it) {
+    if (it->first == name) {
+      sps.erase(it);
+      break;
+    }
+  }
+  sps.emplace_back(name, rec.lsn);
+  // Drive common services to capture their positions (scan manager).
+  for (TxnObserver* obs : observers_) obs->OnSavepoint(txn, name);
+  return Status::OK();
+}
+
+Status TransactionManager::RollbackToSavepoint(Transaction* txn,
+                                               const std::string& name) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  auto& sps = txn->savepoints_;
+  Lsn target = kInvalidLsn;
+  size_t keep = 0;
+  for (size_t i = 0; i < sps.size(); ++i) {
+    if (sps[i].first == name) {
+      target = sps[i].second;
+      keep = i + 1;  // keep this savepoint and all earlier ones
+    }
+  }
+  if (target == kInvalidLsn) {
+    return Status::NotFound("savepoint '" + name + "'");
+  }
+  Lsn last = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), target, &last));
+  txn->set_last_lsn(last);
+  sps.resize(keep);
+  txn->DropDeferredAfter(target);
+  for (TxnObserver* obs : observers_) obs->OnPartialRollback(txn, name);
+  return Status::OK();
+}
+
+Status TransactionManager::RollbackTo(Transaction* txn, Lsn to_lsn) {
+  Lsn last = txn->last_lsn();
+  DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), to_lsn, &last));
+  txn->set_last_lsn(last);
+  return Status::OK();
+}
+
+}  // namespace dmx

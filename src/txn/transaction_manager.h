@@ -1,0 +1,115 @@
+// TransactionManager: begin/commit/abort, savepoints, and the event
+// notification fan-out to common-service observers (e.g. the scan manager,
+// which must close scans at transaction termination and save/restore scan
+// positions around savepoints).
+
+#ifndef DMX_TXN_TRANSACTION_MANAGER_H_
+#define DMX_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/txn/lock_manager.h"
+#include "src/txn/transaction.h"
+#include "src/wal/recovery.h"
+
+namespace dmx {
+
+/// Common-service observer of transaction lifecycle events.
+///
+/// The paper: "a common service facility will notify all storage methods
+/// and attachments which used key-sequential accesses during the
+/// transaction when the transaction completes so that they can clean up
+/// (i.e., close) any open scans", and "when a transaction rollback point is
+/// established, the storage methods and attachments are driven by the
+/// system to obtain their key-sequential access positions".
+class TxnObserver {
+ public:
+  virtual ~TxnObserver() = default;
+  /// Fired after commit is durable or rollback is complete, before locks
+  /// are released.
+  virtual void OnTransactionEnd(Transaction* txn, bool committed) = 0;
+  /// Fired when a savepoint is established: capture positions.
+  virtual void OnSavepoint(Transaction* txn, const std::string& name) = 0;
+  /// Fired after a partial rollback: restore positions captured at `name`.
+  virtual void OnPartialRollback(Transaction* txn,
+                                 const std::string& name) = 0;
+};
+
+class TransactionManager {
+ public:
+  TransactionManager(LogManager* log, LockManager* locks)
+      : log_(log), locks_(locks) {}
+
+  /// Install the recovery apply callback (set by the data manager after the
+  /// procedure vectors exist). Must be called before any transactions run.
+  void SetApplyFn(ApplyLogFn apply) {
+    driver_ = std::make_unique<RecoveryDriver>(log_, std::move(apply));
+  }
+  RecoveryDriver* driver() { return driver_.get(); }
+
+  void AddObserver(TxnObserver* obs) { observers_.push_back(obs); }
+
+  /// Start a new transaction. The returned pointer stays valid until the
+  /// transaction ends (manager-owned).
+  Transaction* Begin();
+
+  /// Commit: runs before-prepare deferred actions (a failure here aborts
+  /// and returns that failure), forces the log, runs commit deferred
+  /// actions, notifies observers, releases locks.
+  Status Commit(Transaction* txn);
+
+  /// Abort: log-driven rollback of all effects, then cleanup as above.
+  Status Abort(Transaction* txn);
+
+  /// Establish a named rollback point. Re-using a name replaces it.
+  Status Savepoint(Transaction* txn, const std::string& name);
+
+  /// Partial rollback: undo effects after the savepoint, discard deferred
+  /// actions enqueued since, and restore observer state (scan positions).
+  /// The savepoint itself remains usable.
+  Status RollbackToSavepoint(Transaction* txn, const std::string& name);
+
+  /// Internal rollback used for vetoed relation modifications: undo
+  /// strictly past `to_lsn` without touching savepoints/observers.
+  Status RollbackTo(Transaction* txn, Lsn to_lsn);
+
+  LockManager* lock_manager() { return locks_; }
+  LogManager* log() { return log_; }
+
+  /// Count of transactions ever begun (tests).
+  uint64_t transactions_started() const { return next_txn_id_ - 1; }
+
+  /// Transactions currently live (quiesced-checkpoint precondition).
+  size_t ActiveTransactionCount() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
+
+  /// Raise the next transaction id (restart: ids must not collide with
+  /// transactions already in the log).
+  void EnsureTxnIdAbove(TxnId floor) {
+    TxnId current = next_txn_id_.load();
+    while (current <= floor &&
+           !next_txn_id_.compare_exchange_weak(current, floor + 1)) {
+    }
+  }
+
+ private:
+  Status FinishTxn(Transaction* txn, bool committed);
+
+  LogManager* log_;
+  LockManager* locks_;
+  std::unique_ptr<RecoveryDriver> driver_;
+  std::vector<TxnObserver*> observers_;
+  std::atomic<TxnId> next_txn_id_{1};
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
+  std::mutex mu_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,85 @@
+#include "src/types/schema.h"
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& values) const {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = values[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::Constraint("column '" + col.name + "' is NOT NULL");
+      }
+      continue;
+    }
+    if (v.type() == col.type) continue;
+    // Allow int literal where double expected.
+    if (col.type == TypeId::kDouble && v.type() == TypeId::kInt64) continue;
+    return Status::InvalidArgument("column '" + col.name + "' expects " +
+                                   TypeName(col.type) + ", got " +
+                                   TypeName(v.type()));
+  }
+  return Status::OK();
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    PutLengthPrefixedSlice(dst, c.name);
+    dst->push_back(static_cast<char>(c.type));
+    dst->push_back(c.nullable ? 1 : 0);
+  }
+}
+
+Status Schema::DecodeFrom(Slice* input, Schema* out) {
+  uint32_t n = 0;
+  if (!GetVarint32(input, &n)) return Status::Corruption("schema count");
+  // Each column needs at least 3 bytes (name length + type + nullable), so
+  // a count exceeding the remaining bytes is corrupt — never trust a wire
+  // count enough to reserve unbounded memory.
+  if (n > input->size()) return Status::Corruption("schema count absurd");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice name;
+    if (!GetLengthPrefixedSlice(input, &name) || input->size() < 2) {
+      return Status::Corruption("schema column");
+    }
+    Column c;
+    c.name = name.ToString();
+    c.type = static_cast<TypeId>((*input)[0]);
+    c.nullable = (*input)[1] != 0;
+    input->remove_prefix(2);
+    cols.push_back(std::move(c));
+  }
+  *out = Schema(std::move(cols));
+  return Status::OK();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].nullable != other.columns_[i].nullable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmx

@@ -1,0 +1,52 @@
+// Schema: ordered, typed column list of a relation.
+
+#ifndef DMX_TYPES_SCHEMA_H_
+#define DMX_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/types/value.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// A single column definition.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool nullable = true;
+};
+
+/// Ordered column list of a relation. Immutable once attached to a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Checks that `values` (one per column, in order) match the column types;
+  /// NULLs allowed only for nullable columns. Numeric widening (int given
+  /// where double expected) is accepted and normalized by Record encoding.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+  /// Serialize for the catalog.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Schema* out);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TYPES_SCHEMA_H_

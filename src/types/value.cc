@@ -1,0 +1,65 @@
+#include "src/types/value.h"
+
+#include <cstdio>
+
+namespace dmx {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOL";
+    case TypeId::kInt64: return "INT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numeric cross-type comparison by value.
+  if (is_numeric() && other.is_numeric()) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case TypeId::kBool: {
+      bool a = bool_value(), b = other.bool_value();
+      return a == b ? 0 : (a ? 1 : -1);
+    }
+    case TypeId::kString:
+      return string_value().compare(other.string_value()) < 0
+                 ? -1
+                 : (string_value() == other.string_value() ? 0 : 1);
+    default:
+      return 0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return bool_value() ? "true" : "false";
+    case TypeId::kInt64: return std::to_string(int_value());
+    case TypeId::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case TypeId::kString: return "'" + string_value() + "'";
+  }
+  return "?";
+}
+
+}  // namespace dmx

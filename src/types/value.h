@@ -1,0 +1,105 @@
+// Value: the common field value representation shared by all extensions.
+//
+// The paper requires "common record and field value representations needed
+// to allow communication with the generic operations comprising the storage
+// method and attachment extensions". Value is that representation in its
+// decoded form; Record (record.h) is the packed on-page form.
+
+#ifndef DMX_TYPES_VALUE_H_
+#define DMX_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// Field data types understood by the common services.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Name of a type for error messages and catalog display.
+const char* TypeName(TypeId t);
+
+/// A decoded field value. Small, copyable; strings own their bytes.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(TypeId::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = TypeId::kBool;
+    v.rep_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = TypeId::kInt64;
+    v.rep_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = TypeId::kDouble;
+    v.rep_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = TypeId::kString;
+    v.rep_ = std::move(s);
+    return v;
+  }
+  static Value String(const Slice& s) { return String(s.ToString()); }
+  static Value String(const char* s) { return String(std::string(s)); }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int64 and double both usable as double in comparisons
+  /// and arithmetic.
+  double AsDouble() const {
+    if (type_ == TypeId::kInt64) return static_cast<double>(int_value());
+    return double_value();
+  }
+
+  bool is_numeric() const {
+    return type_ == TypeId::kInt64 || type_ == TypeId::kDouble;
+  }
+
+  /// Three-way comparison. NULL compares less than any non-NULL; numeric
+  /// types compare cross-type by value. Comparing string with numeric is
+  /// an error surfaced as InvalidArgument by callers that validate types;
+  /// here it falls back to type-id order for total-order container use.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Display form for examples and error messages.
+  std::string ToString() const;
+
+ private:
+  TypeId type_;
+  std::variant<bool, int64_t, double, std::string> rep_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TYPES_VALUE_H_

@@ -1,0 +1,45 @@
+// Common identifier types shared across the system.
+
+#ifndef DMX_UTIL_COMMON_H_
+#define DMX_UTIL_COMMON_H_
+
+#include <cstdint>
+
+namespace dmx {
+
+/// Page number within the database file. Page 0 is the file header.
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0;
+
+/// Log sequence number. 0 means "none".
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+/// Transaction identifier. 0 means "no transaction".
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
+/// Relation (table) identifier assigned by the catalog.
+using RelationId = uint32_t;
+constexpr RelationId kInvalidRelationId = 0;
+
+/// Storage-method type identifier: a small integer indexing the storage
+/// method procedure vectors (the paper: "storage method and attachment
+/// internal identifiers are small integers that serve as indexes into the
+/// vectors of procedures").
+using SmId = uint16_t;
+
+/// Attachment type identifier: indexes the attachment procedure vectors and
+/// selects field N of the extensible relation descriptor.
+using AtId = uint16_t;
+
+/// The paper notes the record-oriented relation descriptor format
+/// "effectively limits the number of different attachment types to a few
+/// dozen"; we adopt the same bound.
+constexpr AtId kMaxAttachmentTypes = 32;
+
+constexpr size_t kPageSize = 8192;
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_COMMON_H_

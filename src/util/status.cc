@@ -1,0 +1,25 @@
+#include "src/util/status.h"
+
+namespace dmx {
+
+std::string Status::ToString() const {
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case Code::kOk: name = "OK"; break;
+    case Code::kNotFound: name = "NOT_FOUND"; break;
+    case Code::kCorruption: name = "CORRUPTION"; break;
+    case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+    case Code::kIOError: name = "IO_ERROR"; break;
+    case Code::kNotSupported: name = "NOT_SUPPORTED"; break;
+    case Code::kBusy: name = "BUSY"; break;
+    case Code::kDeadlock: name = "DEADLOCK"; break;
+    case Code::kVeto: name = "VETO"; break;
+    case Code::kConstraint: name = "CONSTRAINT"; break;
+    case Code::kAborted: name = "ABORTED"; break;
+    case Code::kInternal: name = "INTERNAL"; break;
+  }
+  if (msg_.empty()) return name;
+  return std::string(name) + ": " + msg_;
+}
+
+}  // namespace dmx

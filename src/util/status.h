@@ -1,0 +1,112 @@
+// Status: lightweight result type for fallible operations.
+//
+// Follows the RocksDB/Arrow idiom: operations return a Status (or fill an
+// output parameter and return Status); exceptions are not used on data
+// paths. A Status is cheap to construct in the OK case (no allocation).
+
+#ifndef DMX_UTIL_STATUS_H_
+#define DMX_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace dmx {
+
+/// Result of a fallible operation.
+///
+/// `Veto` is a distinguished code used by attachment implementations to
+/// reject a relation modification (the paper: "any attachment can veto the
+/// entire record modification operation"); the data manager converts a veto
+/// into a partial rollback of the already-executed effects.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kNotSupported,
+    kBusy,          // lock not granted / would block
+    kDeadlock,      // chosen as deadlock victim
+    kVeto,          // attachment vetoed a relation modification
+    kConstraint,    // integrity constraint violated (a kind of veto)
+    kAborted,       // transaction already aborted / rollback in progress
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Veto(std::string msg = "") {
+    return Status(Code::kVeto, std::move(msg));
+  }
+  static Status Constraint(std::string msg = "") {
+    return Status(Code::kConstraint, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsVeto() const {
+    return code_ == Code::kVeto || code_ == Code::kConstraint;
+  }
+  bool IsConstraint() const { return code_ == Code::kConstraint; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and error reports.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Early-return helper: propagate a non-OK Status to the caller.
+#define DMX_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::dmx::Status _s = (expr);              \
+    if (!_s.ok()) return _s;                \
+  } while (0)
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_STATUS_H_

@@ -1,0 +1,189 @@
+#include "src/wal/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+namespace {
+constexpr size_t kLogHeaderSize = 16;
+constexpr uint32_t kLogMagic = 0x444D584C;  // "DMXL"
+}  // namespace
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) Close();
+}
+
+Status LogManager::Open(const std::string& path, bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open log '" + path + "': " + strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size == 0) {
+    base_lsn_ = 0;
+    DMX_RETURN_IF_ERROR(WriteHeader());
+    size = static_cast<off_t>(kLogHeaderSize);
+  } else {
+    char hdr[kLogHeaderSize];
+    if (::pread(fd_, hdr, kLogHeaderSize, 0) !=
+        static_cast<ssize_t>(kLogHeaderSize)) {
+      return Status::IOError("log header read");
+    }
+    if (DecodeFixed32(hdr) != kLogMagic) {
+      return Status::Corruption("bad log magic in '" + path + "'");
+    }
+    base_lsn_ = DecodeFixed64(hdr + 4);
+  }
+  next_lsn_ = base_lsn_ + static_cast<Lsn>(size) - kLogHeaderSize + 1;
+  flushed_lsn_ = next_lsn_ - 1;
+  buffer_start_ = next_lsn_;
+  return Status::OK();
+}
+
+Status LogManager::WriteHeader() {
+  char hdr[kLogHeaderSize];
+  memset(hdr, 0, sizeof(hdr));
+  std::string enc;
+  PutFixed32(&enc, kLogMagic);
+  PutFixed64(&enc, base_lsn_);
+  memcpy(hdr, enc.data(), enc.size());
+  if (::pwrite(fd_, hdr, kLogHeaderSize, 0) !=
+      static_cast<ssize_t>(kLogHeaderSize)) {
+    return Status::IOError("log header write");
+  }
+  return Status::OK();
+}
+
+Status LogManager::Close() {
+  Status s = FlushAll();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return s;
+}
+
+Status LogManager::Append(LogRecord* rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec->lsn = next_lsn_;
+  std::string body;
+  rec->EncodeTo(&body);
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(body.size()));
+  framed += body;
+  buffer_ += framed;
+  next_lsn_ += framed.size();
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn <= flushed_lsn_) return Status::OK();
+  if (buffer_.empty()) return Status::OK();
+  ssize_t n = ::pwrite(
+      fd_, buffer_.data(), buffer_.size(),
+      static_cast<off_t>(buffer_start_ - base_lsn_ - 1 + kLogHeaderSize));
+  if (n != static_cast<ssize_t>(buffer_.size())) {
+    return Status::IOError("log pwrite");
+  }
+  if (::fdatasync(fd_) != 0) return Status::IOError("log fdatasync");
+  buffer_start_ += buffer_.size();
+  flushed_lsn_ = buffer_start_ - 1;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LogManager::FlushAll() {
+  if (fd_ < 0) return Status::OK();
+  return FlushTo(next_lsn_ - 1);
+}
+
+Status LogManager::ReadAll(std::vector<LogRecord>* out) {
+  DMX_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size <= static_cast<off_t>(kLogHeaderSize)) return Status::OK();
+  std::string data(static_cast<size_t>(size) - kLogHeaderSize, '\0');
+  ssize_t n = ::pread(fd_, data.data(), data.size(), kLogHeaderSize);
+  if (n != static_cast<ssize_t>(data.size())) {
+    return Status::IOError("log read");
+  }
+  size_t pos = 0;
+  while (pos + 4 <= data.size()) {
+    uint32_t len = DecodeFixed32(data.data() + pos);
+    if (pos + 4 + len > data.size()) break;  // torn tail: stop
+    Slice body(data.data() + pos + 4, len);
+    LogRecord rec;
+    Status s = LogRecord::DecodeFrom(&body, &rec);
+    if (!s.ok()) break;  // treat as torn tail
+    rec.lsn = base_lsn_ + static_cast<Lsn>(pos) + 1;
+    out->push_back(std::move(rec));
+    pos += 4 + len;
+  }
+  return Status::OK();
+}
+
+Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn == kInvalidLsn || lsn <= base_lsn_ || lsn >= next_lsn_) {
+    return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
+  }
+  // Serve from the in-memory buffer if not yet flushed.
+  if (lsn >= buffer_start_) {
+    size_t off = static_cast<size_t>(lsn - buffer_start_);
+    if (off + 4 > buffer_.size()) return Status::Corruption("lsn in buffer");
+    uint32_t len = DecodeFixed32(buffer_.data() + off);
+    if (off + 4 + len > buffer_.size()) {
+      return Status::Corruption("lsn body in buffer");
+    }
+    Slice body(buffer_.data() + off + 4, len);
+    DMX_RETURN_IF_ERROR(LogRecord::DecodeFrom(&body, out));
+    out->lsn = lsn;
+    return Status::OK();
+  }
+  const off_t file_off =
+      static_cast<off_t>(lsn - base_lsn_ - 1 + kLogHeaderSize);
+  char lenbuf[4];
+  if (::pread(fd_, lenbuf, 4, file_off) != 4) {
+    return Status::IOError("log pread len");
+  }
+  uint32_t len = DecodeFixed32(lenbuf);
+  std::string body(len, '\0');
+  if (::pread(fd_, body.data(), len, file_off + 4) !=
+      static_cast<ssize_t>(len)) {
+    return Status::IOError("log pread body");
+  }
+  Slice in(body);
+  DMX_RETURN_IF_ERROR(LogRecord::DecodeFrom(&in, out));
+  out->lsn = lsn;
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffer_.empty()) {
+    return Status::Busy("flush the log before truncating");
+  }
+  base_lsn_ = next_lsn_ - 1;
+  if (::ftruncate(fd_, static_cast<off_t>(kLogHeaderSize)) != 0) {
+    return Status::IOError("log ftruncate");
+  }
+  DMX_RETURN_IF_ERROR(WriteHeader());
+  if (::fdatasync(fd_) != 0) return Status::IOError("log fdatasync");
+  buffer_start_ = next_lsn_;
+  flushed_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,78 @@
+// LogManager: append-only write-ahead log with group buffering.
+//
+// The file begins with a 16-byte header {magic, base_lsn}; records are
+// framed as u32 length + body. LSN = base_lsn + (file offset - header) + 1,
+// so kInvalidLsn = 0 is never a real LSN and LSNs keep increasing across
+// checkpoint truncations (page LSNs stamped before a checkpoint must stay
+// smaller than every post-checkpoint LSN for redo gating to work).
+
+#ifndef DMX_WAL_LOG_MANAGER_H_
+#define DMX_WAL_LOG_MANAGER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/status.h"
+#include "src/wal/log_record.h"
+
+namespace dmx {
+
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Open (or create) the log file.
+  Status Open(const std::string& path, bool create);
+  Status Close();
+
+  /// Append a record; assigns rec->lsn. Does not force to disk — call
+  /// FlushTo (the buffer-pool WAL hook and commits do).
+  Status Append(LogRecord* rec);
+
+  /// Ensure all records with lsn <= `lsn` are durable.
+  Status FlushTo(Lsn lsn);
+  /// Flush everything appended so far.
+  Status FlushAll();
+
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+  Lsn next_lsn() const { return next_lsn_; }
+
+  /// Read the entire log (for restart recovery). Truncated tails (torn
+  /// final record) are tolerated and ignored.
+  Status ReadAll(std::vector<LogRecord>* out);
+
+  /// Read a single record by LSN (for rollback chains).
+  Status ReadRecord(Lsn lsn, LogRecord* out);
+
+  /// Discard every record (checkpoint): the file is truncated to an empty
+  /// log whose base is the current end, so future LSNs continue from here.
+  /// The caller must ensure nothing in the discarded range is still
+  /// needed (no active transactions; all pages/snapshots flushed).
+  Status Truncate();
+
+  /// Statistics: number of records appended this session.
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  Status WriteHeader();
+
+  int fd_ = -1;
+  std::string path_;
+  Lsn base_lsn_ = 0;     // LSNs below this were truncated away
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = 0;  // highest durable LSN
+  std::string buffer_;   // unflushed bytes
+  Lsn buffer_start_ = 1; // LSN of buffer_[0]
+  uint64_t records_appended_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_WAL_LOG_MANAGER_H_

@@ -1,0 +1,93 @@
+#include "src/wal/log_record.h"
+
+#include "src/util/coding.h"
+
+namespace dmx {
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, txn);
+  PutVarint64(dst, prev_lsn);
+  switch (type) {
+    case LogRecType::kUpdate:
+    case LogRecType::kClr:
+      dst->push_back(static_cast<char>(ext_kind));
+      PutFixed16(dst, ext_id);
+      PutFixed32(dst, relation);
+      PutLengthPrefixedSlice(dst, payload);
+      if (type == LogRecType::kClr) PutVarint64(dst, undo_next);
+      break;
+    case LogRecType::kSavepoint:
+      PutLengthPrefixedSlice(dst, savepoint_name);
+      break;
+    default:
+      break;
+  }
+}
+
+Status LogRecord::DecodeFrom(Slice* input, LogRecord* out) {
+  if (input->empty()) return Status::Corruption("log record truncated");
+  out->type = static_cast<LogRecType>((*input)[0]);
+  input->remove_prefix(1);
+  uint64_t txn, prev;
+  if (!GetVarint64(input, &txn) || !GetVarint64(input, &prev)) {
+    return Status::Corruption("log record header");
+  }
+  out->txn = txn;
+  out->prev_lsn = prev;
+  switch (out->type) {
+    case LogRecType::kUpdate:
+    case LogRecType::kClr: {
+      if (input->empty()) return Status::Corruption("update record");
+      out->ext_kind = static_cast<ExtKind>((*input)[0]);
+      input->remove_prefix(1);
+      if (input->size() < 6) return Status::Corruption("update record ids");
+      out->ext_id = DecodeFixed16(input->data());
+      input->remove_prefix(2);
+      uint32_t rel;
+      if (!GetFixed32(input, &rel)) return Status::Corruption("relation id");
+      out->relation = rel;
+      Slice payload;
+      if (!GetLengthPrefixedSlice(input, &payload)) {
+        return Status::Corruption("update payload");
+      }
+      out->payload = payload.ToString();
+      if (out->type == LogRecType::kClr) {
+        uint64_t un;
+        if (!GetVarint64(input, &un)) return Status::Corruption("undo_next");
+        out->undo_next = un;
+      }
+      break;
+    }
+    case LogRecType::kSavepoint: {
+      Slice name;
+      if (!GetLengthPrefixedSlice(input, &name)) {
+        return Status::Corruption("savepoint name");
+      }
+      out->savepoint_name = name.ToString();
+      break;
+    }
+    case LogRecType::kBegin:
+    case LogRecType::kCommit:
+    case LogRecType::kAbort:
+    case LogRecType::kEnd:
+      break;
+    default:
+      return Status::Corruption("unknown log record type");
+  }
+  return Status::OK();
+}
+
+LogRecord MakeUpdateRecord(TxnId txn, ExtKind kind, uint16_t ext_id,
+                           RelationId relation, std::string payload) {
+  LogRecord rec;
+  rec.type = LogRecType::kUpdate;
+  rec.txn = txn;
+  rec.ext_kind = kind;
+  rec.ext_id = ext_id;
+  rec.relation = relation;
+  rec.payload = std::move(payload);
+  return rec;
+}
+
+}  // namespace dmx

@@ -1,0 +1,72 @@
+// Log records for the common recovery facility.
+//
+// The paper: "The data management extension architecture relies on the use
+// of a common recovery facility to drive, not only system restart and
+// transaction abort, but also the *partial rollback* of the actions of the
+// transaction... the common recovery log is used to drive the storage
+// method and attachment implementations to undo the partial effects of the
+// aborted relation modification."
+//
+// Update records therefore carry the *extension identity* (storage method or
+// attachment type id) plus an opaque payload that only that extension can
+// interpret; the recovery driver dispatches undo/redo back through the
+// extension procedure vectors.
+
+#ifndef DMX_WAL_LOG_RECORD_H_
+#define DMX_WAL_LOG_RECORD_H_
+
+#include <string>
+
+#include "src/util/common.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+enum class LogRecType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,      // abort decided; undo follows, then kEnd
+  kEnd = 4,        // transaction fully finished (committed or rolled back)
+  kUpdate = 5,     // extension-specific action with undo/redo payload
+  kClr = 6,        // compensation record for one undone kUpdate
+  kSavepoint = 7,  // partial-rollback point
+};
+
+/// Which procedure-vector family interprets an update payload.
+enum class ExtKind : uint8_t {
+  kStorageMethod = 0,
+  kAttachment = 1,
+};
+
+/// One log record. `lsn` is assigned by the log manager on append.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  LogRecType type = LogRecType::kBegin;
+  TxnId txn = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;  // previous record of the same transaction
+
+  // kUpdate / kClr:
+  ExtKind ext_kind = ExtKind::kStorageMethod;
+  uint16_t ext_id = 0;            // SmId or AtId
+  RelationId relation = kInvalidRelationId;
+  std::string payload;            // extension-private undo/redo encoding
+
+  // kClr only: next record to undo when this CLR is encountered during
+  // rollback (the prev_lsn of the compensated update).
+  Lsn undo_next = kInvalidLsn;
+
+  // kSavepoint only:
+  std::string savepoint_name;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, LogRecord* out);
+};
+
+/// Convenience constructor for an extension update record.
+LogRecord MakeUpdateRecord(TxnId txn, ExtKind kind, uint16_t ext_id,
+                           RelationId relation, std::string payload);
+
+}  // namespace dmx
+
+#endif  // DMX_WAL_LOG_RECORD_H_

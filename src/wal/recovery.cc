@@ -1,0 +1,93 @@
+#include "src/wal/recovery.h"
+
+namespace dmx {
+
+Status RecoveryDriver::Rollback(TxnId txn, Lsn to_lsn, Lsn* last_lsn) {
+  Lsn cursor = *last_lsn;
+  while (cursor != kInvalidLsn && cursor > to_lsn) {
+    LogRecord rec;
+    DMX_RETURN_IF_ERROR(log_->ReadRecord(cursor, &rec));
+    if (rec.txn != txn) {
+      return Status::Corruption("rollback chain crossed transactions");
+    }
+    switch (rec.type) {
+      case LogRecType::kUpdate: {
+        // Write the CLR first so its LSN can stamp the undone pages, then
+        // dispatch the undo through the extension.
+        LogRecord clr;
+        clr.type = LogRecType::kClr;
+        clr.txn = txn;
+        clr.prev_lsn = *last_lsn;
+        clr.ext_kind = rec.ext_kind;
+        clr.ext_id = rec.ext_id;
+        clr.relation = rec.relation;
+        clr.payload = rec.payload;
+        clr.undo_next = rec.prev_lsn;
+        DMX_RETURN_IF_ERROR(log_->Append(&clr));
+        DMX_RETURN_IF_ERROR(apply_(rec, /*undo=*/true, clr.lsn));
+        ++undo_count_;
+        *last_lsn = clr.lsn;
+        cursor = rec.prev_lsn;
+        break;
+      }
+      case LogRecType::kClr:
+        // Already-compensated work: skip to what the CLR points at.
+        cursor = rec.undo_next;
+        break;
+      case LogRecType::kSavepoint:
+      case LogRecType::kBegin:
+      case LogRecType::kAbort:
+        cursor = rec.prev_lsn;
+        break;
+      case LogRecType::kCommit:
+      case LogRecType::kEnd:
+        return Status::Internal("rollback past commit/end");
+    }
+  }
+  return Status::OK();
+}
+
+Status RecoveryDriver::Restart(std::vector<TxnId>* losers) {
+  std::vector<LogRecord> records;
+  DMX_RETURN_IF_ERROR(log_->ReadAll(&records));
+
+  // -- Analysis: find transaction outcomes and chain heads.
+  std::map<TxnId, TxnAnalysis> txns;
+  for (const LogRecord& rec : records) {
+    if (rec.txn > max_txn_seen_) max_txn_seen_ = rec.txn;
+    TxnAnalysis& t = txns[rec.txn];
+    t.last_lsn = rec.lsn;
+    if (rec.type == LogRecType::kCommit) t.committed = true;
+    if (rec.type == LogRecType::kEnd) t.ended = true;
+  }
+
+  // -- Redo: replay every update and compensation in log order. The
+  // extension's redo entry point is responsible for idempotence (page-LSN
+  // gating for page-based stores).
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecType::kUpdate) {
+      DMX_RETURN_IF_ERROR(apply_(rec, /*undo=*/false, rec.lsn));
+      ++redo_count_;
+    } else if (rec.type == LogRecType::kClr) {
+      // Redo of a CLR re-applies the compensation, i.e. the undo action.
+      DMX_RETURN_IF_ERROR(apply_(rec, /*undo=*/true, rec.lsn));
+      ++redo_count_;
+    }
+  }
+
+  // -- Undo: roll back losers (neither committed nor ended).
+  for (auto& [txn, info] : txns) {
+    if (txn == kInvalidTxnId || info.committed || info.ended) continue;
+    Lsn last = info.last_lsn;
+    DMX_RETURN_IF_ERROR(Rollback(txn, kInvalidLsn, &last));
+    LogRecord end;
+    end.type = LogRecType::kEnd;
+    end.txn = txn;
+    end.prev_lsn = last;
+    DMX_RETURN_IF_ERROR(log_->Append(&end));
+    if (losers) losers->push_back(txn);
+  }
+  return log_->FlushAll();
+}
+
+}  // namespace dmx

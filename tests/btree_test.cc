@@ -1,0 +1,286 @@
+// Direct tests of the shared page-based B+-tree (splits, duplicates,
+// uniqueness, iteration, position save/restore, persistence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "src/sm/btree_core.h"
+#include "tests/test_util.h"
+
+namespace dmx {
+namespace {
+
+using testing::TempDir;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : dir_("btree") {
+    EXPECT_TRUE(pf_.Open(dir_.path() + "/db", true).ok());
+    bp_ = std::make_unique<BufferPool>(&pf_, 512);
+    EXPECT_TRUE(BTree::Create(bp_.get(), &anchor_).ok());
+    tree_ = std::make_unique<BTree>(bp_.get(), anchor_);
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "k%08d", i);
+    return buf;
+  }
+
+  TempDir dir_;
+  PageFile pf_;
+  std::unique_ptr<BufferPool> bp_;
+  PageId anchor_ = kInvalidPageId;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, CompositeEncodingOrderAndRoundTrip) {
+  // (key, value) lexicographic order must equal composite memcmp order,
+  // including keys containing NUL bytes.
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"", ""},       {"", "z"},      {std::string("\0", 1), "a"},
+      {"a", ""},      {"a", "b"},     {"a", std::string("\0", 1)},
+      {"ab", ""},     {std::string("a\0b", 3), "x"}, {"b", ""},
+  };
+  std::sort(entries.begin(), entries.end());
+  std::string prev;
+  bool first = true;
+  for (const auto& [k, v] : entries) {
+    std::string composite = BTreeComposeEntry(Slice(k), Slice(v));
+    std::string k2, v2;
+    ASSERT_TRUE(BTreeSplitEntry(Slice(composite), &k2, &v2).ok());
+    EXPECT_EQ(k2, k);
+    EXPECT_EQ(v2, v);
+    if (!first) {
+      EXPECT_LT(prev, composite);
+    }
+    prev = composite;
+    first = false;
+  }
+}
+
+TEST_F(BTreeTest, InsertLookupRemove) {
+  ASSERT_TRUE(tree_->Insert(Slice("alpha"), Slice("1")).ok());
+  ASSERT_TRUE(tree_->Insert(Slice("beta"), Slice("2")).ok());
+  std::vector<std::string> values;
+  ASSERT_TRUE(tree_->Lookup(Slice("alpha"), &values).ok());
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "1");
+  ASSERT_TRUE(tree_->Remove(Slice("alpha"), Slice("1")).ok());
+  ASSERT_TRUE(tree_->Lookup(Slice("alpha"), &values).ok());
+  EXPECT_TRUE(values.empty());
+  // Removing again: NotFound, unless idempotent.
+  EXPECT_TRUE(tree_->Remove(Slice("alpha"), Slice("1")).IsNotFound());
+  EXPECT_TRUE(tree_->Remove(Slice("alpha"), Slice("1"), true).ok());
+}
+
+TEST_F(BTreeTest, DuplicateKeysKeepDistinctValues) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(Slice("dup"), Slice("v" + std::to_string(i))).ok());
+  }
+  // Exact duplicate (key, value) is an idempotent no-op.
+  ASSERT_TRUE(tree_->Insert(Slice("dup"), Slice("v3")).ok());
+  std::vector<std::string> values;
+  ASSERT_TRUE(tree_->Lookup(Slice("dup"), &values).ok());
+  EXPECT_EQ(values.size(), 5u);
+  ASSERT_TRUE(tree_->Remove(Slice("dup"), Slice("v2")).ok());
+  ASSERT_TRUE(tree_->Lookup(Slice("dup"), &values).ok());
+  EXPECT_EQ(values.size(), 4u);
+}
+
+TEST_F(BTreeTest, UniqueInsertRejectsSecondValue) {
+  ASSERT_TRUE(tree_->Insert(Slice("u"), Slice("first"), true).ok());
+  EXPECT_TRUE(tree_->Insert(Slice("u"), Slice("second"), true).IsConstraint());
+  // Same (key, value): fine.
+  EXPECT_TRUE(tree_->Insert(Slice("u"), Slice("first"), true).ok());
+}
+
+TEST_F(BTreeTest, SplitsGrowTheTree) {
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice(Key(i))).ok()) << i;
+  }
+  uint32_t height = 0;
+  uint64_t count = 0, leaves = 0;
+  ASSERT_TRUE(tree_->Height(&height).ok());
+  ASSERT_TRUE(tree_->Count(&count).ok());
+  ASSERT_TRUE(tree_->LeafPages(&leaves).ok());
+  EXPECT_GT(height, 1u);
+  EXPECT_EQ(count, static_cast<uint64_t>(n));
+  EXPECT_GT(leaves, 1u);
+  // Every key still findable after all the splits.
+  for (int i = 0; i < n; i += 97) {
+    std::vector<std::string> values;
+    ASSERT_TRUE(tree_->Lookup(Slice(Key(i)), &values).ok());
+    ASSERT_EQ(values.size(), 1u) << i;
+  }
+}
+
+TEST_F(BTreeTest, IteratorReturnsSortedSequence) {
+  std::vector<int> ids;
+  for (int i = 0; i < 2000; ++i) ids.push_back(i);
+  std::mt19937 rng(3);
+  std::shuffle(ids.begin(), ids.end(), rng);
+  for (int i : ids) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  std::unique_ptr<BTreeIterator> it;
+  ASSERT_TRUE(tree_->NewIterator(&it).ok());
+  std::string key, value, prev;
+  int n = 0;
+  while (it->Next(&key, &value).ok()) {
+    if (n) {
+      EXPECT_LT(prev, key);
+    }
+    prev = key;
+    ++n;
+  }
+  EXPECT_EQ(n, 2000);
+}
+
+TEST_F(BTreeTest, IteratorLowerBoundStart) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i * 2)), Slice("v")).ok());
+  }
+  // Start at an absent key: first returned is the next present one.
+  std::unique_ptr<BTreeIterator> it;
+  ASSERT_TRUE(
+      tree_->NewIterator(&it, BTreeComposeEntry(Slice(Key(31)), Slice()))
+          .ok());
+  std::string key, value;
+  ASSERT_TRUE(it->Next(&key, &value).ok());
+  EXPECT_EQ(key, Key(32));
+}
+
+TEST_F(BTreeTest, IteratorSurvivesDeleteAtPosition) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  std::unique_ptr<BTreeIterator> it;
+  ASSERT_TRUE(tree_->NewIterator(&it).ok());
+  std::string key, value;
+  ASSERT_TRUE(it->Next(&key, &value).ok());
+  EXPECT_EQ(key, Key(0));
+  // Delete the entry at the iterator position: the scan continues just
+  // after it (the paper's scan semantics).
+  ASSERT_TRUE(tree_->Remove(Slice(Key(0)), Slice("v")).ok());
+  ASSERT_TRUE(it->Next(&key, &value).ok());
+  EXPECT_EQ(key, Key(1));
+}
+
+TEST_F(BTreeTest, IteratorPositionSaveRestore) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice("v")).ok());
+  }
+  std::unique_ptr<BTreeIterator> it;
+  ASSERT_TRUE(tree_->NewIterator(&it).ok());
+  std::string key, value;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(it->Next(&key, &value).ok());
+  std::string pos;
+  it->SavePosition(&pos);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(it->Next(&key, &value).ok());
+  EXPECT_EQ(key, Key(19));
+  ASSERT_TRUE(it->RestorePosition(Slice(pos)).ok());
+  ASSERT_TRUE(it->Next(&key, &value).ok());
+  EXPECT_EQ(key, Key(10));
+}
+
+TEST_F(BTreeTest, PersistsAcrossBufferPoolFlush) {
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice(Key(i))).ok());
+  }
+  ASSERT_TRUE(bp_->FlushAll().ok());
+  // Reopen everything from disk.
+  tree_.reset();
+  bp_.reset();
+  bp_ = std::make_unique<BufferPool>(&pf_, 64);  // small pool: forces IO
+  tree_ = std::make_unique<BTree>(bp_.get(), anchor_);
+  uint64_t count = 0;
+  ASSERT_TRUE(tree_->Count(&count).ok());
+  EXPECT_EQ(count, 3000u);
+  std::vector<std::string> values;
+  ASSERT_TRUE(tree_->Lookup(Slice(Key(2718)), &values).ok());
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], Key(2718));
+}
+
+TEST_F(BTreeTest, DestroyFreesAllPages) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Insert(Slice(Key(i)), Slice(Key(i))).ok());
+  }
+  uint32_t before = pf_.page_count();
+  ASSERT_TRUE(BTree::Destroy(bp_.get(), anchor_).ok());
+  tree_.reset();
+  // Recreate a tree of the same size: the freed pages must be reused.
+  PageId anchor2;
+  ASSERT_TRUE(BTree::Create(bp_.get(), &anchor2).ok());
+  BTree tree2(bp_.get(), anchor2);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree2.Insert(Slice(Key(i)), Slice(Key(i))).ok());
+  }
+  EXPECT_LE(pf_.page_count(), before + 2);
+}
+
+// Property test: random churn against a shadow multimap.
+class BTreeChurn : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeChurn, MatchesShadowMultimap) {
+  TempDir dir("btree_churn");
+  PageFile pf;
+  ASSERT_TRUE(pf.Open(dir.path() + "/db", true).ok());
+  BufferPool bp(&pf, 256);
+  PageId anchor;
+  ASSERT_TRUE(BTree::Create(&bp, &anchor).ok());
+  BTree tree(&bp, anchor);
+
+  std::mt19937 rng(GetParam());
+  std::multimap<std::string, std::string> shadow;
+  for (int step = 0; step < 4000; ++step) {
+    int action = static_cast<int>(rng() % 3);
+    std::string key = "k" + std::to_string(rng() % 200);
+    std::string value = "v" + std::to_string(rng() % 10);
+    if (action < 2) {
+      // Insert; tolerate exact-duplicate no-ops.
+      bool dup = false;
+      auto [b, e] = shadow.equal_range(key);
+      for (auto it = b; it != e; ++it) dup |= it->second == value;
+      ASSERT_TRUE(tree.Insert(Slice(key), Slice(value)).ok());
+      if (!dup) shadow.emplace(key, value);
+    } else {
+      auto [b, e] = shadow.equal_range(key);
+      bool present = false;
+      for (auto it = b; it != e; ++it) {
+        if (it->second == value) {
+          shadow.erase(it);
+          present = true;
+          break;
+        }
+      }
+      Status s = tree.Remove(Slice(key), Slice(value));
+      EXPECT_EQ(s.ok(), present) << key << "/" << value;
+    }
+  }
+  // Full comparison via iteration.
+  std::unique_ptr<BTreeIterator> it;
+  ASSERT_TRUE(tree.NewIterator(&it).ok());
+  std::string key, value;
+  size_t n = 0;
+  while (it->Next(&key, &value).ok()) {
+    auto [b, e] = shadow.equal_range(key);
+    bool found = false;
+    for (auto sit = b; sit != e; ++sit) found |= sit->second == value;
+    EXPECT_TRUE(found) << key << "/" << value;
+    ++n;
+  }
+  EXPECT_EQ(n, shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeChurn,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,146 @@
+// Property tests for foundational invariants: Value::Compare is a total
+// order consistent with key encodings; LikeMatch agrees with a reference
+// backtracking matcher; the lock-mode lattice is a join-semilattice whose
+// join preserves incompatibility.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/expr/evaluator.h"
+#include "src/sm/key_codec.h"
+#include "src/txn/lock_manager.h"
+
+namespace dmx {
+namespace {
+
+class ValueOrderProperty : public ::testing::TestWithParam<uint32_t> {};
+
+Value RandomValue(std::mt19937* rng) {
+  switch ((*rng)() % 5) {
+    case 0: return Value::Null();
+    case 1: return Value::Bool((*rng)() % 2 == 0);
+    case 2: return Value::Int(static_cast<int64_t>((*rng)() % 2001) - 1000);
+    case 3: return Value::Double(((*rng)() % 2001 - 1000) / 7.0);
+    default: {
+      std::string s;
+      size_t len = (*rng)() % 6;
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + (*rng)() % 4));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+TEST_P(ValueOrderProperty, CompareIsTotalOrderAndMatchesKeyEncoding) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 500; ++round) {
+    Value a = RandomValue(&rng), b = RandomValue(&rng), c = RandomValue(&rng);
+    // Antisymmetry.
+    EXPECT_EQ(a.Compare(b) < 0, b.Compare(a) > 0);
+    EXPECT_EQ(a.Compare(b) == 0, b.Compare(a) == 0);
+    // Transitivity (spot form): a<=b && b<=c => a<=c.
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0)
+          << a.ToString() << " " << b.ToString() << " " << c.ToString();
+    }
+    // Reflexivity.
+    EXPECT_EQ(a.Compare(a), 0);
+
+    // Key-encoding order agrees with Compare for same-type numeric /
+    // string / bool pairs and for NULL-vs-anything (the encodings are what
+    // B-tree and hash keys are built from).
+    auto comparable = [](const Value& x, const Value& y) {
+      if (x.is_null() || y.is_null()) return true;
+      if (x.is_numeric() && y.is_numeric()) return true;
+      return x.type() == y.type();
+    };
+    if (comparable(a, b)) {
+      std::string ka, kb;
+      ASSERT_TRUE(EncodeKeyValue(a, &ka).ok());
+      ASSERT_TRUE(EncodeKeyValue(b, &kb).ok());
+      int by_value = a.Compare(b);
+      int by_key = Slice(ka).compare(Slice(kb));
+      if (by_value == 0) {
+        EXPECT_EQ(by_key, 0) << a.ToString() << " vs " << b.ToString();
+      } else {
+        EXPECT_EQ(by_value < 0, by_key < 0)
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderProperty,
+                         ::testing::Values(11u, 13u, 17u, 19u));
+
+// Reference LIKE matcher: straightforward recursion.
+bool ReferenceLike(const std::string& t, size_t ti, const std::string& p,
+                   size_t pi) {
+  if (pi == p.size()) return ti == t.size();
+  if (p[pi] == '%') {
+    for (size_t skip = ti; skip <= t.size(); ++skip) {
+      if (ReferenceLike(t, skip, p, pi + 1)) return true;
+    }
+    return false;
+  }
+  if (ti == t.size()) return false;
+  if (p[pi] == '_' || p[pi] == t[ti]) {
+    return ReferenceLike(t, ti + 1, p, pi + 1);
+  }
+  return false;
+}
+
+class LikeProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LikeProperty, MatchesReferenceImplementation) {
+  std::mt19937 rng(GetParam());
+  const char alphabet[] = {'a', 'b', '%', '_'};
+  for (int round = 0; round < 3000; ++round) {
+    std::string text, pattern;
+    size_t tlen = rng() % 8, plen = rng() % 6;
+    for (size_t i = 0; i < tlen; ++i) {
+      text.push_back(static_cast<char>('a' + rng() % 2));
+    }
+    for (size_t i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng() % 4]);
+    }
+    EXPECT_EQ(LikeMatch(Slice(text), Slice(pattern)),
+              ReferenceLike(text, 0, pattern, 0))
+        << "text='" << text << "' pattern='" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikeProperty,
+                         ::testing::Values(23u, 29u, 31u));
+
+TEST(LockLatticeTest, SupremumIsAJoinAndPreservesConflicts) {
+  const LockMode kModes[] = {LockMode::kIS, LockMode::kIX, LockMode::kS,
+                             LockMode::kSIX, LockMode::kX};
+  for (LockMode a : kModes) {
+    for (LockMode b : kModes) {
+      LockMode join = LockSupremum(a, b);
+      // Commutative, idempotent on equal inputs.
+      EXPECT_EQ(join, LockSupremum(b, a));
+      EXPECT_EQ(LockSupremum(a, a), a);
+      // The join is an upper bound: anything incompatible with a or b is
+      // incompatible with the join (a holder upgrading to the join never
+      // weakens exclusion).
+      for (LockMode other : kModes) {
+        if (!LockCompatible(a, other) || !LockCompatible(b, other)) {
+          EXPECT_FALSE(LockCompatible(join, other))
+              << static_cast<int>(a) << " v " << static_cast<int>(b)
+              << " vs " << static_cast<int>(other);
+        }
+      }
+      // Absorbing both: join dominates a and b (joining again no-ops).
+      EXPECT_EQ(LockSupremum(join, a), join);
+      EXPECT_EQ(LockSupremum(join, b), join);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmx

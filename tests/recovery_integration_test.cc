@@ -1,0 +1,447 @@
+// Recovery torture tests at the Database level: simulated crashes (reopen
+// without clean shutdown, with and without page flushes), interleaved
+// winner/loser transactions, recovery of every storage method, index
+// rebuild consistency, and DDL crash behaviour.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <random>
+
+#include "src/core/database.h"
+#include "src/sm/key_codec.h"
+#include "tests/test_util.h"
+
+namespace dmx {
+namespace {
+
+using testing::TempDir;
+
+Schema KvSchema() {
+  return Schema({{"k", TypeId::kInt64, false},
+                 {"v", TypeId::kString, true}});
+}
+
+class RecoveryIntegrationTest : public ::testing::Test {
+ protected:
+  RecoveryIntegrationTest() : dir_("recint") { Open(); }
+
+  void Open() {
+    DatabaseOptions options;
+    options.dir = dir_.path();
+    options.buffer_pool_pages = 64;
+    Status s = Database::Open(options, &db_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  // Simulated crash: force the log to disk (committed work is always
+  // durable via the commit-time force anyway), then drop the Database
+  // without any flush — buffer-pool contents beyond what eviction already
+  // wrote, and unsaved catalog changes, are lost.
+  void Crash() {
+    ASSERT_TRUE(db_->log()->FlushAll().ok());
+    db_->SimulateCrashOnClose();
+    db_.reset();
+    Open();
+  }
+
+  void CreateKv(const std::string& name, const std::string& sm = "heap") {
+    Transaction* txn = db_->Begin();
+    AttrList attrs;
+    if (sm == "btree") attrs.Add("key", "k");
+    ASSERT_TRUE(db_->CreateRelation(txn, name, KvSchema(), sm, attrs).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  std::vector<int64_t> Keys(const std::string& rel) {
+    std::vector<int64_t> out;
+    Transaction* txn = db_->Begin();
+    std::unique_ptr<Scan> scan;
+    EXPECT_TRUE(db_->OpenScan(txn, rel, AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan)
+                    .ok());
+    ScanItem item;
+    while (scan->Next(&item).ok()) out.push_back(item.view.GetInt(0));
+    scan.reset();
+    db_->Commit(txn);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(RecoveryIntegrationTest, WinnersRedoneLosersUndone) {
+  CreateKv("t");
+  // Winner.
+  Transaction* w = db_->Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db_->Insert(w, "t", {Value::Int(i), Value::String("win")}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(w).ok());
+  // Loser: starts, writes, never commits.
+  Transaction* l = db_->Begin();
+  for (int i = 100; i < 120; ++i) {
+    ASSERT_TRUE(
+        db_->Insert(l, "t", {Value::Int(i), Value::String("lose")}).ok());
+  }
+  Crash();
+  std::vector<int64_t> keys = Keys("t");
+  ASSERT_EQ(keys.size(), 20u);
+  EXPECT_EQ(keys.front(), 0);
+  EXPECT_EQ(keys.back(), 19);
+}
+
+TEST_F(RecoveryIntegrationTest, InterleavedTransactionsRecoverIndependently) {
+  CreateKv("t");
+  Transaction* a = db_->Begin();
+  Transaction* b = db_->Begin();
+  Transaction* c = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->Insert(a, "t", {Value::Int(i), Value::String("a")}).ok());
+    ASSERT_TRUE(
+        db_->Insert(b, "t", {Value::Int(100 + i), Value::String("b")}).ok());
+    ASSERT_TRUE(
+        db_->Insert(c, "t", {Value::Int(200 + i), Value::String("c")}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(a).ok());
+  ASSERT_TRUE(db_->Abort(b).ok());  // explicitly rolled back
+  (void)c;                          // c is a crash loser
+  Crash();
+  std::vector<int64_t> keys = Keys("t");
+  ASSERT_EQ(keys.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(keys[static_cast<size_t>(i)], i);
+}
+
+TEST_F(RecoveryIntegrationTest, UpdatesAndDeletesRecover) {
+  CreateKv("t");
+  std::vector<std::string> keys;
+  Transaction* setup = db_->Begin();
+  for (int i = 0; i < 30; ++i) {
+    std::string key;
+    ASSERT_TRUE(db_->Insert(setup, "t",
+                            {Value::Int(i), Value::String("orig")}, &key)
+                    .ok());
+    keys.push_back(key);
+  }
+  ASSERT_TRUE(db_->Commit(setup).ok());
+
+  Transaction* txn = db_->Begin();
+  // Update 0..9, delete 10..19, leave 20..29.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->Update(txn, "t", Slice(keys[static_cast<size_t>(i)]),
+                            {Value::Int(i), Value::String("updated")})
+                    .ok());
+  }
+  for (int i = 10; i < 20; ++i) {
+    ASSERT_TRUE(
+        db_->Delete(txn, "t", Slice(keys[static_cast<size_t>(i)])).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Crash();
+  Transaction* check = db_->Begin();
+  std::unique_ptr<Scan> scan;
+  ASSERT_TRUE(db_->OpenScan(check, "t", AccessPathId::StorageMethod(),
+                            ScanSpec{}, &scan)
+                  .ok());
+  int updated = 0, orig = 0, total = 0;
+  ScanItem item;
+  while (scan->Next(&item).ok()) {
+    ++total;
+    std::string v = item.view.GetStringSlice(1).ToString();
+    if (v == "updated") ++updated;
+    if (v == "orig") ++orig;
+  }
+  scan.reset();
+  db_->Commit(check);
+  EXPECT_EQ(total, 20);
+  EXPECT_EQ(updated, 10);
+  EXPECT_EQ(orig, 10);
+}
+
+TEST_F(RecoveryIntegrationTest, PartialFlushThenCrash) {
+  // Many rows through a tiny buffer pool: some pages hit disk via
+  // eviction, others only exist in the (lost) pool. Redo must fill the
+  // gaps; page LSNs must prevent double-apply on flushed pages.
+  CreateKv("t");
+  Transaction* txn = db_->Begin();
+  const std::string big(300, 'x');
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        db_->Insert(txn, "t", {Value::Int(i), Value::String(big)}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Crash();
+  EXPECT_EQ(Keys("t").size(), 500u);
+  // A second crash+recovery run is idempotent.
+  Crash();
+  EXPECT_EQ(Keys("t").size(), 500u);
+}
+
+class RecoveryPerSm : public RecoveryIntegrationTest,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(RecoveryPerSm, CommittedDataSurvivesCrash) {
+  const std::string sm = GetParam();
+  CreateKv("t", sm);
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db_->Insert(txn, "t", {Value::Int(i), Value::String("d")}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  // Plus a loser.
+  Transaction* loser = db_->Begin();
+  ASSERT_TRUE(
+      db_->Insert(loser, "t", {Value::Int(999), Value::String("l")}).ok());
+  Crash();
+  EXPECT_EQ(Keys("t").size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(StorageMethods, RecoveryPerSm,
+                         ::testing::Values("heap", "mainmemory", "btree"));
+
+TEST_F(RecoveryIntegrationTest, SecondaryStructuresConsistentAfterCrash) {
+  CreateKv("t");
+  uint32_t bt_no = 0, hs_no = 0, uq_no = 0;
+  Transaction* ddl = db_->Begin();
+  ASSERT_TRUE(db_->CreateAttachment(ddl, "t", "btree_index",
+                                    {{"fields", "k"}}, &bt_no)
+                  .ok());
+  ASSERT_TRUE(db_->CreateAttachment(ddl, "t", "hash_index",
+                                    {{"fields", "v"}}, &hs_no)
+                  .ok());
+  ASSERT_TRUE(
+      db_->CreateAttachment(ddl, "t", "unique", {{"fields", "k"}}, &uq_no)
+          .ok());
+  ASSERT_TRUE(db_->Commit(ddl).ok());
+
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db_->Insert(txn, "t",
+                            {Value::Int(i), Value::String("v" +
+                                                          std::to_string(i))})
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  // Loser insert that would have touched all structures.
+  Transaction* loser = db_->Begin();
+  ASSERT_TRUE(
+      db_->Insert(loser, "t", {Value::Int(500), Value::String("loser")})
+          .ok());
+  Crash();
+
+  // B-tree entries match exactly the surviving rows.
+  int bt = db_->registry()->FindAttachmentType("btree_index");
+  int hs = db_->registry()->FindAttachmentType("hash_index");
+  Transaction* check = db_->Begin();
+  for (int i : {0, 17, 39}) {
+    std::string probe;
+    ASSERT_TRUE(EncodeValueKey({Value::Int(i)}, &probe).ok());
+    std::vector<std::string> keys;
+    ASSERT_TRUE(
+        db_->Lookup(check, "t",
+                    AccessPathId::Attachment(static_cast<AtId>(bt), bt_no),
+                    Slice(probe), &keys)
+            .ok());
+    EXPECT_EQ(keys.size(), 1u) << i;
+  }
+  std::string loser_probe;
+  ASSERT_TRUE(EncodeValueKey({Value::Int(500)}, &loser_probe).ok());
+  std::vector<std::string> loser_keys;
+  ASSERT_TRUE(
+      db_->Lookup(check, "t",
+                  AccessPathId::Attachment(static_cast<AtId>(bt), bt_no),
+                  Slice(loser_probe), &loser_keys)
+          .ok());
+  EXPECT_TRUE(loser_keys.empty());
+  // Hash index rebuilt: value lookup works.
+  std::string hprobe;
+  ASSERT_TRUE(EncodeValueKey({Value::String("v17")}, &hprobe).ok());
+  ASSERT_TRUE(
+      db_->Lookup(check, "t",
+                  AccessPathId::Attachment(static_cast<AtId>(hs), hs_no),
+                  Slice(hprobe), &loser_keys)
+          .ok());
+  EXPECT_EQ(loser_keys.size(), 1u);
+  db_->Commit(check);
+
+  // Unique constraint still enforces (its table was rebuilt).
+  Transaction* dup = db_->Begin();
+  EXPECT_TRUE(db_->Insert(dup, "t", {Value::Int(17), Value::String("dup")})
+                  .IsConstraint());
+  db_->Commit(dup);
+}
+
+TEST_F(RecoveryIntegrationTest, DdlCrashBeforeCommitLeavesNoRelation) {
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->CreateRelation(txn, "ghost", KvSchema(), "heap", {}).ok());
+  ASSERT_TRUE(
+      db_->Insert(txn, "ghost", {Value::Int(1), Value::String("x")}).ok());
+  Crash();  // no commit: catalog was never saved with "ghost"
+  const RelationDescriptor* desc;
+  EXPECT_FALSE(db_->FindRelation("ghost", &desc).ok());
+}
+
+TEST_F(RecoveryIntegrationTest, RandomizedCrashRecoveryProperty) {
+  CreateKv("t");
+  std::mt19937 rng(7);
+  std::map<int64_t, std::string> expected;
+  std::map<int64_t, std::string> record_keys;
+  for (int round = 0; round < 5; ++round) {
+    // A committed transaction of random ops...
+    Transaction* txn = db_->Begin();
+    std::map<int64_t, std::string> staged = expected;
+    for (int op = 0; op < 30; ++op) {
+      int64_t k = static_cast<int64_t>(rng() % 60);
+      auto it = staged.find(k);
+      if (it == staged.end()) {
+        std::string rkey;
+        std::string v = "r" + std::to_string(round);
+        ASSERT_TRUE(
+            db_->Insert(txn, "t", {Value::Int(k), Value::String(v)}, &rkey)
+                .ok());
+        staged[k] = v;
+        record_keys[k] = rkey;
+      } else if (rng() % 2 == 0) {
+        ASSERT_TRUE(db_->Delete(txn, "t", Slice(record_keys[k])).ok());
+        staged.erase(it);
+        record_keys.erase(k);
+      } else {
+        std::string v = "u" + std::to_string(round);
+        std::string nkey;
+        ASSERT_TRUE(db_->Update(txn, "t", Slice(record_keys[k]),
+                                {Value::Int(k), Value::String(v)}, &nkey)
+                        .ok());
+        staged[k] = v;
+        record_keys[k] = nkey;
+      }
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+    expected = std::move(staged);
+    // ...then a loser doing more random ops, then a crash.
+    Transaction* loser = db_->Begin();
+    for (int op = 0; op < 10; ++op) {
+      int64_t k = 1000 + static_cast<int64_t>(rng() % 50);
+      db_->Insert(loser, "t", {Value::Int(k), Value::String("loser")}).ok();
+    }
+    Crash();
+    // Record keys of survivors may have changed only via our updates, but
+    // heap RIDs are stable across recovery; re-derive them by scanning.
+    record_keys.clear();
+    Transaction* check = db_->Begin();
+    std::unique_ptr<Scan> scan;
+    ASSERT_TRUE(db_->OpenScan(check, "t", AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan)
+                    .ok());
+    std::map<int64_t, std::string> found;
+    ScanItem item;
+    while (scan->Next(&item).ok()) {
+      found[item.view.GetInt(0)] = item.view.GetStringSlice(1).ToString();
+      record_keys[item.view.GetInt(0)] = item.record_key;
+    }
+    scan.reset();
+    db_->Commit(check);
+    ASSERT_EQ(found, expected) << "after round " << round;
+  }
+}
+
+
+TEST_F(RecoveryIntegrationTest, CheckpointTruncatesLogAndPreservesState) {
+  CreateKv("h", "heap");
+  CreateKv("m", "mainmemory");
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db_->Insert(txn, "h", {Value::Int(i), Value::String("h")})
+                    .ok());
+    ASSERT_TRUE(db_->Insert(txn, "m", {Value::Int(i), Value::String("m")})
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+
+  // Checkpoint blocked while a transaction is active.
+  Transaction* open_txn = db_->Begin();
+  EXPECT_TRUE(db_->Checkpoint().IsBusy());
+  ASSERT_TRUE(db_->Commit(open_txn).ok());
+
+  struct stat before, after;
+  ASSERT_EQ(stat((dir_.path() + "/wal").c_str(), &before), 0);
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  ASSERT_EQ(stat((dir_.path() + "/wal").c_str(), &after), 0);
+  EXPECT_LT(after.st_size, before.st_size);
+
+  // Post-checkpoint work, then crash: the truncated log + snapshots must
+  // carry everything.
+  txn = db_->Begin();
+  for (int i = 100; i < 110; ++i) {
+    ASSERT_TRUE(db_->Insert(txn, "m", {Value::Int(i), Value::String("m2")})
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Transaction* loser = db_->Begin();
+  ASSERT_TRUE(
+      db_->Insert(loser, "m", {Value::Int(999), Value::String("l")}).ok());
+  Crash();
+  EXPECT_EQ(Keys("h").size(), 50u);
+  EXPECT_EQ(Keys("m").size(), 60u);
+}
+
+TEST_F(RecoveryIntegrationTest, RepeatedCheckpointCrashCycles) {
+  CreateKv("m", "mainmemory");
+  size_t expected = 0;
+  for (int round = 0; round < 4; ++round) {
+    Transaction* txn = db_->Begin();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(db_->Insert(txn, "m",
+                              {Value::Int(round * 100 + i),
+                               Value::String("r")})
+                      .ok());
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+    expected += 10;
+    if (round % 2 == 0) ASSERT_TRUE(db_->Checkpoint().ok());
+    Crash();
+    ASSERT_EQ(Keys("m").size(), expected) << "round " << round;
+  }
+}
+
+TEST_F(RecoveryIntegrationTest, LsnsKeepIncreasingAcrossTruncation) {
+  CreateKv("t");
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->Insert(txn, "t", {Value::Int(1), Value::String("a")})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Lsn before = db_->log()->next_lsn();
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  EXPECT_GE(db_->log()->next_lsn(), before);
+  // Page LSNs stamped before the checkpoint must not gate redo of
+  // post-checkpoint records: update the same row and crash.
+  txn = db_->Begin();
+  const RelationDescriptor* desc;
+  ASSERT_TRUE(db_->FindRelation("t", &desc).ok());
+  std::unique_ptr<Scan> scan;
+  ASSERT_TRUE(db_->OpenScan(txn, "t", AccessPathId::StorageMethod(),
+                            ScanSpec{}, &scan)
+                  .ok());
+  ScanItem item;
+  ASSERT_TRUE(scan->Next(&item).ok());
+  std::string key = item.record_key;
+  scan.reset();
+  ASSERT_TRUE(db_->Update(txn, "t", Slice(key),
+                          {Value::Int(1), Value::String("updated")})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  Crash();
+  txn = db_->Begin();
+  Record rec;
+  ASSERT_TRUE(db_->Fetch(txn, "t", Slice(key), &rec).ok());
+  Schema schema = KvSchema();
+  EXPECT_EQ(rec.View(&schema).GetStringSlice(1).ToString(), "updated");
+  db_->Commit(txn);
+}
+
+}  // namespace
+}  // namespace dmx

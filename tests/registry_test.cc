@@ -1,0 +1,96 @@
+// Conformance tests for the procedure-vector registry: identifier
+// assignment, name lookup, and mandatory entry points of every built-in
+// extension (a registration mistake would otherwise surface as a null
+// call deep inside the dispatcher).
+
+#include <gtest/gtest.h>
+
+#include "src/core/database.h"
+#include "src/core/registry.h"
+
+namespace dmx {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() { RegisterBuiltinExtensions(&registry_); }
+  ExtensionRegistry registry_;
+};
+
+TEST_F(RegistryTest, IdentifiersFollowRegistrationOrder) {
+  // The paper's worked example: temp is storage method 1.
+  EXPECT_EQ(registry_.FindStorageMethod("heap"), 0);
+  EXPECT_EQ(registry_.FindStorageMethod("temp"), 1);
+  EXPECT_EQ(registry_.FindStorageMethod("nonexistent"), -1);
+  EXPECT_EQ(registry_.FindAttachmentType("nonexistent"), -1);
+  // Ids round-trip through the vectors.
+  for (SmId id = 0; id < registry_.num_storage_methods(); ++id) {
+    EXPECT_EQ(registry_.FindStorageMethod(registry_.sm_ops(id).name), id);
+  }
+  for (AtId id = 0; id < registry_.num_attachment_types(); ++id) {
+    EXPECT_EQ(registry_.FindAttachmentType(registry_.at_ops(id).name), id);
+  }
+}
+
+TEST_F(RegistryTest, WithinDescriptorFieldBudget) {
+  // "This method for representing relation descriptions effectively limits
+  // the number of different attachment types to a few dozen."
+  EXPECT_LE(registry_.num_attachment_types(), kMaxAttachmentTypes);
+}
+
+TEST_F(RegistryTest, EveryStorageMethodProvidesMandatoryOperations) {
+  for (SmId id = 0; id < registry_.num_storage_methods(); ++id) {
+    const SmOps& ops = registry_.sm_ops(id);
+    SCOPED_TRACE(ops.name);
+    EXPECT_NE(ops.validate, nullptr);
+    EXPECT_NE(ops.create, nullptr);
+    EXPECT_NE(ops.drop, nullptr);
+    EXPECT_NE(ops.open, nullptr);
+    EXPECT_NE(ops.insert, nullptr);
+    EXPECT_NE(ops.update, nullptr);
+    EXPECT_NE(ops.erase, nullptr);
+    EXPECT_NE(ops.fetch, nullptr);
+    EXPECT_NE(ops.open_scan, nullptr);
+    EXPECT_NE(ops.cost, nullptr);
+    EXPECT_NE(ops.undo, nullptr);
+    EXPECT_NE(ops.redo, nullptr);
+  }
+}
+
+TEST_F(RegistryTest, EveryAttachmentProvidesDdlAndAtLeastOneHook) {
+  for (AtId id = 0; id < registry_.num_attachment_types(); ++id) {
+    const AtOps& ops = registry_.at_ops(id);
+    SCOPED_TRACE(ops.name);
+    EXPECT_NE(ops.create_instance, nullptr);
+    EXPECT_NE(ops.drop_instance, nullptr);
+    // Every attachment type reacts to at least one modification kind (an
+    // attachment with no hooks could never do anything).
+    EXPECT_TRUE(ops.on_insert != nullptr || ops.on_update != nullptr ||
+                ops.on_delete != nullptr);
+  }
+}
+
+TEST_F(RegistryTest, AccessPathsProvideTheAccessSurfaceTogether) {
+  for (AtId id = 0; id < registry_.num_attachment_types(); ++id) {
+    const AtOps& ops = registry_.at_ops(id);
+    SCOPED_TRACE(ops.name);
+    // A costed path must be usable: lookup or scan must exist.
+    if (ops.cost != nullptr) {
+      EXPECT_TRUE(ops.lookup != nullptr || ops.open_scan != nullptr);
+      EXPECT_NE(ops.list_instances, nullptr);
+    }
+  }
+}
+
+TEST_F(RegistryTest, UserRegistrationExtendsTheVectors) {
+  size_t sms = registry_.num_storage_methods();
+  SmOps custom;
+  custom.name = "custom_sm";
+  SmId id = registry_.RegisterStorageMethod(custom);
+  EXPECT_EQ(id, sms);
+  EXPECT_EQ(registry_.FindStorageMethod("custom_sm"),
+            static_cast<int>(sms));
+}
+
+}  // namespace
+}  // namespace dmx

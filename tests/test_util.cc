@@ -1,0 +1,23 @@
+#include "tests/test_util.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dmx {
+namespace testing {
+
+TempDir::TempDir(const std::string& tag) {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "/tmp/dmx_test_%s_%d_XXXXXX", tag.c_str(),
+           static_cast<int>(getpid()));
+  char* p = mkdtemp(buf);
+  path_ = p ? p : "/tmp";
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace testing
+}  // namespace dmx

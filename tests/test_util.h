@@ -1,0 +1,30 @@
+// Shared test helpers.
+
+#ifndef DMX_TESTS_TEST_UTIL_H_
+#define DMX_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <unistd.h>
+
+namespace dmx {
+namespace testing {
+
+/// Scoped temporary directory, recursively removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag = "t");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace dmx
+
+#endif  // DMX_TESTS_TEST_UTIL_H_

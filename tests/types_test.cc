@@ -1,0 +1,208 @@
+// Unit tests for Value, Schema, and the packed Record format.
+
+#include <gtest/gtest.h>
+
+#include "src/types/record.h"
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace dmx {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", TypeId::kInt64, false},
+                 {"name", TypeId::kString, true},
+                 {"salary", TypeId::kDouble, true},
+                 {"active", TypeId::kBool, true}});
+}
+
+TEST(ValueTest, TypeAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).int_value(), 7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, CompareSemantics) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  // Cross-type numeric.
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  // NULL sorts first.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  // Strings.
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("salary"), 2);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+}
+
+TEST(SchemaTest, ValidateRow) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::String("a"),
+                             Value::Double(10.0), Value::Bool(true)})
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());
+  // NULL in NOT NULL column.
+  Status st = s.ValidateRow(
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null()});
+  EXPECT_TRUE(st.IsConstraint());
+  // Type mismatch.
+  EXPECT_FALSE(s.ValidateRow({Value::String("x"), Value::Null(), Value::Null(),
+                              Value::Null()})
+                   .ok());
+  // Int widening into double column is fine.
+  EXPECT_TRUE(s.ValidateRow(
+                   {Value::Int(1), Value::Null(), Value::Int(7), Value::Null()})
+                  .ok());
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema s = TestSchema();
+  std::string buf;
+  s.EncodeTo(&buf);
+  Slice in(buf);
+  Schema out;
+  ASSERT_TRUE(Schema::DecodeFrom(&in, &out).ok());
+  EXPECT_TRUE(s == out);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  Schema s = TestSchema();
+  std::vector<Value> row = {Value::Int(17), Value::String("lindsay"),
+                            Value::Double(95.5), Value::Bool(true)};
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s, row, &rec).ok());
+  RecordView v = rec.View(&s);
+  ASSERT_TRUE(v.Validate().ok());
+  EXPECT_EQ(v.num_fields(), 4);
+  EXPECT_EQ(v.GetInt(0), 17);
+  EXPECT_EQ(v.GetStringSlice(1).ToString(), "lindsay");
+  EXPECT_EQ(v.GetDouble(2), 95.5);
+  EXPECT_TRUE(v.GetBool(3));
+  auto vals = v.GetValues();
+  ASSERT_EQ(vals.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(vals[i].Compare(row[i]), 0);
+}
+
+TEST(RecordTest, NullFields) {
+  Schema s = TestSchema();
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s,
+                             {Value::Int(1), Value::Null(), Value::Null(),
+                              Value::Null()},
+                             &rec)
+                  .ok());
+  RecordView v = rec.View(&s);
+  EXPECT_FALSE(v.IsNull(0));
+  EXPECT_TRUE(v.IsNull(1));
+  EXPECT_TRUE(v.IsNull(2));
+  EXPECT_TRUE(v.IsNull(3));
+  EXPECT_TRUE(v.GetValue(1).is_null());
+}
+
+TEST(RecordTest, IntWideningIntoDoubleColumn) {
+  Schema s = TestSchema();
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s,
+                             {Value::Int(1), Value::Null(), Value::Int(42),
+                              Value::Null()},
+                             &rec)
+                  .ok());
+  RecordView v = rec.View(&s);
+  EXPECT_EQ(v.GetDouble(2), 42.0);
+  EXPECT_EQ(v.GetValue(2).type(), TypeId::kDouble);
+}
+
+TEST(RecordTest, EmptyStringVsNull) {
+  Schema s = TestSchema();
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s,
+                             {Value::Int(1), Value::String(""), Value::Null(),
+                              Value::Null()},
+                             &rec)
+                  .ok());
+  RecordView v = rec.View(&s);
+  EXPECT_FALSE(v.IsNull(1));
+  EXPECT_TRUE(v.GetStringSlice(1).empty());
+  EXPECT_EQ(v.GetValue(1).type(), TypeId::kString);
+}
+
+TEST(RecordTest, ZeroCopyStringAliasesBuffer) {
+  Schema s = TestSchema();
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s,
+                             {Value::Int(1), Value::String("zerocopy"),
+                              Value::Null(), Value::Null()},
+                             &rec)
+                  .ok());
+  RecordView v = rec.View(&s);
+  Slice str = v.GetStringSlice(1);
+  // The slice must point inside the record's own buffer: no copy.
+  EXPECT_GE(str.data(), rec.buffer().data());
+  EXPECT_LE(str.data() + str.size(),
+            rec.buffer().data() + rec.buffer().size());
+}
+
+TEST(RecordTest, ValidateDetectsCorruption) {
+  Schema s = TestSchema();
+  Record rec;
+  ASSERT_TRUE(Record::Encode(s,
+                             {Value::Int(1), Value::String("abc"),
+                              Value::Double(1.0), Value::Bool(false)},
+                             &rec)
+                  .ok());
+  // Truncate the buffer: Validate must notice.
+  std::string buf = rec.buffer();
+  buf.resize(buf.size() - 2);
+  RecordView bad(Slice(buf), &s);
+  EXPECT_FALSE(bad.Validate().ok());
+
+  RecordView tiny(Slice("a", 1), &s);
+  EXPECT_FALSE(tiny.Validate().ok());
+}
+
+// Parameterized round-trip across a sweep of row shapes.
+class RecordRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecordRoundTrip, ManyRows) {
+  Schema s = TestSchema();
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> row = {
+        Value::Int(i),
+        i % 3 == 0 ? Value::Null() : Value::String(std::string(i % 50, 'x')),
+        Value::Double(i * 0.5), Value::Bool(i % 2 == 0)};
+    Record rec;
+    ASSERT_TRUE(Record::Encode(s, row, &rec).ok());
+    RecordView v = rec.View(&s);
+    ASSERT_TRUE(v.Validate().ok());
+    auto vals = v.GetValues();
+    for (size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(vals[j].Compare(row[j]), 0) << "row " << i << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RecordRoundTrip,
+                         ::testing::Values(1, 10, 200));
+
+}  // namespace
+}  // namespace dmx
