@@ -1,19 +1,17 @@
 #include "src/catalog/catalog.h"
 
-#include <cstdio>
-#include <fstream>
-
 #include "src/util/coding.h"
 
 namespace dmx {
 
-Status Catalog::Load(const std::string& path) {
+Status Catalog::Load(const std::string& path, Env* env) {
   std::lock_guard<std::mutex> lock(mu_);
+  env_ = env != nullptr ? env : Env::Default();
   path_ = path;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::OK();  // fresh database
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  std::string data;
+  Status read = env_->ReadFileToString(path, &data);
+  if (read.IsNotFound()) return Status::OK();  // fresh database
+  DMX_RETURN_IF_ERROR(read);
   Slice s(data);
   uint32_t next_id, count;
   if (!GetFixed32(&s, &next_id) || !GetVarint32(&s, &count)) {
@@ -37,17 +35,7 @@ Status Catalog::Save() const {
   for (const auto& [id, desc] : by_id_) {
     desc->EncodeTo(&data);
   }
-  std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return Status::IOError("open " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out.good()) return Status::IOError("write " + tmp);
-  }
-  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::IOError("rename catalog");
-  }
-  return Status::OK();
+  return env_->WriteFileAtomic(path_, data);
 }
 
 Status Catalog::AddRelation(RelationDescriptor desc, RelationId* id) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/catalog/descriptor.h"
+#include "src/util/env.h"
 
 namespace dmx {
 
@@ -28,9 +29,10 @@ class Catalog {
  public:
   Catalog() = default;
 
-  /// Load the catalog from `path` (missing file = empty catalog).
-  Status Load(const std::string& path);
-  /// Atomically persist the current state.
+  /// Load the catalog from `path` through `env` (Env::Default() when null;
+  /// missing file = empty catalog).
+  Status Load(const std::string& path, Env* env = nullptr);
+  /// Atomically persist the current state (durable once OK).
   Status Save() const;
 
   /// Register a new relation; assigns descriptor->id. Fails if the name is
@@ -67,6 +69,7 @@ class Catalog {
 
  private:
   mutable std::mutex mu_;
+  Env* env_ = nullptr;
   std::string path_;
   RelationId next_id_ = 1;
   std::map<RelationId, std::unique_ptr<RelationDescriptor>> by_id_;

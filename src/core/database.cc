@@ -1,7 +1,5 @@
 #include "src/core/database.h"
 
-#include <sys/stat.h>
-
 #include <cassert>
 
 namespace dmx {
@@ -14,10 +12,12 @@ Status Database::Open(const DatabaseOptions& options,
                       std::unique_ptr<Database>* out) {
   auto db = std::unique_ptr<Database>(new Database());
   db->dir_ = options.dir;
-  ::mkdir(options.dir.c_str(), 0755);
+  db->env_ = options.env != nullptr ? options.env : Env::Default();
+  DMX_RETURN_IF_ERROR(db->env_->CreateDir(options.dir));
 
-  DMX_RETURN_IF_ERROR(db->page_file_.Open(options.dir + "/db.pages", true));
-  DMX_RETURN_IF_ERROR(db->log_.Open(options.dir + "/wal", true));
+  DMX_RETURN_IF_ERROR(
+      db->page_file_.Open(options.dir + "/db.pages", true, db->env_));
+  DMX_RETURN_IF_ERROR(db->log_.Open(options.dir + "/wal", true, db->env_));
   LogManager* log = &db->log_;
   db->buffer_pool_ = std::make_unique<BufferPool>(
       &db->page_file_, options.buffer_pool_pages,
@@ -35,7 +35,7 @@ Status Database::Open(const DatabaseOptions& options,
   RegisterBuiltinExtensions(&db->registry_);
   if (options.register_extensions) options.register_extensions(&db->registry_);
 
-  DMX_RETURN_IF_ERROR(db->catalog_.Load(options.dir + "/catalog"));
+  DMX_RETURN_IF_ERROR(db->catalog_.Load(options.dir + "/catalog", db->env_));
 
   // Restart recovery: redo (page-LSN gated), undo losers, then let
   // extensions rebuild derived in-memory structures from base relations.

@@ -36,6 +36,9 @@ struct DatabaseOptions {
   /// Directory holding db.pages, wal, and catalog files. Created if absent.
   std::string dir;
   size_t buffer_pool_pages = 256;
+  /// Environment for all file I/O (Env::Default() when null). Not owned;
+  /// must outlive the Database. Tests plug in a FaultInjectionEnv here.
+  Env* env = nullptr;
   /// Hook to register user extensions "at the factory" — runs after the
   /// built-ins are registered and before restart recovery, so recovery can
   /// dispatch into them.
@@ -186,6 +189,9 @@ class Database {
   /// (user, relation) and enforced identically for every storage method
   /// and access path. Checks also apply to cascaded modifications.
   AuthorizationManager* authorization() { return &auth_; }
+  /// The environment all durable state goes through (never null once open).
+  /// Extensions writing snapshots must use this instead of raw file APIs.
+  Env* env() { return env_; }
   const DatabaseStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DatabaseStats(); }
 
@@ -256,6 +262,7 @@ class Database {
   RelationRuntime* GetRuntime(RelationId id);
 
   std::string dir_;
+  Env* env_ = nullptr;
   PageFile page_file_;
   LogManager log_;
   std::unique_ptr<BufferPool> buffer_pool_;

@@ -4,11 +4,11 @@ namespace dmx {
 
 ManagedScan::ManagedScan(ScanManager* mgr, Transaction* txn,
                          std::unique_ptr<Scan> inner)
-    : mgr_(mgr), txn_(txn), inner_(std::move(inner)) {
-  mgr_->Register(txn_, this);
+    : mgr_(mgr), txn_id_(txn->id()), inner_(std::move(inner)) {
+  mgr_->Register(txn_id_, this);
 }
 
-ManagedScan::~ManagedScan() { mgr_->Deregister(txn_, this); }
+ManagedScan::~ManagedScan() { mgr_->Deregister(txn_id_, this); }
 
 Status ManagedScan::Next(ScanItem* out) {
   if (closed_) {
@@ -27,14 +27,14 @@ Status ManagedScan::RestorePosition(const Slice& pos) {
   return inner_->RestorePosition(pos);
 }
 
-void ScanManager::Register(Transaction* txn, ManagedScan* scan) {
+void ScanManager::Register(TxnId txn, ManagedScan* scan) {
   std::lock_guard<std::mutex> lock(mu_);
-  open_[txn->id()].insert(scan);
+  open_[txn].insert(scan);
 }
 
-void ScanManager::Deregister(Transaction* txn, ManagedScan* scan) {
+void ScanManager::Deregister(TxnId txn, ManagedScan* scan) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = open_.find(txn->id());
+  auto it = open_.find(txn);
   if (it != open_.end()) {
     it->second.erase(scan);
     if (it->second.empty()) open_.erase(it);

@@ -46,7 +46,10 @@ class ManagedScan : public Scan {
  private:
   friend class ScanManager;
   ScanManager* mgr_;
-  Transaction* txn_;
+  // Id, not Transaction*: the scan object may legally outlive its
+  // transaction (the user still owns it after commit), so the destructor
+  // must not dereference the transaction.
+  TxnId txn_id_;
   std::unique_ptr<Scan> inner_;
   bool closed_ = false;
 };
@@ -64,8 +67,8 @@ class ScanManager : public TxnObserver {
  private:
   friend class ManagedScan;
 
-  void Register(Transaction* txn, ManagedScan* scan);
-  void Deregister(Transaction* txn, ManagedScan* scan);
+  void Register(TxnId txn, ManagedScan* scan);
+  void Deregister(TxnId txn, ManagedScan* scan);
 
   mutable std::mutex mu_;
   std::map<TxnId, std::set<ManagedScan*>> open_;

@@ -424,12 +424,16 @@ Status ApplyHeapOp(SmContext& ctx, const HeapLogOp& op, bool undo,
 Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
   HeapLogOp op;
   DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
-  // During a CLR *redo* (restart replaying an interrupted rollback) the
-  // page may already carry the compensation: gate on the page LSN. The
-  // recovery driver passes the CLR's LSN as apply_lsn in both cases, so
-  // gating is always safe.
+  // Gate on the page LSN only when *redoing a CLR* (restart replaying an
+  // interrupted rollback): the page may already carry the compensation.
+  // During rollback of the original update (rec is kUpdate) the undo must
+  // apply unconditionally — concurrent transactions modifying *other*
+  // records on the same page stamp newer page LSNs, and gating would then
+  // silently skip the undo (lost-undo; caught by the bank-transfer
+  // invariant test under sanitizer timing). The record itself is protected
+  // by this transaction's X lock, so unconditional apply is safe.
   return ApplyHeapOp(ctx, op, /*undo=*/true, apply_lsn,
-                     /*gate_on_page_lsn=*/true);
+                     /*gate_on_page_lsn=*/rec.type == LogRecType::kClr);
 }
 
 Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {

@@ -1,7 +1,5 @@
 #include "src/sm/memory.h"
 
-#include <cstdio>
-#include <fstream>
 #include <map>
 
 #include "src/core/costing.h"
@@ -67,26 +65,13 @@ Status MainMemCheckpoint(SmContext& ctx) {
     PutLengthPrefixedSlice(&data, key);
     PutLengthPrefixedSlice(&data, record);
   }
-  const std::string path = SnapshotPath(ctx);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return Status::IOError("open " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out.good()) return Status::IOError("write " + tmp);
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename snapshot");
-  }
-  return Status::OK();
+  return ctx.db->env()->WriteFileAtomic(SnapshotPath(ctx), data);
 }
 
 Status MainMemOpen(SmContext& ctx, std::unique_ptr<ExtState>* state) {
   auto st = std::make_unique<MemState>();
-  std::ifstream in(SnapshotPath(ctx), std::ios::binary);
-  if (in.good()) {
-    std::string data((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
+  std::string data;
+  if (ctx.db->env()->ReadFileToString(SnapshotPath(ctx), &data).ok()) {
     Slice s(data);
     uint64_t next;
     uint32_t count;
@@ -108,7 +93,7 @@ Status MainMemOpen(SmContext& ctx, std::unique_ptr<ExtState>* state) {
 }
 
 Status MainMemDrop(SmContext& ctx) {
-  ::remove(SnapshotPath(ctx).c_str());
+  ctx.db->env()->DeleteFile(SnapshotPath(ctx)).ok();  // may not exist
   return Status::OK();
 }
 

@@ -1,12 +1,9 @@
 #include "src/storage/page_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace dmx {
 
@@ -23,52 +20,69 @@ void SetPageLsn(Page* p, Lsn lsn) {
 }
 
 PageFile::~PageFile() {
-  if (fd_ >= 0) Close();
+  if (file_) Close();
 }
 
-Status PageFile::Open(const std::string& path, bool create) {
-  int flags = O_RDWR;
-  if (create) flags |= O_CREAT;
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    return Status::IOError("open '" + path + "': " + strerror(errno));
-  }
-  fd_ = fd;
+Status PageFile::Open(const std::string& path, bool create, Env* env) {
+  env_ = env != nullptr ? env : Env::Default();
+  const bool existed = env_->FileExists(path).ok();
+  DMX_RETURN_IF_ERROR(env_->NewRandomAccessFile(path, create, &file_));
   path_ = path;
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size == 0) {
-    // Fresh file: write the header page.
+  uint64_t size = 0;
+  Status s = file_->Size(&size);
+  if (s.ok() && size == 0) {
+    // Fresh file: write the header page, then make it durable — the file
+    // itself and, if we just created it, its directory entry.
     page_count_ = 1;
     freelist_head_ = kInvalidPageId;
-    return WriteHeader();
+    s = WriteHeader();
+    if (s.ok()) s = file_->Sync(/*data_only=*/false);
+    if (s.ok() && !existed) s = env_->SyncDir(DirnameOf(path));
+  } else if (s.ok()) {
+    s = ReadHeader();
   }
-  return ReadHeader();
-}
-
-Status PageFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  Status s = WriteHeader();
-  ::close(fd_);
-  fd_ = -1;
+  if (!s.ok()) {
+    file_->Close();
+    file_.reset();
+  }
   return s;
 }
 
+Status PageFile::Close() {
+  if (!file_) return Status::OK();
+  Status s = WriteHeader();
+  Status c = file_->Close();
+  file_.reset();
+  return s.ok() ? c : s;
+}
+
 Status PageFile::ReadRaw(PageId id, char* buf) {
-  ssize_t n = ::pread(fd_, buf, kPageSize,
-                      static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pread page " + std::to_string(id));
+  char frame[kDiskPageSize];
+  size_t n = 0;
+  DMX_RETURN_IF_ERROR(file_->Read(
+      static_cast<uint64_t>(id) * kDiskPageSize, kDiskPageSize, frame, &n));
+  if (n != kDiskPageSize) {
+    return Status::Corruption("short read of page " + std::to_string(id) +
+                              " in '" + path_ + "'");
   }
+  const uint32_t expected = DecodeFixed32(frame + kPageSize);
+  const uint32_t actual = Crc32c(frame, kPageSize);
+  if (expected != actual) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " checksum mismatch in '" + path_ + "'");
+  }
+  memcpy(buf, frame, kPageSize);
   return Status::OK();
 }
 
 Status PageFile::WriteRaw(PageId id, const char* buf) {
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite page " + std::to_string(id));
-  }
-  return Status::OK();
+  char frame[kDiskPageSize];
+  memcpy(frame, buf, kPageSize);
+  const uint32_t crc = Crc32c(buf, kPageSize);
+  memcpy(frame + kPageSize, &crc, 4);
+  memset(frame + kPageSize + 4, 0, 4);
+  return file_->Write(static_cast<uint64_t>(id) * kDiskPageSize, frame,
+                      kDiskPageSize);
 }
 
 Status PageFile::ReadHeader() {
@@ -103,6 +117,9 @@ Status PageFile::Allocate(PageId* id) {
     memset(buf, 0, kPageSize);
     DMX_RETURN_IF_ERROR(WriteRaw(reused, buf));
     DMX_RETURN_IF_ERROR(WriteHeader());
+    // Make the unlink durable: after a crash the page must not come back
+    // as both allocated (to our caller) and head of the free list.
+    DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
     *id = reused;
     return Status::OK();
   }
@@ -111,6 +128,9 @@ Status PageFile::Allocate(PageId* id) {
   memset(buf, 0, kPageSize);
   DMX_RETURN_IF_ERROR(WriteRaw(fresh, buf));
   DMX_RETURN_IF_ERROR(WriteHeader());
+  // Make the growth durable so the new page id is never handed out twice
+  // across a crash.
+  DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
   *id = fresh;
   return Status::OK();
 }
@@ -128,6 +148,7 @@ Status PageFile::Free(PageId id) {
   memcpy(buf + 8, next.data(), 4);
   DMX_RETURN_IF_ERROR(WriteRaw(id, buf));
   freelist_head_ = id;
+  // No sync: losing a Free across a crash merely leaks the page.
   return WriteHeader();
 }
 
@@ -147,9 +168,6 @@ Status PageFile::Write(PageId id, const Page& page) {
   return WriteRaw(id, page.data);
 }
 
-Status PageFile::Sync() {
-  if (::fsync(fd_) != 0) return Status::IOError("fsync");
-  return Status::OK();
-}
+Status PageFile::Sync() { return file_->Sync(/*data_only=*/false); }
 
 }  // namespace dmx

@@ -1,18 +1,27 @@
-// PageFile: page-granular file storage with an embedded free list.
+// PageFile: page-granular file storage with an embedded free list and
+// end-to-end page checksums.
 //
 // One PageFile backs all page-based structures of a database (heap segments,
 // B-tree segments, catalog). Page 0 is the file header:
 //   u32 magic | u32 page_count | u32 freelist_head
 // Free pages form a singly linked list threaded through their first 4 bytes
 // after the LSN word.
+//
+// On disk every 8 KiB page image is followed by an 8-byte trailer holding a
+// CRC32C of the image (plus 4 reserved bytes), so a torn or bit-flipped
+// page is detected on read (Status::kCorruption) instead of being silently
+// interpreted. All I/O goes through a pluggable Env, which is how the fault
+// injection tests simulate crashes and bad disks.
 
 #ifndef DMX_STORAGE_PAGE_FILE_H_
 #define DMX_STORAGE_PAGE_FILE_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "src/util/common.h"
+#include "src/util/env.h"
 #include "src/util/status.h"
 
 namespace dmx {
@@ -23,6 +32,12 @@ namespace dmx {
 struct Page {
   char data[kPageSize];
 };
+
+/// Bytes appended to each page on disk: u32 CRC32C of the page image,
+/// u32 reserved (zero).
+constexpr size_t kPageTrailerSize = 8;
+/// On-disk footprint of one page (image + checksum trailer).
+constexpr size_t kDiskPageSize = kPageSize + kPageTrailerSize;
 
 /// Read the page LSN from a page image.
 Lsn PageLsn(const Page& p);
@@ -38,16 +53,21 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  /// Open (or create) the file at `path`.
-  Status Open(const std::string& path, bool create);
+  /// Open (or create) the file at `path` through `env` (Env::Default()
+  /// when null). Creation syncs the file and its parent directory so the
+  /// new file survives a crash.
+  Status Open(const std::string& path, bool create, Env* env = nullptr);
   Status Close();
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return file_ != nullptr; }
 
-  /// Allocate a fresh page (zeroed). Reuses freed pages first.
+  /// Allocate a fresh page (zeroed). Reuses freed pages first. The header
+  /// and the new page are synced before the page is handed out, so a crash
+  /// can never resurrect an allocated page as free.
   Status Allocate(PageId* id);
   /// Return a page to the free list.
   Status Free(PageId id);
 
+  /// Read a page, verifying its checksum (kCorruption on mismatch).
   Status Read(PageId id, Page* page);
   Status Write(PageId id, const Page& page);
 
@@ -63,7 +83,8 @@ class PageFile {
   Status ReadRaw(PageId id, char* buf);
   Status WriteRaw(PageId id, const char* buf);
 
-  int fd_ = -1;
+  Env* env_ = nullptr;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   uint32_t page_count_ = 0;
   PageId freelist_head_ = kInvalidPageId;

@@ -1,0 +1,101 @@
+#include "src/util/crc32c.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DMX_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace dmx {
+namespace {
+
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+#ifdef DMX_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const char* data,
+                                                          size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t l = crc ^ 0xFFFFFFFFu;
+  // Align to 8 bytes, then consume 8 at a time.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    l = _mm_crc32_u8(l, *p++);
+    --n;
+  }
+  uint64_t l64 = l;
+  while (n >= 8) {
+    uint64_t chunk;
+    memcpy(&chunk, p, 8);
+    l64 = _mm_crc32_u64(l64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  l = static_cast<uint32_t>(l64);
+  while (n > 0) {
+    l = _mm_crc32_u8(l, *p++);
+    --n;
+  }
+  return l ^ 0xFFFFFFFFu;
+}
+#endif  // DMX_CRC32C_X86
+
+using ExtendFn = uint32_t (*)(uint32_t, const char*, size_t);
+
+ExtendFn ChooseExtend() {
+#ifdef DMX_CRC32C_X86
+  if (__builtin_cpu_supports("sse4.2")) return &ExtendHardware;
+#endif
+  return &internal::Crc32cExtendSoftware;
+}
+
+ExtendFn DispatchedExtend() {
+  static const ExtendFn fn = ChooseExtend();
+  return fn;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint32_t Crc32cExtendSoftware(uint32_t crc, const char* data, size_t n) {
+  const uint32_t* table = Table().t;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t l = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    l = table[(l ^ p[i]) & 0xFF] ^ (l >> 8);
+  }
+  return l ^ 0xFFFFFFFFu;
+}
+
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  return DispatchedExtend()(crc, data, n);
+}
+
+bool Crc32cHardwareAccelerated() {
+#ifdef DMX_CRC32C_X86
+  return DispatchedExtend() == &ExtendHardware;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dmx

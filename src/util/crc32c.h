@@ -1,0 +1,36 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) for
+// end-to-end corruption detection on pages and WAL record frames.
+//
+// Dispatches at first use to the SSE4.2 CRC32 instruction when the CPU has
+// it, falling back to a table-driven software implementation. Extend-style
+// chaining holds: Crc32cExtend(Crc32c(a, n), b, m) == crc of a||b.
+
+#ifndef DMX_UTIL_CRC32C_H_
+#define DMX_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmx {
+
+/// Continue a CRC over `n` more bytes. `crc` is a finalized value from a
+/// previous call (or 0 to start).
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+/// CRC32C of a buffer.
+inline uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// True when the SSE4.2 hardware path is in use.
+bool Crc32cHardwareAccelerated();
+
+namespace internal {
+/// Software path, exported so tests and benchmarks can cross-check the
+/// hardware path against it.
+uint32_t Crc32cExtendSoftware(uint32_t crc, const char* data, size_t n);
+}  // namespace internal
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_CRC32C_H_

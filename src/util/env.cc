@@ -1,0 +1,203 @@
+#include "src/util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dmx {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* out_n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, scratch + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;  // interrupted: resume
+        return PosixError("pread '" + path_ + "'", errno);
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    *out_n = done;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::pwrite(fd_, data + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;  // interrupted: resume
+        return PosixError("pwrite '" + path_ + "'", errno);
+      }
+      done += static_cast<size_t>(w);  // short write: resume the rest
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError("ftruncate '" + path_ + "'", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Sync(bool data_only) override {
+    int r = data_only ? ::fdatasync(fd_) : ::fsync(fd_);
+    if (r != 0) return PosixError("fsync '" + path_ + "'", errno);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* out) override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return PosixError("fstat '" + path_ + "'", errno);
+    }
+    *out = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close '" + path_ + "'", errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewRandomAccessFile(const std::string& path, bool create,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int flags = O_RDWR;
+    if (create) flags |= O_CREAT;
+    int fd;
+    do {
+      fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return PosixError("open '" + path + "'", errno);
+    *out = std::make_unique<PosixRandomAccessFile>(path, fd);
+    return Status::OK();
+  }
+
+  Status FileExists(const std::string& path) override {
+    if (::access(path.c_str(), F_OK) == 0) return Status::OK();
+    return Status::NotFound("'" + path + "' does not exist");
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* out) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("'" + path + "'");
+      return PosixError("stat '" + path + "'", errno);
+    }
+    *out = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("'" + path + "'");
+      return PosixError("unlink '" + path + "'", errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename '" + from + "' -> '" + to + "'", errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError("mkdir '" + path + "'", errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return PosixError("open dir '" + path + "'", errno);
+    int r = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (r != 0) return PosixError("fsync dir '" + path + "'", saved);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  DMX_RETURN_IF_ERROR(FileExists(path));
+  std::unique_ptr<RandomAccessFile> file;
+  DMX_RETURN_IF_ERROR(NewRandomAccessFile(path, /*create=*/false, &file));
+  uint64_t size;
+  DMX_RETURN_IF_ERROR(file->Size(&size));
+  out->resize(size);
+  size_t got = 0;
+  DMX_RETURN_IF_ERROR(file->Read(0, size, out->data(), &got));
+  if (got != size) {
+    return Status::IOError("short read of '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status Env::WriteFileAtomic(const std::string& path, const Slice& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<RandomAccessFile> file;
+    DMX_RETURN_IF_ERROR(NewRandomAccessFile(tmp, /*create=*/true, &file));
+    DMX_RETURN_IF_ERROR(file->Truncate(0));
+    DMX_RETURN_IF_ERROR(file->Write(0, data.data(), data.size()));
+    DMX_RETURN_IF_ERROR(file->Sync(/*data_only=*/false));
+    DMX_RETURN_IF_ERROR(file->Close());
+  }
+  DMX_RETURN_IF_ERROR(RenameFile(tmp, path));
+  return SyncDir(DirnameOf(path));
+}
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // leaked singleton
+  return env;
+}
+
+}  // namespace dmx

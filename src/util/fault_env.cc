@@ -1,0 +1,345 @@
+#include "src/util/fault_env.h"
+
+#include <vector>
+
+namespace dmx {
+
+/// Wraps a base file; consults the env's shared fault state on every call.
+/// At namespace scope (not anonymous) so the friend declaration binds.
+class FaultFile : public RandomAccessFile {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::string path,
+            std::unique_ptr<RandomAccessFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* out_n) override {
+    {
+      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      if (env_->ShouldFailReadLocked()) {
+        return Status::IOError("injected read fault on '" + path_ + "'");
+      }
+    }
+    return base_->Read(offset, n, scratch, out_n);
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    FaultInjectionEnv::CorruptMode corrupt;
+    {
+      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      if (env_->ShouldFailWriteLocked()) {
+        return Status::IOError("injected write fault on '" + path_ + "'");
+      }
+      corrupt = env_->state_.corrupt_next;
+      env_->state_.corrupt_next = FaultInjectionEnv::CorruptMode::kNone;
+      ++env_->state_.writes;
+    }
+    switch (corrupt) {
+      case FaultInjectionEnv::CorruptMode::kNone:
+        return base_->Write(offset, data, n);
+      case FaultInjectionEnv::CorruptMode::kBitFlip: {
+        std::vector<char> copy(data, data + n);
+        if (n > 0) {
+          uint64_t bit;
+          {
+            std::lock_guard<std::mutex> lock(env_->state_.mu);
+            bit = env_->state_.rng() % (n * 8);
+          }
+          copy[bit / 8] = static_cast<char>(copy[bit / 8] ^ (1u << (bit % 8)));
+        }
+        // The caller believes the write succeeded; the medium lies.
+        return base_->Write(offset, copy.data(), n);
+      }
+      case FaultInjectionEnv::CorruptMode::kTornWrite:
+        // Only a prefix reaches the platter; the caller is not told.
+        return base_->Write(offset, data, n / 2);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    {
+      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      if (env_->ShouldFailWriteLocked()) {
+        return Status::IOError("injected truncate fault on '" + path_ + "'");
+      }
+      ++env_->state_.writes;
+    }
+    return base_->Truncate(size);
+  }
+
+  Status Sync(bool data_only) override {
+    {
+      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      if (env_->ShouldFailSyncLocked()) {
+        return Status::IOError("injected sync fault on '" + path_ + "'");
+      }
+      ++env_->state_.syncs;
+    }
+    DMX_RETURN_IF_ERROR(base_->Sync(data_only));
+    env_->SnapshotSynced(path_);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* out) override { return base_->Size(out); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.rng.seed(seed);
+}
+
+void FaultInjectionEnv::SetWriteFailAfter(int64_t n) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.write_fail_after = n;
+}
+
+void FaultInjectionEnv::SetSyncFailAfter(int64_t n) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.sync_fail_after = n;
+}
+
+void FaultInjectionEnv::SetReadErrorProb(double p) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.read_error_prob = p;
+}
+
+void FaultInjectionEnv::SetWriteErrorProb(double p) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.write_error_prob = p;
+}
+
+void FaultInjectionEnv::SetSyncErrorProb(double p) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.sync_error_prob = p;
+}
+
+void FaultInjectionEnv::SetCorruptNextWrite(CorruptMode mode) {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.corrupt_next = mode;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.dead = false;
+  state_.write_fail_after = -1;
+  state_.sync_fail_after = -1;
+  state_.read_error_prob = 0;
+  state_.write_error_prob = 0;
+  state_.sync_error_prob = 0;
+  state_.corrupt_next = CorruptMode::kNone;
+}
+
+bool FaultInjectionEnv::dead_disk() const {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return state_.dead;
+}
+
+uint64_t FaultInjectionEnv::writes() const {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return state_.writes;
+}
+
+uint64_t FaultInjectionEnv::syncs() const {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return state_.syncs;
+}
+
+uint64_t FaultInjectionEnv::injected_faults() const {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return state_.injected;
+}
+
+bool FaultInjectionEnv::CoinLocked(double p) {
+  if (p <= 0) return false;
+  return std::uniform_real_distribution<double>(0, 1)(state_.rng) < p;
+}
+
+bool FaultInjectionEnv::ShouldFailWriteLocked() {
+  if (state_.dead) {
+    ++state_.injected;
+    return true;
+  }
+  if (state_.write_fail_after == 0) {
+    state_.dead = true;
+    ++state_.injected;
+    return true;
+  }
+  if (state_.write_fail_after > 0) --state_.write_fail_after;
+  if (CoinLocked(state_.write_error_prob)) {
+    ++state_.injected;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjectionEnv::ShouldFailSyncLocked() {
+  if (state_.dead) {
+    ++state_.injected;
+    return true;
+  }
+  if (state_.sync_fail_after == 0) {
+    state_.dead = true;
+    ++state_.injected;
+    return true;
+  }
+  if (state_.sync_fail_after > 0) --state_.sync_fail_after;
+  if (CoinLocked(state_.sync_error_prob)) {
+    ++state_.injected;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjectionEnv::ShouldFailReadLocked() {
+  if (CoinLocked(state_.read_error_prob)) {
+    ++state_.injected;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjectionEnv::SnapshotSynced(const std::string& path) {
+  std::string content;
+  if (!base_->ReadFileToString(path, &content).ok()) return;
+  std::lock_guard<std::mutex> lock(state_.mu);
+  state_.files[path].synced_content = std::move(content);
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, bool create,
+    std::unique_ptr<RandomAccessFile>* out) {
+  const bool existed = base_->FileExists(path).ok();
+  std::string initial;
+  if (existed) base_->ReadFileToString(path, &initial).ok();
+  std::unique_ptr<RandomAccessFile> base_file;
+  DMX_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, create, &base_file));
+  {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    if (state_.files.find(path) == state_.files.end()) {
+      FileState fs;
+      if (existed) {
+        // Pre-existing files are durable with their current content.
+        fs.created_durable = true;
+        fs.synced_content = std::move(initial);
+      }
+      state_.files[path] = std::move(fs);
+    }
+  }
+  *out = std::make_unique<FaultFile>(this, path, std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& path, uint64_t* out) {
+  return base_->GetFileSize(path, out);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  Status s = base_->DeleteFile(path);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    state_.files.erase(path);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  DMX_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(state_.mu);
+  auto it = state_.files.find(from);
+  FileState moved;
+  if (it != state_.files.end()) {
+    moved = std::move(it->second);
+    state_.files.erase(it);
+  }
+  // Simplification: a completed rename is treated as durable (callers that
+  // need strict semantics follow with SyncDir, as WriteFileAtomic does).
+  moved.created_durable = true;
+  state_.files[to] = std::move(moved);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    if (ShouldFailSyncLocked()) {
+      return Status::IOError("injected dir-sync fault on '" + path + "'");
+    }
+    ++state_.syncs;
+  }
+  DMX_RETURN_IF_ERROR(base_->SyncDir(path));
+  std::lock_guard<std::mutex> lock(state_.mu);
+  for (auto& [file_path, fs] : state_.files) {
+    if (DirnameOf(file_path) == path) fs.created_durable = true;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteFileAtomic(const std::string& path,
+                                          const Slice& data) {
+  {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    if (ShouldFailWriteLocked() || ShouldFailSyncLocked()) {
+      return Status::IOError("injected atomic-write fault on '" + path + "'");
+    }
+    ++state_.writes;
+    ++state_.syncs;
+  }
+  DMX_RETURN_IF_ERROR(base_->WriteFileAtomic(path, data));
+  std::lock_guard<std::mutex> lock(state_.mu);
+  FileState& fs = state_.files[path];
+  fs.synced_content.assign(data.data(), data.size());
+  fs.created_durable = true;
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DropUnsyncedWrites() {
+  // Copy the plan under the lock, then touch the base filesystem.
+  std::vector<std::pair<std::string, FileState>> keep;
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    for (auto& [path, fs] : state_.files) {
+      if (fs.created_durable) {
+        keep.emplace_back(path, fs);
+      } else {
+        doomed.push_back(path);
+      }
+    }
+    for (const std::string& path : doomed) state_.files.erase(path);
+  }
+  for (const std::string& path : doomed) {
+    base_->DeleteFile(path).ok();  // may already be gone
+  }
+  for (auto& [path, fs] : keep) {
+    std::unique_ptr<RandomAccessFile> file;
+    DMX_RETURN_IF_ERROR(
+        base_->NewRandomAccessFile(path, /*create=*/true, &file));
+    DMX_RETURN_IF_ERROR(file->Truncate(0));
+    DMX_RETURN_IF_ERROR(
+        file->Write(0, fs.synced_content.data(), fs.synced_content.size()));
+    DMX_RETURN_IF_ERROR(file->Sync(/*data_only=*/false));
+    DMX_RETURN_IF_ERROR(file->Close());
+  }
+  return Status::OK();
+}
+
+}  // namespace dmx

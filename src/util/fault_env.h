@@ -1,0 +1,123 @@
+// FaultInjectionEnv: an Env wrapper that misbehaves on demand.
+//
+// Supports three families of disk faults, driving the crash-recovery
+// torture tests:
+//   * injected errors — reads, writes, and syncs fail by probability or
+//     after a countdown; a countdown expiry "kills the disk" (every later
+//     write/sync fails until ClearFaults), modelling a device that dies
+//     and takes the process down with it;
+//   * corrupted writes — the next write is bit-flipped or torn (only a
+//     prefix reaches the file), which the per-page and per-WAL-frame
+//     checksums must catch on the way back in;
+//   * power loss — DropUnsyncedWrites() reverts every tracked file to its
+//     state at the last successful Sync, and deletes files whose creation
+//     was never made durable by a parent-directory sync.
+//
+// The wrapper tracks only files opened/written through it. Close all
+// wrapped files (e.g. destroy the Database) before DropUnsyncedWrites.
+// The env must outlive every file handle it returned.
+
+#ifndef DMX_UTIL_FAULT_ENV_H_
+#define DMX_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "src/util/env.h"
+
+namespace dmx {
+
+class FaultInjectionEnv : public Env {
+ public:
+  enum class CorruptMode { kNone, kBitFlip, kTornWrite };
+
+  /// Wraps `base` (Env::Default() when null).
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  // -- fault configuration ----------------------------------------------------
+  void SetSeed(uint64_t seed);
+  /// After `n` more successful writes/truncates, every subsequent write,
+  /// truncate, and sync fails until ClearFaults() ("the disk died").
+  /// n == 0 fails the very next one. Negative disables.
+  void SetWriteFailAfter(int64_t n);
+  /// Same countdown for syncs.
+  void SetSyncFailAfter(int64_t n);
+  /// Independent per-call failure probabilities (transient errors).
+  void SetReadErrorProb(double p);
+  void SetWriteErrorProb(double p);
+  void SetSyncErrorProb(double p);
+  /// Corrupt the next write that is not rejected: flip one random bit, or
+  /// tear it (persist only the first half).
+  void SetCorruptNextWrite(CorruptMode mode);
+  /// Disarm everything (including a dead disk).
+  void ClearFaults();
+  /// True once a countdown expired and the disk is dead.
+  bool dead_disk() const;
+
+  // -- crash simulation -------------------------------------------------------
+  /// Simulate power loss: every tracked file reverts to its content at the
+  /// last successful Sync; files never made durable are deleted. Call with
+  /// no wrapped file handles open.
+  Status DropUnsyncedWrites();
+
+  // -- counters ---------------------------------------------------------------
+  uint64_t writes() const;
+  uint64_t syncs() const;
+  uint64_t injected_faults() const;
+
+  // -- Env --------------------------------------------------------------------
+  Status NewRandomAccessFile(const std::string& path, bool create,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* out) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  /// Atomic + durable once OK (old content intact on failure); counts as
+  /// one write plus one sync against the fault triggers.
+  Status WriteFileAtomic(const std::string& path, const Slice& data) override;
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::string synced_content;  // content at the last successful Sync
+    bool created_durable = false;  // directory entry survives power loss
+  };
+
+  struct State {
+    mutable std::mutex mu;
+    std::mt19937_64 rng{0xD3F4A17u};
+    bool dead = false;
+    int64_t write_fail_after = -1;
+    int64_t sync_fail_after = -1;
+    double read_error_prob = 0;
+    double write_error_prob = 0;
+    double sync_error_prob = 0;
+    CorruptMode corrupt_next = CorruptMode::kNone;
+    uint64_t writes = 0;
+    uint64_t syncs = 0;
+    uint64_t injected = 0;
+    std::map<std::string, FileState> files;
+  };
+
+  // All return true when the operation must fail (mu held by caller).
+  bool ShouldFailWriteLocked();
+  bool ShouldFailSyncLocked();
+  bool ShouldFailReadLocked();
+  bool CoinLocked(double p);
+
+  // Record the real file's current content as the synced snapshot.
+  void SnapshotSynced(const std::string& path);
+
+  Env* base_;
+  State state_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_FAULT_ENV_H_

@@ -1,48 +1,71 @@
 #include "src/wal/log_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace dmx {
 
 namespace {
-constexpr size_t kLogHeaderSize = 16;
+
+constexpr size_t kLogHeaderSize = 24;
+constexpr size_t kFrameHeaderSize = 8;  // u32 length | u32 crc
 constexpr uint32_t kLogMagic = 0x444D584C;  // "DMXL"
+
+// CRC32C over the generation number followed by the frame body. Mixing the
+// generation in lets replay distinguish a stale pre-truncation frame (crc
+// matches an older generation) from genuine corruption (matches nothing).
+uint32_t FrameCrc(uint32_t gen, const char* body, size_t n) {
+  char g[4];
+  memcpy(g, &gen, 4);
+  return Crc32cExtend(Crc32c(g, 4), body, n);
+}
+
 }  // namespace
 
 LogManager::~LogManager() {
-  if (fd_ >= 0) Close();
+  if (file_) Close();
 }
 
-Status LogManager::Open(const std::string& path, bool create) {
-  int flags = O_RDWR;
-  if (create) flags |= O_CREAT;
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    return Status::IOError("open log '" + path + "': " + strerror(errno));
-  }
-  fd_ = fd;
+Status LogManager::Open(const std::string& path, bool create, Env* env) {
+  env_ = env != nullptr ? env : Env::Default();
+  const bool existed = env_->FileExists(path).ok();
+  DMX_RETURN_IF_ERROR(env_->NewRandomAccessFile(path, create, &file_));
   path_ = path;
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size == 0) {
+  poisoned_ = false;
+  buffer_.clear();
+  uint64_t size = 0;
+  Status s = file_->Size(&size);
+  if (s.ok() && size == 0) {
     base_lsn_ = 0;
-    DMX_RETURN_IF_ERROR(WriteHeader());
-    size = static_cast<off_t>(kLogHeaderSize);
-  } else {
+    gen_ = 1;
+    s = WriteHeaderLocked();
+    if (s.ok()) s = file_->Sync(/*data_only=*/false);
+    if (s.ok() && !existed) s = env_->SyncDir(DirnameOf(path));
+    size = kLogHeaderSize;
+  } else if (s.ok()) {
     char hdr[kLogHeaderSize];
-    if (::pread(fd_, hdr, kLogHeaderSize, 0) !=
-        static_cast<ssize_t>(kLogHeaderSize)) {
-      return Status::IOError("log header read");
+    size_t n = 0;
+    s = file_->Read(0, kLogHeaderSize, hdr, &n);
+    if (s.ok() && n != kLogHeaderSize) {
+      s = Status::Corruption("short log header in '" + path + "'");
     }
-    if (DecodeFixed32(hdr) != kLogMagic) {
-      return Status::Corruption("bad log magic in '" + path + "'");
+    if (s.ok() && DecodeFixed32(hdr) != kLogMagic) {
+      s = Status::Corruption("bad log magic in '" + path + "'");
     }
-    base_lsn_ = DecodeFixed64(hdr + 4);
+    if (s.ok() && DecodeFixed32(hdr + 16) != Crc32c(hdr, 16)) {
+      s = Status::Corruption("log header checksum mismatch in '" + path + "'");
+    }
+    if (s.ok()) {
+      base_lsn_ = DecodeFixed64(hdr + 4);
+      gen_ = DecodeFixed32(hdr + 12);
+    }
+  }
+  if (!s.ok()) {
+    file_->Close();
+    file_.reset();
+    return s;
   }
   next_lsn_ = base_lsn_ + static_cast<Lsn>(size) - kLogHeaderSize + 1;
   flushed_lsn_ = next_lsn_ - 1;
@@ -50,36 +73,33 @@ Status LogManager::Open(const std::string& path, bool create) {
   return Status::OK();
 }
 
-Status LogManager::WriteHeader() {
-  char hdr[kLogHeaderSize];
-  memset(hdr, 0, sizeof(hdr));
+Status LogManager::WriteHeaderLocked() {
   std::string enc;
   PutFixed32(&enc, kLogMagic);
   PutFixed64(&enc, base_lsn_);
-  memcpy(hdr, enc.data(), enc.size());
-  if (::pwrite(fd_, hdr, kLogHeaderSize, 0) !=
-      static_cast<ssize_t>(kLogHeaderSize)) {
-    return Status::IOError("log header write");
-  }
-  return Status::OK();
+  PutFixed32(&enc, gen_);
+  PutFixed32(&enc, Crc32c(enc.data(), enc.size()));
+  PutFixed32(&enc, 0);  // pad
+  return file_->Write(0, enc.data(), enc.size());
 }
 
 Status LogManager::Close() {
+  if (!file_) return Status::OK();
   Status s = FlushAll();
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-  return s;
+  Status c = file_->Close();
+  file_.reset();
+  return s.ok() ? c : s;
 }
 
 Status LogManager::Append(LogRecord* rec) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   rec->lsn = next_lsn_;
   std::string body;
   rec->EncodeTo(&body);
   std::string framed;
   PutFixed32(&framed, static_cast<uint32_t>(body.size()));
+  PutFixed32(&framed, FrameCrc(gen_, body.data(), body.size()));
   framed += body;
   buffer_ += framed;
   next_lsn_ += framed.size();
@@ -89,15 +109,13 @@ Status LogManager::Append(LogRecord* rec) {
 
 Status LogManager::FlushTo(Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   if (lsn <= flushed_lsn_) return Status::OK();
   if (buffer_.empty()) return Status::OK();
-  ssize_t n = ::pwrite(
-      fd_, buffer_.data(), buffer_.size(),
-      static_cast<off_t>(buffer_start_ - base_lsn_ - 1 + kLogHeaderSize));
-  if (n != static_cast<ssize_t>(buffer_.size())) {
-    return Status::IOError("log pwrite");
-  }
-  if (::fdatasync(fd_) != 0) return Status::IOError("log fdatasync");
+  DMX_RETURN_IF_ERROR(file_->Write(
+      buffer_start_ - base_lsn_ - 1 + kLogHeaderSize, buffer_.data(),
+      buffer_.size()));
+  DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
   buffer_start_ += buffer_.size();
   flushed_lsn_ = buffer_start_ - 1;
   buffer_.clear();
@@ -105,64 +123,103 @@ Status LogManager::FlushTo(Lsn lsn) {
 }
 
 Status LogManager::FlushAll() {
-  if (fd_ < 0) return Status::OK();
+  if (!file_) return Status::OK();
   return FlushTo(next_lsn_ - 1);
 }
 
 Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   DMX_RETURN_IF_ERROR(FlushAll());
   std::lock_guard<std::mutex> lock(mu_);
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size <= static_cast<off_t>(kLogHeaderSize)) return Status::OK();
+  uint64_t size = 0;
+  DMX_RETURN_IF_ERROR(file_->Size(&size));
+  if (size <= kLogHeaderSize) return Status::OK();
   std::string data(static_cast<size_t>(size) - kLogHeaderSize, '\0');
-  ssize_t n = ::pread(fd_, data.data(), data.size(), kLogHeaderSize);
-  if (n != static_cast<ssize_t>(data.size())) {
-    return Status::IOError("log read");
-  }
+  size_t got = 0;
+  DMX_RETURN_IF_ERROR(file_->Read(kLogHeaderSize, data.size(), data.data(),
+                                  &got));
+  if (got != data.size()) return Status::IOError("short log read");
   size_t pos = 0;
-  while (pos + 4 <= data.size()) {
-    uint32_t len = DecodeFixed32(data.data() + pos);
-    if (pos + 4 + len > data.size()) break;  // torn tail: stop
-    Slice body(data.data() + pos + 4, len);
+  while (pos + kFrameHeaderSize <= data.size()) {
+    const uint32_t len = DecodeFixed32(data.data() + pos);
+    if (len == 0) break;  // zero fill: torn tail
+    if (pos + kFrameHeaderSize + len > data.size()) break;  // torn tail
+    const uint32_t crc = DecodeFixed32(data.data() + pos + 4);
+    const char* body = data.data() + pos + kFrameHeaderSize;
+    if (crc != FrameCrc(gen_, body, len)) {
+      bool stale = false;
+      for (uint32_t back = 1; back <= 8 && back < gen_; ++back) {
+        if (crc == FrameCrc(gen_ - back, body, len)) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) break;  // leftovers from a crash-interrupted truncation
+      if (pos + kFrameHeaderSize + len == data.size()) break;  // torn tail
+      return Status::Corruption(
+          "wal frame checksum mismatch at log offset " +
+          std::to_string(kLogHeaderSize + pos) + " in '" + path_ + "'");
+    }
+    Slice in(body, len);
     LogRecord rec;
-    Status s = LogRecord::DecodeFrom(&body, &rec);
-    if (!s.ok()) break;  // treat as torn tail
+    if (!LogRecord::DecodeFrom(&in, &rec).ok()) {
+      // The bytes are intact (crc passed) yet undecodable: a writer bug or
+      // format mismatch, not a torn tail.
+      return Status::Corruption(
+          "undecodable wal record at log offset " +
+          std::to_string(kLogHeaderSize + pos) + " in '" + path_ + "'");
+    }
     rec.lsn = base_lsn_ + static_cast<Lsn>(pos) + 1;
     out->push_back(std::move(rec));
-    pos += 4 + len;
+    pos += kFrameHeaderSize + len;
+  }
+  if (pos < data.size()) {
+    // Self-heal: cut the torn or stale tail off so later appends never
+    // interleave with its bytes. Propagate failure — continuing with the
+    // tail in place risks replaying garbage after the next crash.
+    DMX_RETURN_IF_ERROR(file_->Truncate(kLogHeaderSize + pos));
+    DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
+    next_lsn_ = base_lsn_ + static_cast<Lsn>(pos) + 1;
+    flushed_lsn_ = next_lsn_ - 1;
+    buffer_start_ = next_lsn_;
   }
   return Status::OK();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   if (lsn == kInvalidLsn || lsn <= base_lsn_ || lsn >= next_lsn_) {
     return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
   }
   // Serve from the in-memory buffer if not yet flushed.
   if (lsn >= buffer_start_) {
     size_t off = static_cast<size_t>(lsn - buffer_start_);
-    if (off + 4 > buffer_.size()) return Status::Corruption("lsn in buffer");
+    if (off + kFrameHeaderSize > buffer_.size()) {
+      return Status::Corruption("lsn in buffer");
+    }
     uint32_t len = DecodeFixed32(buffer_.data() + off);
-    if (off + 4 + len > buffer_.size()) {
+    if (off + kFrameHeaderSize + len > buffer_.size()) {
       return Status::Corruption("lsn body in buffer");
     }
-    Slice body(buffer_.data() + off + 4, len);
+    Slice body(buffer_.data() + off + kFrameHeaderSize, len);
     DMX_RETURN_IF_ERROR(LogRecord::DecodeFrom(&body, out));
     out->lsn = lsn;
     return Status::OK();
   }
-  const off_t file_off =
-      static_cast<off_t>(lsn - base_lsn_ - 1 + kLogHeaderSize);
-  char lenbuf[4];
-  if (::pread(fd_, lenbuf, 4, file_off) != 4) {
-    return Status::IOError("log pread len");
-  }
-  uint32_t len = DecodeFixed32(lenbuf);
+  const uint64_t file_off = lsn - base_lsn_ - 1 + kLogHeaderSize;
+  char hdr[kFrameHeaderSize];
+  size_t n = 0;
+  DMX_RETURN_IF_ERROR(file_->Read(file_off, kFrameHeaderSize, hdr, &n));
+  if (n != kFrameHeaderSize) return Status::IOError("log frame header read");
+  const uint32_t len = DecodeFixed32(hdr);
+  const uint32_t crc = DecodeFixed32(hdr + 4);
   std::string body(len, '\0');
-  if (::pread(fd_, body.data(), len, file_off + 4) !=
-      static_cast<ssize_t>(len)) {
-    return Status::IOError("log pread body");
+  DMX_RETURN_IF_ERROR(
+      file_->Read(file_off + kFrameHeaderSize, len, body.data(), &n));
+  if (n != len) return Status::IOError("log frame body read");
+  if (crc != FrameCrc(gen_, body.data(), len)) {
+    return Status::Corruption("wal frame checksum mismatch at lsn " +
+                              std::to_string(lsn));
   }
   Slice in(body);
   DMX_RETURN_IF_ERROR(LogRecord::DecodeFrom(&in, out));
@@ -172,15 +229,36 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 
 Status LogManager::Truncate() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   if (!buffer_.empty()) {
     return Status::Busy("flush the log before truncating");
   }
+  const Lsn old_base = base_lsn_;
+  const uint32_t old_gen = gen_;
   base_lsn_ = next_lsn_ - 1;
-  if (::ftruncate(fd_, static_cast<off_t>(kLogHeaderSize)) != 0) {
-    return Status::IOError("log ftruncate");
+  gen_ += 1;
+  // Header first: once the new header (advanced base, bumped generation) is
+  // durable, any frames still in the file belong to the old generation and
+  // replay discards them, so a crash before the shrink below is harmless.
+  Status s = WriteHeaderLocked();
+  if (s.ok()) s = file_->Sync(/*data_only=*/false);
+  if (!s.ok()) {
+    base_lsn_ = old_base;
+    gen_ = old_gen;
+    Status restore = WriteHeaderLocked();
+    if (restore.ok()) restore = file_->Sync(/*data_only=*/false);
+    // If we cannot tell which header is on disk, refuse all further work.
+    if (!restore.ok()) poisoned_ = true;
+    return s;
   }
-  DMX_RETURN_IF_ERROR(WriteHeader());
-  if (::fdatasync(fd_) != 0) return Status::IOError("log fdatasync");
+  s = file_->Truncate(kLogHeaderSize);
+  if (s.ok()) s = file_->Sync(/*data_only=*/true);
+  if (!s.ok()) {
+    // The new header is durable but the old frames may linger; in-memory
+    // offsets no longer match the file reliably. Refuse further work.
+    poisoned_ = true;
+    return s;
+  }
   buffer_start_ = next_lsn_;
   flushed_lsn_ = next_lsn_ - 1;
   return Status::OK();

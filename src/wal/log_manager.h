@@ -1,19 +1,48 @@
-// LogManager: append-only write-ahead log with group buffering.
+// LogManager: append-only write-ahead log with group buffering and
+// per-record checksums.
 //
-// The file begins with a 16-byte header {magic, base_lsn}; records are
-// framed as u32 length + body. LSN = base_lsn + (file offset - header) + 1,
-// so kInvalidLsn = 0 is never a real LSN and LSNs keep increasing across
-// checkpoint truncations (page LSNs stamped before a checkpoint must stay
-// smaller than every post-checkpoint LSN for redo gating to work).
+// File layout:
+//   header (24 bytes): u32 magic | u64 base_lsn | u32 generation |
+//                      u32 crc of the preceding 16 bytes | u32 pad
+//   frames:            u32 length | u32 crc | body
+//
+// The frame crc is a CRC32C over the header's generation number followed by
+// the body, so replay can tell three situations apart:
+//   * torn tail — the final frame is incomplete or fails its crc: the write
+//     never finished before a crash; replay stops cleanly and the tail is
+//     truncated away;
+//   * stale frames — a crc that matches a *previous* generation marks bytes
+//     left over from before a checkpoint truncation that crashed between
+//     writing the new header and shrinking the file; replay discards them;
+//   * corruption — a crc mismatch anywhere else (e.g. a flipped bit in the
+//     middle of the log) is real damage: ReadAll returns kCorruption rather
+//     than silently replaying a prefix.
+//
+// LSN = base_lsn + (file offset - header) + 1, so kInvalidLsn = 0 is never a
+// real LSN and LSNs keep increasing across checkpoint truncations (page LSNs
+// stamped before a checkpoint must stay smaller than every post-checkpoint
+// LSN for redo gating to work). A frame occupies 8 + length bytes of LSN
+// space.
+//
+// Checkpoint truncation is crash-safe: Truncate writes and syncs the new
+// header (advanced base, bumped generation) before shrinking the file, so a
+// crash at any point leaves either the old log or the new empty log, never a
+// file whose header disagrees with its frames. If Truncate fails after the
+// point of no return the manager poisons itself — every later operation
+// returns IOError until the log is reopened.
+//
+// All I/O goes through a pluggable Env (fault injection in tests).
 
 #ifndef DMX_WAL_LOG_MANAGER_H_
 #define DMX_WAL_LOG_MANAGER_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/common.h"
+#include "src/util/env.h"
 #include "src/util/status.h"
 #include "src/wal/log_record.h"
 
@@ -27,8 +56,9 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Open (or create) the log file.
-  Status Open(const std::string& path, bool create);
+  /// Open (or create) the log file through `env` (Env::Default() when
+  /// null). Creation syncs the file and its parent directory.
+  Status Open(const std::string& path, bool create, Env* env = nullptr);
   Status Close();
 
   /// Append a record; assigns rec->lsn. Does not force to disk — call
@@ -43,15 +73,17 @@ class LogManager {
   Lsn flushed_lsn() const { return flushed_lsn_; }
   Lsn next_lsn() const { return next_lsn_; }
 
-  /// Read the entire log (for restart recovery). Truncated tails (torn
-  /// final record) are tolerated and ignored.
+  /// Read the entire log (for restart recovery). A torn final record or a
+  /// stale post-truncation tail is tolerated: replay stops before it and
+  /// the tail is truncated off the file. Mid-log damage returns
+  /// kCorruption.
   Status ReadAll(std::vector<LogRecord>* out);
 
-  /// Read a single record by LSN (for rollback chains).
+  /// Read a single record by LSN (for rollback chains), verifying its crc.
   Status ReadRecord(Lsn lsn, LogRecord* out);
 
-  /// Discard every record (checkpoint): the file is truncated to an empty
-  /// log whose base is the current end, so future LSNs continue from here.
+  /// Discard every record (checkpoint): the file becomes an empty log
+  /// whose base is the current end, so future LSNs continue from here.
   /// The caller must ensure nothing in the discarded range is still
   /// needed (no active transactions; all pages/snapshots flushed).
   Status Truncate();
@@ -60,16 +92,19 @@ class LogManager {
   uint64_t records_appended() const { return records_appended_; }
 
  private:
-  Status WriteHeader();
+  Status WriteHeaderLocked();
 
-  int fd_ = -1;
+  Env* env_ = nullptr;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   Lsn base_lsn_ = 0;     // LSNs below this were truncated away
+  uint32_t gen_ = 1;     // bumped on every truncation
   Lsn next_lsn_ = 1;
   Lsn flushed_lsn_ = 0;  // highest durable LSN
   std::string buffer_;   // unflushed bytes
   Lsn buffer_start_ = 1; // LSN of buffer_[0]
   uint64_t records_appended_ = 0;
+  bool poisoned_ = false;  // set on unrecoverable Truncate failure
   mutable std::mutex mu_;
 };
 

@@ -11,6 +11,7 @@
 
 #include "src/core/database.h"
 #include "src/sm/key_codec.h"
+#include "src/util/fault_env.h"
 #include "tests/test_util.h"
 
 namespace dmx {
@@ -441,6 +442,48 @@ TEST_F(RecoveryIntegrationTest, LsnsKeepIncreasingAcrossTruncation) {
   Schema schema = KvSchema();
   EXPECT_EQ(rec.View(&schema).GetStringSlice(1).ToString(), "updated");
   db_->Commit(txn);
+}
+
+// Power loss (not just a process crash): every write since the last fsync
+// is lost. Commit forces the log, so committed work must still survive.
+TEST(PowerLossRecoveryTest, CommittedWorkSurvivesDroppedUnsyncedWrites) {
+  TempDir dir("powerloss");
+  FaultInjectionEnv env;
+  DatabaseOptions options;
+  options.dir = dir.path() + "/db";
+  options.buffer_pool_pages = 16;
+  options.env = &env;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  Transaction* ddl = db->Begin();
+  ASSERT_TRUE(db->CreateRelation(ddl, "t", KvSchema(), "heap", {}).ok());
+  ASSERT_TRUE(db->Commit(ddl).ok());
+  Transaction* txn = db->Begin();
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        db->Insert(txn, "t", {Value::Int(i), Value::String("keep")}).ok());
+  }
+  ASSERT_TRUE(db->Commit(txn).ok());
+  // A loser left in flight: its effects must not reappear.
+  Transaction* loser = db->Begin();
+  ASSERT_TRUE(
+      db->Insert(loser, "t", {Value::Int(999), Value::String("lose")}).ok());
+  db->SimulateCrashOnClose();
+  db.reset();
+  ASSERT_TRUE(env.DropUnsyncedWrites().ok());
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  Transaction* check = db->Begin();
+  std::unique_ptr<Scan> scan;
+  ASSERT_TRUE(db->OpenScan(check, "t", AccessPathId::StorageMethod(),
+                           ScanSpec{}, &scan)
+                  .ok());
+  ScanItem item;
+  std::vector<int64_t> keys;
+  while (scan->Next(&item).ok()) keys.push_back(item.view.GetInt(0));
+  scan.reset();
+  db->Commit(check);
+  EXPECT_EQ(keys.size(), 25u);
+  for (int64_t k : keys) EXPECT_LT(k, 25);
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 #include <set>
 #include <string>
 
+#include <cstdio>
+
 #include "src/storage/buffer_pool.h"
 #include "src/storage/page_file.h"
 #include "src/storage/slotted_page.h"
+#include "src/util/fault_env.h"
 #include "tests/test_util.h"
 
 namespace dmx {
@@ -84,6 +87,85 @@ TEST(PageFileTest, InvalidAccessRejected) {
   EXPECT_FALSE(pf.Read(kInvalidPageId, &p).ok());
   EXPECT_FALSE(pf.Read(999, &p).ok());
   EXPECT_FALSE(pf.Free(999).ok());
+}
+
+TEST(PageFileTest, ChecksumDetectsFlippedByteInPageImage) {
+  TempDir dir("pagefile4");
+  std::string path = dir.path() + "/db";
+  PageId a, b;
+  {
+    PageFile pf;
+    ASSERT_TRUE(pf.Open(path, true).ok());
+    ASSERT_TRUE(pf.Allocate(&a).ok());
+    ASSERT_TRUE(pf.Allocate(&b).ok());
+    Page p;
+    memset(p.data, 0x5C, kPageSize);
+    ASSERT_TRUE(pf.Write(a, p).ok());
+    ASSERT_TRUE(pf.Write(b, p).ok());
+    ASSERT_TRUE(pf.Close().ok());
+  }
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long off = static_cast<long>(a * kDiskPageSize + 1234);
+    fseek(f, off, SEEK_SET);
+    int c = fgetc(f);
+    fseek(f, off, SEEK_SET);
+    fputc(c ^ 0x01, f);
+    fclose(f);
+  }
+  PageFile pf;
+  ASSERT_TRUE(pf.Open(path, false).ok());
+  Page q;
+  Status s = pf.Read(a, &q);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_TRUE(pf.Read(b, &q).ok());  // sibling page unharmed
+}
+
+TEST(PageFileTest, ChecksumTrailerCorruptionAlsoDetected) {
+  TempDir dir("pagefile5");
+  std::string path = dir.path() + "/db";
+  PageId a;
+  {
+    PageFile pf;
+    ASSERT_TRUE(pf.Open(path, true).ok());
+    ASSERT_TRUE(pf.Allocate(&a).ok());
+    Page p;
+    memset(p.data, 0x11, kPageSize);
+    ASSERT_TRUE(pf.Write(a, p).ok());
+    ASSERT_TRUE(pf.Close().ok());
+  }
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long off = static_cast<long>(a * kDiskPageSize + kPageSize);
+    fseek(f, off, SEEK_SET);
+    int c = fgetc(f);
+    fseek(f, off, SEEK_SET);
+    fputc(c ^ 0x80, f);
+    fclose(f);
+  }
+  PageFile pf;
+  ASSERT_TRUE(pf.Open(path, false).ok());
+  Page q;
+  EXPECT_TRUE(pf.Read(a, &q).IsCorruption());
+}
+
+TEST(PageFileTest, InjectedReadFaultSurfacesAsIOError) {
+  TempDir dir("pagefile6");
+  FaultInjectionEnv env;
+  PageFile pf;
+  ASSERT_TRUE(pf.Open(dir.path() + "/db", true, &env).ok());
+  PageId a;
+  ASSERT_TRUE(pf.Allocate(&a).ok());
+  Page p;
+  memset(p.data, 0x22, kPageSize);
+  ASSERT_TRUE(pf.Write(a, p).ok());
+  env.SetReadErrorProb(1.0);
+  Page q;
+  EXPECT_TRUE(pf.Read(a, &q).IsIOError());
+  env.ClearFaults();
+  EXPECT_TRUE(pf.Read(a, &q).ok());
 }
 
 TEST(BufferPoolTest, FetchCachesPages) {

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 
 #include "src/util/coding.h"
+#include "src/util/fault_env.h"
 #include "src/wal/log_manager.h"
 #include "src/wal/recovery.h"
 #include "tests/test_util.h"
@@ -134,6 +136,166 @@ TEST(LogManagerTest, ReadAllSurvivesReopenAndTornTail) {
   EXPECT_EQ(all[0].payload, "one");
   EXPECT_EQ(all[1].payload, "two");
   EXPECT_EQ(all[1].lsn, lsn_b);
+}
+
+namespace {
+// File offset of the frame for `lsn` (base 0): 24-byte header, then one
+// byte of LSN space per file byte. The 8-byte frame header precedes the
+// body.
+long FrameBodyOffset(Lsn lsn) { return static_cast<long>(lsn + 23 + 8); }
+
+void FlipByteAt(const std::string& path, long offset) {
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, offset, SEEK_SET), 0);
+  int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(fseek(f, offset, SEEK_SET), 0);
+  fputc(c ^ 0x04, f);
+  fclose(f);
+}
+}  // namespace
+
+TEST(LogManagerTest, BitFlipMidLogIsCorruption) {
+  TempDir dir("logflip1");
+  std::string path = dir.path() + "/wal";
+  Lsn lsn_a;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.Open(path, true).ok());
+    LogRecord a = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "one");
+    LogRecord b = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "two");
+    LogRecord c = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "three");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.Append(&b).ok());
+    ASSERT_TRUE(log.Append(&c).ok());
+    lsn_a = a.lsn;
+    ASSERT_TRUE(log.Close().ok());
+  }
+  FlipByteAt(path, FrameBodyOffset(lsn_a));  // not the last record
+  LogManager log;
+  ASSERT_TRUE(log.Open(path, false).ok());
+  std::vector<LogRecord> all;
+  Status s = log.ReadAll(&all);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(LogManagerTest, BitFlipInFinalRecordIsTolerableTornTail) {
+  TempDir dir("logflip2");
+  std::string path = dir.path() + "/wal";
+  Lsn lsn_c;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.Open(path, true).ok());
+    LogRecord a = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "one");
+    LogRecord b = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "two");
+    LogRecord c = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "three");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.Append(&b).ok());
+    ASSERT_TRUE(log.Append(&c).ok());
+    lsn_c = c.lsn;
+    ASSERT_TRUE(log.Close().ok());
+  }
+  // A damaged *final* record is indistinguishable from a torn write of that
+  // record and must be dropped, not reported as corruption.
+  FlipByteAt(path, FrameBodyOffset(lsn_c));
+  {
+    LogManager log;
+    ASSERT_TRUE(log.Open(path, false).ok());
+    std::vector<LogRecord> all;
+    ASSERT_TRUE(log.ReadAll(&all).ok());
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[1].payload, "two");
+    // ReadAll healed the file: the torn frame's LSN space is reusable.
+    LogRecord d = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "four");
+    ASSERT_TRUE(log.Append(&d).ok());
+    EXPECT_EQ(d.lsn, lsn_c);
+    ASSERT_TRUE(log.Close().ok());
+  }
+  LogManager log;
+  ASSERT_TRUE(log.Open(path, false).ok());
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[2].payload, "four");
+}
+
+TEST(LogManagerTest, PowerLossRecoversToLastFlushedLsn) {
+  TempDir dir("logpower");
+  std::string path = dir.path() + "/wal";
+  FaultInjectionEnv env;
+  Lsn flushed, lsn_b;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.Open(path, true, &env).ok());
+    LogRecord a = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "one");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+    flushed = log.flushed_lsn();
+    LogRecord b = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "two");
+    ASSERT_TRUE(log.Append(&b).ok());
+    lsn_b = b.lsn;
+    env.SetSyncFailAfter(0);  // power dies before the close-time flush syncs
+    EXPECT_FALSE(log.Close().ok());
+  }
+  env.ClearFaults();
+  ASSERT_TRUE(env.DropUnsyncedWrites().ok());
+  LogManager log;
+  ASSERT_TRUE(log.Open(path, false, &env).ok());
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].payload, "one");
+  EXPECT_EQ(log.flushed_lsn(), flushed);
+  // The lost record's LSN space is reused seamlessly.
+  LogRecord c = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "again");
+  ASSERT_TRUE(log.Append(&c).ok());
+  EXPECT_EQ(c.lsn, lsn_b);
+}
+
+TEST(LogManagerTest, CrashDuringTruncateDiscardsStaleFrames) {
+  TempDir dir("logtrunc");
+  std::string path = dir.path() + "/wal";
+  FaultInjectionEnv env;
+  Lsn old_next;
+  {
+    LogManager log;
+    ASSERT_TRUE(log.Open(path, true, &env).ok());
+    LogRecord a = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "one");
+    LogRecord b = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "two");
+    ASSERT_TRUE(log.Append(&a).ok());
+    ASSERT_TRUE(log.Append(&b).ok());
+    ASSERT_TRUE(log.FlushAll().ok());
+    old_next = log.next_lsn();
+    // The new header write succeeds and syncs, then the disk dies on the
+    // ftruncate: the bumped-generation header is durable with the old
+    // frames still in the file.
+    env.SetWriteFailAfter(1);
+    Status ts = log.Truncate();
+    EXPECT_TRUE(ts.IsIOError()) << ts.ToString();
+    // The log no longer trusts its view of the file: poisoned until reopen.
+    LogRecord x = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "x");
+    EXPECT_TRUE(log.Append(&x).IsIOError());
+    EXPECT_TRUE(log.Truncate().IsIOError());
+    log.Close().ok();
+  }
+  env.ClearFaults();
+  ASSERT_TRUE(env.DropUnsyncedWrites().ok());
+  LogManager log;
+  ASSERT_TRUE(log.Open(path, false, &env).ok());
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log.ReadAll(&all).ok());
+  // Previous-generation frames are recognized as stale and discarded: the
+  // truncation took effect logically even though the shrink never ran.
+  EXPECT_TRUE(all.empty());
+  LogRecord c = MakeUpdateRecord(1, ExtKind::kStorageMethod, 0, 1, "fresh");
+  ASSERT_TRUE(log.Append(&c).ok());
+  EXPECT_EQ(c.lsn, old_next);
+  ASSERT_TRUE(log.FlushAll().ok());
+  all.clear();
+  ASSERT_TRUE(log.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].payload, "fresh");
 }
 
 // -- Toy extension driven by the recovery machinery -------------------------
