@@ -163,4 +163,4 @@ BENCHMARK(BM_FullDispatchInsert);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("ablation")

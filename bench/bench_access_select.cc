@@ -168,4 +168,4 @@ BENCHMARK(BM_ForcedFullScan)
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("access_select")

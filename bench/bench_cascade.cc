@@ -161,4 +161,4 @@ BENCHMARK(BM_CascadeDeleteThenAbort)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("cascade")

@@ -100,4 +100,4 @@ BENCHMARK(BM_CheckpointCost)
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("checkpoint")

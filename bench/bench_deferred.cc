@@ -147,4 +147,4 @@ BENCHMARK(BM_TransientViolationSemantics)->Arg(0)->Arg(1);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("deferred")

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -120,4 +122,4 @@ BENCHMARK(BM_VirtualDispatch);
 }  // namespace
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("dispatch")

@@ -128,4 +128,4 @@ BENCHMARK(BM_InsertCommitDurable);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("faultfree_overhead")

@@ -104,4 +104,4 @@ BENCHMARK(BM_PlainNestedLoopJoin)
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("join_calls")

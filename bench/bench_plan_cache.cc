@@ -125,4 +125,4 @@ BENCHMARK(BM_InvalidationRetranslate)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("plan_cache")

@@ -98,4 +98,4 @@ BENCHMARK(BM_FilterAfterCopyOut)
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("predicate")

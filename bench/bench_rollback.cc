@@ -118,4 +118,4 @@ BENCHMARK(BM_SavepointRollback)
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("rollback")

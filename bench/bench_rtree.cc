@@ -167,4 +167,4 @@ BENCHMARK(BM_RTreeEnclosesProbe)->Unit(benchmark::kMicrosecond);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("rtree")

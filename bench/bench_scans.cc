@@ -138,4 +138,4 @@ BENCHMARK(BM_PartialRollbackRestoresScan)->Unit(benchmark::kMicrosecond);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("scans")

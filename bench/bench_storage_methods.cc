@@ -173,4 +173,4 @@ BENCHMARK(BM_KeyRange)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 }  // namespace bench
 }  // namespace dmx
 
-BENCHMARK_MAIN();
+DMX_BENCH_MAIN("storage_methods")

@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "src/util/metrics.h"
 
 namespace dmx {
 namespace bench {
@@ -52,6 +56,78 @@ ScopedDb::ScopedDb(uint64_t rows, const std::string& sm,
   BenchCheck(db_->Commit(txn), "commit ddl");
   BenchCheck(db_->FindRelation("bench", &desc_), "find");
   if (rows > 0) Load(0, rows);
+}
+
+namespace {
+
+// Console output as usual, but keep every per-iteration run so BenchMain
+// can serialize name/iterations/ns-per-op afterwards.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      captured_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const char* suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::string doc = "{\"suite\":";
+  AppendJsonString(&doc, suite);
+  doc += ",\"benchmarks\":[";
+  bool first = true;
+  for (const auto& run : reporter.captured()) {
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    const double ns_per_op = run.real_accumulated_time * 1e9 / iters;
+    if (!first) doc += ",";
+    first = false;
+    doc += "{\"name\":";
+    AppendJsonString(&doc, run.benchmark_name());
+    char buf[96];
+    snprintf(buf, sizeof(buf), ",\"iterations\":%lld,\"ns_per_op\":%.1f}",
+             static_cast<long long>(run.iterations), ns_per_op);
+    doc += buf;
+  }
+  doc += "],\"metrics\":";
+  doc += MetricsRegistry::Global()->ToJson();
+  doc += "}\n";
+
+  const char* dir = getenv("DMX_BENCH_JSON_DIR");
+  std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_" + suite + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    benchmark::Shutdown();
+    return 1;
+  }
+  fwrite(doc.data(), 1, doc.size(), f);
+  fclose(f);
+  benchmark::Shutdown();
+  return 0;
 }
 
 void ScopedDb::Load(uint64_t begin, uint64_t end) {

@@ -51,7 +51,21 @@ class ScopedDb {
 /// Abort-on-error helper for setup code.
 void BenchCheck(const Status& s, const char* what);
 
+/// Unified benchmark entry point: runs the registered benchmarks with the
+/// normal console output, then writes one JSON document
+/// (`BENCH_<suite>.json`, into $DMX_BENCH_JSON_DIR or the working
+/// directory) holding every benchmark's name, iteration count, and ns/op,
+/// plus the process-wide metrics snapshot. The regression gate in CI
+/// compares these files against bench/baseline.json.
+int BenchMain(int argc, char** argv, const char* suite);
+
 }  // namespace bench
 }  // namespace dmx
+
+/// Replaces BENCHMARK_MAIN(): same flags, plus the JSON emission above.
+#define DMX_BENCH_MAIN(suite)                          \
+  int main(int argc, char** argv) {                    \
+    return ::dmx::bench::BenchMain(argc, argv, suite); \
+  }
 
 #endif  // DMX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Usage: check_regression.py <baseline.json> <results-dir> [--threshold 0.25]
+
+Compares every BENCH_*.json in <results-dir> against the checked-in
+baseline and exits non-zero if any benchmark's ns/op regressed by more
+than the threshold (default 25%). Benchmarks missing from the baseline
+are reported but do not fail the gate (refresh the baseline to adopt
+them); benchmarks missing from the results fail it, because a silently
+dropped benchmark is how regressions hide.
+
+Refresh the baseline with bench/refresh_baseline.sh.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(results_dir):
+    suites = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        with open(path) as f:
+            doc = json.load(f)
+        suites[doc["suite"]] = {
+            b["name"]: b["ns_per_op"] for b in doc["benchmarks"]
+        }
+    return suites
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("results_dir")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional ns/op regression that fails (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    results = load_results(args.results_dir)
+    if not results:
+        print(f"FAIL: no BENCH_*.json files found in {args.results_dir}")
+        return 1
+
+    failures = []
+    new_benchmarks = []
+    for suite, benches in sorted(baseline.get("suites", {}).items()):
+        got = results.get(suite)
+        if got is None:
+            failures.append(f"suite '{suite}' produced no results")
+            continue
+        for name, base_ns in sorted(benches.items()):
+            if name not in got:
+                failures.append(f"{suite}/{name} missing from results")
+                continue
+            now_ns = got[name]
+            if base_ns > 0 and now_ns > base_ns * (1.0 + args.threshold):
+                pct = 100.0 * (now_ns / base_ns - 1.0)
+                failures.append(
+                    f"{suite}/{name}: {base_ns:.1f} -> {now_ns:.1f} ns/op "
+                    f"(+{pct:.0f}%, limit +{args.threshold * 100:.0f}%)")
+
+    for suite, benches in sorted(results.items()):
+        base = baseline.get("suites", {}).get(suite, {})
+        for name in sorted(benches):
+            if name not in base:
+                new_benchmarks.append(f"{suite}/{name}")
+
+    if new_benchmarks:
+        print("Not in baseline (refresh to adopt):")
+        for n in new_benchmarks:
+            print(f"  {n}")
+    if failures:
+        print("Benchmark regressions:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    total = sum(len(b) for b in results.values())
+    print(f"OK: {total} benchmarks within +{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Re-run every benchmark from a Release build and rewrite bench/baseline.json
+# from the BENCH_*.json files they emit. Run from the repo root:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   sh bench/refresh_baseline.sh [min_time_seconds]
+set -e
+MIN_TIME="${1:-0.05}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+export DMX_BENCH_JSON_DIR="$OUT_DIR"
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  "$b" --benchmark_min_time="$MIN_TIME"
+done
+python3 - "$OUT_DIR" <<'EOF'
+import glob, json, os, sys
+suites = {}
+for path in sorted(glob.glob(os.path.join(sys.argv[1], "BENCH_*.json"))):
+    doc = json.load(open(path))
+    suites[doc["suite"]] = {b["name"]: b["ns_per_op"] for b in doc["benchmarks"]}
+json.dump({"suites": suites}, open("bench/baseline.json", "w"),
+          indent=1, sort_keys=True)
+print(f"wrote bench/baseline.json ({sum(len(s) for s in suites.values())} benchmarks)")
+EOF

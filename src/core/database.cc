@@ -34,6 +34,7 @@ Status Database::Open(const DatabaseOptions& options,
   // "At the factory": install procedure vectors before any dispatch.
   RegisterBuiltinExtensions(&db->registry_);
   if (options.register_extensions) options.register_extensions(&db->registry_);
+  db->ResolveDispatchMetrics();
 
   DMX_RETURN_IF_ERROR(db->catalog_.Load(options.dir + "/catalog", db->env_));
 
@@ -63,6 +64,28 @@ Status Database::Open(const DatabaseOptions& options,
 
 Database::~Database() {
   if (!crash_on_close_) Flush().ok();
+}
+
+void Database::ResolveDispatchMetrics() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  sm_metrics_.clear();
+  for (size_t id = 0; id < registry_.num_storage_methods(); ++id) {
+    const char* name = registry_.sm_ops(static_cast<SmId>(id)).name;
+    std::string base = "sm." + std::to_string(id) + "." +
+                       (name != nullptr ? name : "anonymous");
+    sm_metrics_.push_back({metrics->GetCounter(base + ".calls"),
+                           metrics->GetHistogram(base + ".call_ns")});
+  }
+  at_metrics_.clear();
+  for (size_t id = 0; id < registry_.num_attachment_types(); ++id) {
+    const char* name = registry_.at_ops(static_cast<AtId>(id)).name;
+    std::string base = "at." + std::to_string(id) + "." +
+                       (name != nullptr ? name : "anonymous");
+    at_metrics_.push_back({metrics->GetCounter(base + ".calls"),
+                           metrics->GetHistogram(base + ".call_ns")});
+  }
+  metric_vetoes_ = metrics->GetCounter("db.vetoes");
+  metric_partial_rollbacks_ = metrics->GetCounter("db.partial_rollbacks");
 }
 
 Status Database::Flush() {
@@ -479,8 +502,13 @@ Status Database::InsertRecord(Transaction* txn,
   SmContext ctx;
   DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
   std::string key;
-  ++stats_.sm_calls;
-  Status s = sm.insert(ctx, record, &key);
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  Status s;
+  {
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+    s = sm.insert(ctx, record, &key);
+  }
   if (s.ok()) {
     s = lock_mgr_.Lock(txn->id(), LockNames::Record(desc->id, key),
                        LockMode::kX);
@@ -492,8 +520,12 @@ Status Database::InsertRecord(Transaction* txn,
   }
   if (!s.ok()) {
     // Veto or failure: common log drives undo of the partial effects.
-    if (s.IsVeto()) ++stats_.vetoes;
-    ++stats_.partial_rollbacks;
+    if (s.IsVeto()) {
+      stats_.vetoes.Increment();
+      metric_vetoes_->Increment();
+    }
+    stats_.partial_rollbacks.Increment();
+    metric_partial_rollbacks_->Increment();
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -532,14 +564,23 @@ Status Database::UpdateRecord(Transaction* txn,
 
   // The old record value is needed by the attached procedures.
   std::string old_record;
-  ++stats_.sm_calls;
-  DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  {
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+    DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+  }
 
   const Lsn before = txn->last_lsn();
   std::string moved_key;
-  ++stats_.sm_calls;
-  Status s = sm.update(ctx, record_key, Slice(old_record), new_record,
-                       &moved_key);
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  Status s;
+  {
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+    s = sm.update(ctx, record_key, Slice(old_record), new_record,
+                  &moved_key);
+  }
   if (s.ok() && Slice(moved_key) != record_key) {
     s = lock_mgr_.Lock(txn->id(), LockNames::Record(desc->id, moved_key),
                        LockMode::kX);
@@ -549,8 +590,12 @@ Status Database::UpdateRecord(Transaction* txn,
                           Slice(old_record), new_record);
   }
   if (!s.ok()) {
-    if (s.IsVeto()) ++stats_.vetoes;
-    ++stats_.partial_rollbacks;
+    if (s.IsVeto()) {
+      stats_.vetoes.Increment();
+      metric_vetoes_->Increment();
+    }
+    stats_.partial_rollbacks.Increment();
+    metric_partial_rollbacks_->Increment();
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -583,19 +628,32 @@ Status Database::DeleteRecord(Transaction* txn,
   DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
 
   std::string old_record;
-  ++stats_.sm_calls;
-  DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  {
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+    DMX_RETURN_IF_ERROR(sm.fetch(ctx, record_key, &old_record));
+  }
 
   const Lsn before = txn->last_lsn();
-  ++stats_.sm_calls;
-  Status s = sm.erase(ctx, record_key, Slice(old_record));
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  Status s;
+  {
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+    s = sm.erase(ctx, record_key, Slice(old_record));
+  }
   if (s.ok()) {
     s = NotifyAttachments(txn, desc, /*op=*/2, record_key, Slice(),
                           Slice(old_record), Slice());
   }
   if (!s.ok()) {
-    if (s.IsVeto()) ++stats_.vetoes;
-    ++stats_.partial_rollbacks;
+    if (s.IsVeto()) {
+      stats_.vetoes.Increment();
+      metric_vetoes_->Increment();
+    }
+    stats_.partial_rollbacks.Increment();
+    metric_partial_rollbacks_->Increment();
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -631,18 +689,30 @@ Status Database::NotifyAttachments(Transaction* txn,
     switch (op) {
       case 0:
         if (ops.on_insert == nullptr) continue;
-        ++stats_.at_calls;
-        s = ops.on_insert(ctx, new_key, new_rec);
+        stats_.at_calls.Increment();
+        at_metrics_[at].calls->Increment();
+        {
+          ScopedTimer timer(at_metrics_[at].call_ns);
+          s = ops.on_insert(ctx, new_key, new_rec);
+        }
         break;
       case 1:
         if (ops.on_update == nullptr) continue;
-        ++stats_.at_calls;
-        s = ops.on_update(ctx, old_key, new_key, old_rec, new_rec);
+        stats_.at_calls.Increment();
+        at_metrics_[at].calls->Increment();
+        {
+          ScopedTimer timer(at_metrics_[at].call_ns);
+          s = ops.on_update(ctx, old_key, new_key, old_rec, new_rec);
+        }
         break;
       default:
         if (ops.on_delete == nullptr) continue;
-        ++stats_.at_calls;
-        s = ops.on_delete(ctx, old_key, old_rec);
+        stats_.at_calls.Increment();
+        at_metrics_[at].calls->Increment();
+        {
+          ScopedTimer timer(at_metrics_[at].call_ns);
+          s = ops.on_delete(ctx, old_key, old_rec);
+        }
         break;
     }
     DMX_RETURN_IF_ERROR(s);
@@ -674,7 +744,9 @@ Status Database::FetchRecord(Transaction* txn,
   const SmOps& sm = registry_.sm_ops(desc->sm_id);
   SmContext ctx;
   DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
-  ++stats_.sm_calls;
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
   return sm.fetch(ctx, record_key, record);
 }
 
@@ -698,7 +770,9 @@ Status Database::OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
     const SmOps& sm = registry_.sm_ops(desc->sm_id);
     SmContext ctx;
     DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
-    ++stats_.sm_calls;
+    stats_.sm_calls.Increment();
+    sm_metrics_[desc->sm_id].calls->Increment();
+    ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
     DMX_RETURN_IF_ERROR(sm.open_scan(ctx, spec, &inner));
   } else {
     AtId at = path.at_id();
@@ -712,7 +786,9 @@ Status Database::OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
     }
     AtContext ctx;
     DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
-    ++stats_.at_calls;
+    stats_.at_calls.Increment();
+    at_metrics_[at].calls->Increment();
+    ScopedTimer timer(at_metrics_[at].call_ns);
     DMX_RETURN_IF_ERROR(ops.open_scan(ctx, path.instance, spec, &inner));
   }
   *out = std::make_unique<ManagedScan>(&scan_mgr_, txn, std::move(inner));
@@ -741,7 +817,9 @@ Status Database::Lookup(Transaction* txn, const std::string& rel,
   }
   AtContext ctx;
   DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
-  ++stats_.at_calls;
+  stats_.at_calls.Increment();
+  at_metrics_[at].calls->Increment();
+  ScopedTimer timer(at_metrics_[at].call_ns);
   return ops.lookup(ctx, path.instance, key, record_keys);
 }
 

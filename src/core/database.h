@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/catalog/catalog.h"
 #include "src/core/authorization.h"
@@ -62,11 +63,20 @@ struct AccessPathId {
 };
 
 /// Dispatch counters (the tuple-at-a-time call-volume experiments).
+/// Atomic so concurrent workers can bump them while another thread reads;
+/// existing comparisons keep working through Counter's uint64_t conversion.
 struct DatabaseStats {
-  uint64_t sm_calls = 0;       // storage-method entry-point activations
-  uint64_t at_calls = 0;       // attached-procedure activations
-  uint64_t vetoes = 0;         // relation modifications vetoed
-  uint64_t partial_rollbacks = 0;
+  Counter sm_calls;       // storage-method entry-point activations
+  Counter at_calls;       // attached-procedure activations
+  Counter vetoes;         // relation modifications vetoed
+  Counter partial_rollbacks;
+
+  void Reset() {
+    sm_calls.Reset();
+    at_calls.Reset();
+    vetoes.Reset();
+    partial_rollbacks.Reset();
+  }
 };
 
 class Database {
@@ -193,7 +203,14 @@ class Database {
   /// Extensions writing snapshots must use this instead of raw file APIs.
   Env* env() { return env_; }
   const DatabaseStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DatabaseStats(); }
+  void ResetStats() { stats_.Reset(); }
+
+  /// JSON document of every process-wide counter and latency histogram
+  /// (buffer pool, WAL, locks, transactions, per-extension dispatch).
+  /// Safe to call while transactions are running.
+  std::string MetricsSnapshot() const {
+    return MetricsRegistry::Global()->ToJson();
+  }
 
   /// Flush everything (buffer pool, log, catalog) — a clean shutdown point.
   Status Flush();
@@ -261,6 +278,16 @@ class Database {
   };
   RelationRuntime* GetRuntime(RelationId id);
 
+  /// Per-extension dispatch metrics ("sm.<id>.<name>.*" /
+  /// "at.<id>.<name>.*"), indexed by the small-integer extension id —
+  /// resolved once in Open() after all procedure vectors are installed, so
+  /// dispatch pays an array index, never a registry lookup.
+  struct DispatchMetrics {
+    Counter* calls;
+    Histogram* call_ns;
+  };
+  void ResolveDispatchMetrics();
+
   std::string dir_;
   Env* env_ = nullptr;
   PageFile page_file_;
@@ -274,6 +301,10 @@ class Database {
   ScanManager scan_mgr_;
   ExprEvaluator evaluator_;
   DatabaseStats stats_;
+  std::vector<DispatchMetrics> sm_metrics_;  // indexed by SmId
+  std::vector<DispatchMetrics> at_metrics_;  // indexed by AtId
+  Counter* metric_vetoes_ = nullptr;
+  Counter* metric_partial_rollbacks_ = nullptr;
 
   std::mutex runtime_mu_;
   std::map<RelationId, std::unique_ptr<RelationRuntime>> runtimes_;

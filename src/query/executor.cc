@@ -256,4 +256,28 @@ Status CollectRows(RowSource* source, std::vector<Row>* rows) {
   }
 }
 
+size_t PlanProfile::Add(std::string name, std::vector<size_t> children) {
+  OperatorStats st;
+  st.name = std::move(name);
+  st.children = std::move(children);
+  ops.push_back(std::move(st));
+  return ops.size() - 1;
+}
+
+void PlanProfile::FinalizeRowsIn() {
+  for (OperatorStats& op : ops) {
+    op.rows_in = 0;
+    for (size_t child : op.children) op.rows_in += ops[child].rows_out;
+  }
+}
+
+Status ProfiledSource::Next(Row* row) {
+  OperatorStats& st = profile_->ops[index_];
+  const uint64_t start = MetricsNowNanos();
+  Status s = inner_->Next(row);
+  st.wall_ns += MetricsNowNanos() - start;
+  if (s.ok()) ++st.rows_out;
+  return s;
+}
+
 }  // namespace dmx

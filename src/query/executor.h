@@ -151,6 +151,44 @@ class AggregateSource : public RowSource {
 /// Drain a source into a vector (tests, examples).
 Status CollectRows(RowSource* source, std::vector<Row>* rows);
 
+// -- EXPLAIN ANALYZE ----------------------------------------------------------
+
+/// Runtime statistics for one operator in an executed plan.
+struct OperatorStats {
+  std::string name;       // e.g. "access(parts): heap scan"
+  uint64_t rows_in = 0;   // rows consumed from children (FinalizeRowsIn)
+  uint64_t rows_out = 0;  // rows produced
+  uint64_t wall_ns = 0;   // inclusive wall time inside Next()
+  std::vector<size_t> children;  // indices into PlanProfile::ops
+};
+
+/// Profile of one executed plan tree. Children are added before their
+/// parents, so the last node is the root. A nested-loop inner that is
+/// re-created per outer row shares one node, accumulating across rescans.
+struct PlanProfile {
+  std::vector<OperatorStats> ops;
+
+  size_t Add(std::string name, std::vector<size_t> children = {});
+  /// Derive every node's rows_in as the sum of its children's rows_out.
+  void FinalizeRowsIn();
+};
+
+/// Wraps an operator, recording produced rows and inclusive wall time into
+/// profile->ops[index]. Created only under EXPLAIN ANALYZE, so normal
+/// execution pays nothing.
+class ProfiledSource : public RowSource {
+ public:
+  ProfiledSource(std::unique_ptr<RowSource> inner, PlanProfile* profile,
+                 size_t index)
+      : inner_(std::move(inner)), profile_(profile), index_(index) {}
+  Status Next(Row* row) override;
+
+ private:
+  std::unique_ptr<RowSource> inner_;
+  PlanProfile* profile_;
+  size_t index_;
+};
+
 }  // namespace dmx
 
 #endif  // DMX_QUERY_EXECUTOR_H_

@@ -2,6 +2,13 @@
 
 namespace dmx {
 
+PlanCache::PlanCache(Database* db) : db_(db) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_hits_ = metrics->GetCounter("plancache.hits");
+  metric_misses_ = metrics->GetCounter("plancache.misses");
+  metric_retranslations_ = metrics->GetCounter("plancache.retranslations");
+}
+
 bool PlanCache::IsValid(const BoundPlan& plan) const {
   for (const auto& [rel, version] : plan.dependencies) {
     if (db_->catalog()->VersionOf(rel) != version) return false;
@@ -16,15 +23,18 @@ Status PlanCache::Get(const std::string& key, const Builder& builder,
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       if (IsValid(*it->second)) {
-        ++stats_.hits;
+        stats_.hits.Increment();
+        metric_hits_->Increment();
         *out = it->second;
         return Status::OK();
       }
       // Stale: drop and re-translate below.
       plans_.erase(it);
-      ++stats_.retranslations;
+      stats_.retranslations.Increment();
+      metric_retranslations_->Increment();
     } else {
-      ++stats_.misses;
+      stats_.misses.Increment();
+      metric_misses_->Increment();
     }
   }
   auto plan = std::make_shared<BoundPlan>();

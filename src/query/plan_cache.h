@@ -25,6 +25,7 @@
 #include <mutex>
 
 #include "src/query/planner.h"
+#include "src/util/metrics.h"
 
 namespace dmx {
 
@@ -40,7 +41,7 @@ struct BoundPlan {
 
 class PlanCache {
  public:
-  explicit PlanCache(Database* db) : db_(db) {}
+  explicit PlanCache(Database* db);
 
   using Builder = std::function<Status(BoundPlan* plan)>;
 
@@ -59,12 +60,18 @@ class PlanCache {
                        const std::vector<int>* needed_fields = nullptr);
 
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t retranslations = 0;  // stale plans rebuilt
+    Counter hits;
+    Counter misses;
+    Counter retranslations;  // stale plans rebuilt
+
+    void Reset() {
+      hits.Reset();
+      misses.Reset();
+      retranslations.Reset();
+    }
   };
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  void ResetStats() { stats_.Reset(); }
   size_t size() const;
 
  private:
@@ -74,6 +81,10 @@ class PlanCache {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const BoundPlan>> plans_;
   Stats stats_;
+  // Process-wide mirrors of stats_ ("plancache.*" in the registry).
+  Counter* metric_hits_;
+  Counter* metric_misses_;
+  Counter* metric_retranslations_;
 };
 
 }  // namespace dmx

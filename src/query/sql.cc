@@ -479,8 +479,11 @@ class SqlExecutor {
     Parser& p = *parser_;
 
     if (p.TakeKw("EXPLAIN")) {
+      // EXPLAIN shows the bound plan without running it; EXPLAIN ANALYZE
+      // runs the query and reports per-operator row counts and wall time.
+      analyze_ = p.TakeKw("ANALYZE");
+      explain_ = !analyze_;
       DMX_RETURN_IF_ERROR(p.ExpectKw("SELECT"));
-      explain_ = true;
       return Select(result);
     }
     if (p.TakeKw("GRANT")) return GrantStmt(result, /*grant=*/true);
@@ -1012,6 +1015,21 @@ class SqlExecutor {
         }
         return Status::OK();
       }
+      if (analyze_) {
+        // Run the query to completion, then report the operator tree
+        // (root first, children indented) instead of the result rows.
+        QueryResult scratch;
+        DMX_RETURN_IF_ERROR(Materialize(std::move(source), items, scope, d1,
+                                        d2, order_col, order_desc, limit,
+                                        &scratch));
+        profile_.FinalizeRowsIn();
+        result->columns = {"operator", "rows_in", "rows_out", "time_ms"};
+        if (!profile_.ops.empty()) {
+          EmitProfileNode(profile_.ops.size() - 1, 0, result);
+        }
+        result->affected = scratch.affected;
+        return Status::OK();
+      }
       return Materialize(std::move(source), items, scope, d1, d2,
                          order_col, order_desc, limit, result);
     });
@@ -1084,6 +1102,10 @@ class SqlExecutor {
     DMX_RETURN_IF_ERROR(session_->plans_.GetAccessPlan(
         txn, table, where, /*key=*/sql_, plan_holder, needed_fields));
     *source = std::make_unique<AccessSource>(db_, txn, plan_holder->get());
+    *source = Profiled(
+        std::move(*source),
+        "access(" + table + "): " +
+            (*plan_holder)->access.DebugString(db_->registry()));
     return Status::OK();
   }
 
@@ -1166,7 +1188,12 @@ class SqlExecutor {
     DMX_RETURN_IF_ERROR(
         PlanAccess(db_, txn, d1, nullptr, &outer_plan->access));
     *plan_holder = outer_plan;
-    auto outer = std::make_unique<AccessSource>(db_, txn, outer_plan.get());
+    std::unique_ptr<RowSource> outer =
+        std::make_unique<AccessSource>(db_, txn, outer_plan.get());
+    outer = Profiled(std::move(outer),
+                     "access(" + d1->name + "): " +
+                         outer_plan->access.DebugString(db_->registry()));
+    const size_t outer_idx = top_idx_;
 
     if (equi) {
       AccessPathId inner_path;
@@ -1174,13 +1201,19 @@ class SqlExecutor {
         join_method_ = std::string("index nested loop (inner ") +
                        db_->registry()->at_ops(inner_path.at_id()).name +
                        "#" + std::to_string(inner_path.instance) + ")";
-        auto join = std::make_unique<IndexJoinSource>(
+        std::unique_ptr<RowSource> join = std::make_unique<IndexJoinSource>(
             db_, txn, std::move(outer), d2, inner_path,
             std::vector<int>{left_col});
+        join = Profiled(std::move(join),
+                        "index_join(" + d2->name + "): " + join_method_,
+                        {outer_idx});
         ExprPtr residual = JoinConjuncts(rest);
         if (residual != nullptr) {
+          const size_t join_idx = top_idx_;
           *source = std::make_unique<FilterSource>(db_, std::move(join),
                                                    residual);
+          *source = Profiled(std::move(*source), "filter(residual)",
+                             {join_idx});
         } else {
           *source = std::move(join);
         }
@@ -1197,14 +1230,31 @@ class SqlExecutor {
     inner_plan->dependencies = {{d2->id, d2->version}};
     DMX_RETURN_IF_ERROR(
         PlanAccess(db_, txn, d2, nullptr, &inner_plan->access));
-    auto factory = [db, txn, inner_plan](
+    // Every rescan of the inner accumulates into one profile node, so the
+    // paper's call-amplification shows up as rows_out >> the table size.
+    size_t inner_idx = 0;
+    if (analyze_) {
+      inner_idx = profile_.Add(
+          "access(" + d2->name + "): " +
+          inner_plan->access.DebugString(db_->registry()) +
+          " [rescanned per outer row]");
+    }
+    const bool analyze = analyze_;
+    PlanProfile* profile = &profile_;
+    auto factory = [db, txn, inner_plan, analyze, profile, inner_idx](
                        std::unique_ptr<RowSource>* out) -> Status {
       *out = std::make_unique<AccessSource>(db, txn, inner_plan.get());
+      if (analyze) {
+        *out = std::make_unique<ProfiledSource>(std::move(*out), profile,
+                                                inner_idx);
+      }
       return Status::OK();
     };
     (void)inner_desc;
     *source = std::make_unique<NestedLoopJoinSource>(
         db_, std::move(outer), std::move(factory), where);
+    *source = Profiled(std::move(*source), "nested_loop_join",
+                       {outer_idx, inner_idx});
     return Status::OK();
   }
 
@@ -1220,9 +1270,12 @@ class SqlExecutor {
         DMX_RETURN_IF_ERROR(
             scope.Resolve(items[0].qualifier, items[0].column, &column));
       }
-      AggregateSource agg(std::move(source), items[0].agg, column);
+      std::unique_ptr<RowSource> agg = std::make_unique<AggregateSource>(
+          std::move(source), items[0].agg, column);
+      agg = Profiled(std::move(agg), "aggregate(" + items[0].label + ")",
+                     {top_idx_});
       std::vector<Row> rows;
-      DMX_RETURN_IF_ERROR(CollectRows(&agg, &rows));
+      DMX_RETURN_IF_ERROR(CollectRows(agg.get(), &rows));
       result->columns = {items[0].label};
       for (Row& row : rows) result->rows.push_back(std::move(row.values));
       return Status::OK();
@@ -1283,15 +1336,20 @@ class SqlExecutor {
         size_t pos_ = 0;
       };
       ordered = std::make_unique<VectorSource>(std::move(all));
+      ordered = Profiled(std::move(ordered),
+                         "sort(column " + std::to_string(order_col) + ")",
+                         {top_idx_});
     } else {
       ordered = std::move(source);
     }
-    ProjectSource project(std::move(ordered), projection);
+    std::unique_ptr<RowSource> project =
+        std::make_unique<ProjectSource>(std::move(ordered), projection);
+    project = Profiled(std::move(project), "project", {top_idx_});
     std::vector<Row> rows;
     Row row;
     while (limit < 0 ||
            static_cast<int64_t>(rows.size()) < limit) {
-      Status s = project.Next(&row);
+      Status s = project->Next(&row);
       if (s.IsNotFound()) break;
       DMX_RETURN_IF_ERROR(s);
       rows.push_back(std::move(row));
@@ -1408,11 +1466,39 @@ class SqlExecutor {
     return Status::OK();
   }
 
+  // Wrap `src` in a profiling recorder under EXPLAIN ANALYZE; `children`
+  // are the profile indices of the operators `src` pulls from. Updates
+  // top_idx_ to the new node so the caller can chain wrappers upward.
+  std::unique_ptr<RowSource> Profiled(std::unique_ptr<RowSource> src,
+                                      std::string name,
+                                      std::vector<size_t> children = {}) {
+    if (!analyze_) return src;
+    top_idx_ = profile_.Add(std::move(name), std::move(children));
+    return std::make_unique<ProfiledSource>(std::move(src), &profile_,
+                                            top_idx_);
+  }
+
+  void EmitProfileNode(size_t idx, int depth, QueryResult* result) {
+    const OperatorStats& op = profile_.ops[idx];
+    result->rows.push_back(
+        {Value::String(std::string(static_cast<size_t>(2 * depth), ' ') +
+                       op.name),
+         Value::Int(static_cast<int64_t>(op.rows_in)),
+         Value::Int(static_cast<int64_t>(op.rows_out)),
+         Value::Double(static_cast<double>(op.wall_ns) / 1e6)});
+    for (size_t child : op.children) {
+      EmitProfileNode(child, depth + 1, result);
+    }
+  }
+
   Session* session_;
   Database* db_;
   const std::string& sql_;
   std::unique_ptr<Parser> parser_;
   bool explain_ = false;
+  bool analyze_ = false;
+  PlanProfile profile_;
+  size_t top_idx_ = 0;  // profile index of the current plan-tree root
   std::string join_method_;
 };
 

@@ -35,6 +35,11 @@ BufferPool::BufferPool(PageFile* file, size_t capacity,
                        std::function<Status(Lsn)> wal_flush)
     : file_(file), capacity_(capacity), wal_flush_(std::move(wal_flush)) {
   frames_.resize(capacity_);
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_hits_ = metrics->GetCounter("bufferpool.hits");
+  metric_misses_ = metrics->GetCounter("bufferpool.misses");
+  metric_evictions_ = metrics->GetCounter("bufferpool.evictions");
+  metric_flushes_ = metrics->GetCounter("bufferpool.writebacks");
 }
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
@@ -56,7 +61,8 @@ Status BufferPool::FlushFrame(Frame& f) {
   }
   DMX_RETURN_IF_ERROR(file_->Write(f.pid, f.page));
   f.dirty = false;
-  ++stats_.flushes;
+  stats_.flushes.Increment();
+  metric_flushes_->Increment();
   return Status::OK();
 }
 
@@ -81,7 +87,8 @@ Status BufferPool::GetFreeFrame(size_t* frame) {
     DMX_RETURN_IF_ERROR(FlushFrame(f));
     table_.erase(f.pid);
     f.in_use = false;
-    ++stats_.evictions;
+    stats_.evictions.Increment();
+    metric_evictions_->Increment();
     *frame = idx;
     return Status::OK();
   }
@@ -95,11 +102,13 @@ Status BufferPool::Fetch(PageId id, PageHandle* out) {
     Frame& f = frames_[it->second];
     ++f.pin_count;
     f.referenced = true;
-    ++stats_.hits;
+    stats_.hits.Increment();
+    metric_hits_->Increment();
     *out = PageHandle(this, it->second, id, &f.page);
     return Status::OK();
   }
-  ++stats_.misses;
+  stats_.misses.Increment();
+  metric_misses_->Increment();
   size_t frame;
   DMX_RETURN_IF_ERROR(GetFreeFrame(&frame));
   Frame& f = frames_[frame];

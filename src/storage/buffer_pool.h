@@ -16,6 +16,7 @@
 
 #include "src/storage/page_file.h"
 #include "src/util/common.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 
 namespace dmx {
@@ -55,12 +56,20 @@ class PageHandle {
   Page* page_ = nullptr;
 };
 
-/// Statistics counters (for tests and benchmarks).
+/// Statistics counters (for tests and benchmarks). Atomic so concurrent
+/// scans can read them while other threads fault pages in.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t flushes = 0;
+  Counter hits;
+  Counter misses;
+  Counter evictions;
+  Counter flushes;  // dirty write-backs
+
+  void Reset() {
+    hits.Reset();
+    misses.Reset();
+    evictions.Reset();
+    flushes.Reset();
+  }
 };
 
 /// Buffer manager over one PageFile. Thread-safe (single internal mutex;
@@ -89,7 +98,7 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   friend class PageHandle;
@@ -116,6 +125,11 @@ class BufferPool {
   std::unordered_map<PageId, size_t> table_;
   size_t clock_hand_ = 0;
   BufferPoolStats stats_;
+  // Process-wide mirrors of stats_ ("bufferpool.*" in the registry).
+  Counter* metric_hits_;
+  Counter* metric_misses_;
+  Counter* metric_evictions_;
+  Counter* metric_flushes_;
   std::mutex mu_;
 };
 

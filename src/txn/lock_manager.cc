@@ -33,6 +33,15 @@ LockMode LockSupremum(LockMode a, LockMode b) {
   return LockMode::kIS;
 }
 
+LockManager::LockManager() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_acquisitions_ = metrics->GetCounter("lock.acquisitions");
+  metric_waits_ = metrics->GetCounter("lock.waits");
+  metric_wait_ns_ = metrics->GetHistogram("lock.wait_ns");
+  metric_deadlocks_ = metrics->GetCounter("lock.deadlocks");
+  metric_timeouts_ = metrics->GetCounter("lock.timeouts");
+}
+
 bool LockManager::CanGrant(const Entry& e, TxnId txn, LockMode mode) const {
   for (const auto& [holder, held] : e.granted) {
     if (holder == txn) continue;
@@ -79,19 +88,31 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
     if (needed == mine->second) return Status::OK();  // already dominated
   }
   auto deadline = std::chrono::steady_clock::now() + timeout_;
+  uint64_t wait_start = 0;
   while (!CanGrant(e, txn, needed)) {
     if (WouldDeadlock(txn, resource, needed)) {
+      metric_deadlocks_->Increment();
       return Status::Deadlock("lock '" + resource + "'");
+    }
+    if (wait_start == 0) {
+      metric_waits_->Increment();
+      wait_start = MetricsNowNanos();
     }
     e.waiting[txn] = needed;
     auto result = cv_.wait_until(lock, deadline);
     e.waiting.erase(txn);
     if (result == std::cv_status::timeout) {
+      metric_timeouts_->Increment();
+      metric_wait_ns_->Record(MetricsNowNanos() - wait_start);
       return Status::Busy("lock timeout on '" + resource + "'");
     }
   }
+  if (wait_start != 0) {
+    metric_wait_ns_->Record(MetricsNowNanos() - wait_start);
+  }
   e.granted[txn] = needed;
   by_txn_[txn].insert(resource);
+  metric_acquisitions_->Increment();
   return Status::OK();
 }
 
@@ -110,6 +131,7 @@ Status LockManager::TryLock(TxnId txn, const std::string& resource,
   }
   e.granted[txn] = needed;
   by_txn_[txn].insert(resource);
+  metric_acquisitions_->Increment();
   return Status::OK();
 }
 

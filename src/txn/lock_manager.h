@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/util/common.h"
+#include "src/util/metrics.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"
 
@@ -48,7 +49,7 @@ struct LockNames {
 
 class LockManager {
  public:
-  LockManager() = default;
+  LockManager();
 
   /// Acquire (or upgrade to) `mode` on `resource` for `txn`. Blocks while
   /// incompatible; returns Deadlock if granting would require waiting on a
@@ -88,6 +89,14 @@ class LockManager {
   std::map<std::string, Entry> table_;
   std::map<TxnId, std::set<std::string>> by_txn_;
   std::chrono::milliseconds timeout_{2000};
+  // Registry metrics ("lock.*"), resolved once at construction. Waits are
+  // counted and timed only when a request actually blocks, so the
+  // uncontended fast path pays one counter increment.
+  Counter* metric_acquisitions_;
+  Counter* metric_waits_;
+  Histogram* metric_wait_ns_;
+  Counter* metric_deadlocks_;
+  Counter* metric_timeouts_;
 };
 
 }  // namespace dmx

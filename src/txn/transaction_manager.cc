@@ -2,7 +2,18 @@
 
 namespace dmx {
 
+TransactionManager::TransactionManager(LogManager* log, LockManager* locks)
+    : log_(log), locks_(locks) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_begins_ = metrics->GetCounter("txn.begins");
+  metric_commits_ = metrics->GetCounter("txn.commits");
+  metric_commit_ns_ = metrics->GetHistogram("txn.commit_ns");
+  metric_aborts_ = metrics->GetCounter("txn.aborts");
+  metric_abort_ns_ = metrics->GetHistogram("txn.abort_ns");
+}
+
 Transaction* TransactionManager::Begin() {
+  metric_begins_->Increment();
   TxnId id = next_txn_id_.fetch_add(1);
   auto txn = std::unique_ptr<Transaction>(new Transaction(id));
   LogRecord rec;
@@ -35,6 +46,7 @@ Status TransactionManager::FinishTxn(Transaction* txn, bool committed) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  ScopedTimer timer(metric_commit_ns_);
 
   // Deferred integrity constraints run now; a failure aborts.
   Status pre = txn->RunDeferred(TxnEvent::kBeforePrepare,
@@ -58,6 +70,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   Status post = txn->RunDeferred(TxnEvent::kCommit, /*stop_on_error=*/false);
 
   DMX_RETURN_IF_ERROR(FinishTxn(txn, /*committed=*/true));
+  metric_commits_->Increment();
   return post;
 }
 
@@ -66,6 +79,8 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->state() == TxnState::kCommitted) {
     return Status::Aborted("cannot abort a committed transaction");
   }
+  ScopedTimer timer(metric_abort_ns_);
+  metric_aborts_->Increment();
   LogRecord abort_rec;
   abort_rec.type = LogRecType::kAbort;
   abort_rec.txn = txn->id();

@@ -41,8 +41,7 @@ class TxnObserver {
 
 class TransactionManager {
  public:
-  TransactionManager(LogManager* log, LockManager* locks)
-      : log_(log), locks_(locks) {}
+  TransactionManager(LogManager* log, LockManager* locks);
 
   /// Install the recovery apply callback (set by the data manager after the
   /// procedure vectors exist). Must be called before any transactions run.
@@ -108,6 +107,14 @@ class TransactionManager {
   std::atomic<TxnId> next_txn_id_{1};
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
   std::mutex mu_;
+  // Registry metrics ("txn.*"), resolved once at construction. Commit
+  // latency includes the log force and deferred actions; abort latency
+  // includes the log-driven rollback.
+  Counter* metric_begins_;
+  Counter* metric_commits_;
+  Histogram* metric_commit_ns_;
+  Counter* metric_aborts_;
+  Histogram* metric_abort_ns_;
 };
 
 }  // namespace dmx

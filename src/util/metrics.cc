@@ -1,0 +1,121 @@
+#include "src/util/metrics.h"
+
+#include <time.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace dmx {
+
+uint64_t MetricsNowNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+#if DMX_METRICS_ENABLED
+
+namespace {
+
+// Nearest-rank percentile with linear interpolation inside the winning
+// bucket. `q` in (0, 1]; counts/total are a relaxed-load snapshot.
+double PercentileOf(const std::vector<uint64_t>& counts, uint64_t total,
+                    double q) {
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (cum + counts[b] >= rank) {
+      double low = static_cast<double>(Histogram::BucketLow(b));
+      double high = static_cast<double>(Histogram::BucketHigh(b));
+      double pos = static_cast<double>(rank - cum) /
+                   static_cast<double>(counts[b]);
+      return low + (high - low) * pos;
+    }
+    cum += counts[b];
+  }
+  return static_cast<double>(Histogram::BucketHigh(counts.size() - 1));
+}
+
+}  // namespace
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  std::vector<uint64_t> counts(kNumBuckets);
+  // Bucket totals are read first; the aggregate count is clamped to their
+  // sum so a Record racing the snapshot can't put the rank past the data.
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    bucket_total += counts[b];
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count > bucket_total) snap.count = bucket_total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.p50 = PercentileOf(counts, bucket_total, 0.50);
+  snap.p95 = PercentileOf(counts, bucket_total, 0.95);
+  snap.p99 = PercentileOf(counts, bucket_total, 0.99);
+  return snap;
+}
+
+#endif  // DMX_METRICS_ENABLED
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%" PRIu64, counter->value());
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot s = hist->Snapshot();
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+             ",\"mean\":%.1f,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+             s.count, s.sum, s.mean(), s.p50, s.p95, s.p99);
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + buf;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace dmx

@@ -1,0 +1,203 @@
+// Metrics: the common accounting service. The paper's common services
+// include cost estimation and accounting for every storage method and
+// attachment type; this module is the process-wide measurement substrate
+// those services (and every perf experiment) read from.
+//
+// Three primitives:
+//
+//   * Counter — a lock-free monotonic counter (relaxed atomic increments).
+//     Counters are ALWAYS live, independent of the DMX_METRICS switch: an
+//     uncontended relaxed fetch_add costs about as much as the plain
+//     `++stat` it replaces, and the atomicity is what makes concurrent
+//     stats reads race-free (TSan-clean).
+//
+//   * Histogram — fixed exponential buckets (bucket i holds values whose
+//     bit width is i, i.e. [2^(i-1), 2^i)), atomic per-bucket counts, and
+//     a snapshot that estimates p50/p95/p99 by linear interpolation inside
+//     the winning bucket. Recording is one bit-scan plus three relaxed
+//     adds; a percentile estimate is off by at most the bucket width (2x).
+//     Compiled to a no-op when DMX_METRICS_ENABLED is 0.
+//
+//   * ScopedTimer — RAII wall-clock measurement into a Histogram. The two
+//     clock reads are the dominant instrumentation cost, so the
+//     DMX_METRICS=OFF build removes them entirely; ultra-hot call sites
+//     (WAL append) additionally sample 1-in-N even when ON.
+//
+// The MetricsRegistry maps stable names ("<layer>.<object>.<metric>") to
+// Counter/Histogram instances. Registration takes a mutex; the returned
+// pointers are stable for the process lifetime, so hot paths resolve their
+// metrics once (constructor / Database::Open) and then increment without
+// any lookup or lock. Snapshot() serializes everything to JSON while
+// writers keep writing — reads are relaxed atomic loads, so the snapshot
+// is a consistent-enough, tear-free view.
+
+#ifndef DMX_UTIL_METRICS_H_
+#define DMX_UTIL_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#ifndef DMX_METRICS_ENABLED
+#define DMX_METRICS_ENABLED 1
+#endif
+
+namespace dmx {
+
+/// Lock-free named counter. Always live (see file comment).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+  /// Stats structs expose Counter fields directly; existing readers
+  /// compare them as plain integers.
+  operator uint64_t() const { return value(); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // of recorded values (ns for latency histograms)
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  double mean() const {
+    return count == 0 ? 0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Fixed-bucket exponential latency histogram (values in nanoseconds by
+/// convention, but any uint64 works). Lock-free increments.
+class Histogram {
+ public:
+  /// Bucket i (i >= 1) covers [2^(i-1), 2^i); bucket 0 covers the value 0.
+  /// 48 buckets reach ~78 hours in ns — far past any latency we record.
+  static constexpr size_t kNumBuckets = 48;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+#if DMX_METRICS_ENABLED
+  void Record(uint64_t value) {
+    size_t b = BucketOf(value);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+#else
+  void Record(uint64_t) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+#endif
+
+  static size_t BucketOf(uint64_t value) {
+    size_t w = static_cast<size_t>(std::bit_width(value));
+    return w < kNumBuckets ? w : kNumBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket `b`.
+  static uint64_t BucketLow(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  /// Exclusive upper bound of bucket `b`.
+  static uint64_t BucketHigh(size_t b) { return uint64_t{1} << b; }
+
+ private:
+#if DMX_METRICS_ENABLED
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+#endif
+};
+
+/// Monotonic clock for latency measurement.
+uint64_t MetricsNowNanos();
+
+/// RAII wall-time recorder. A null histogram (or the DMX_METRICS=OFF
+/// build) makes it free. Passing a per-site `stride` counter with a
+/// `sample_mask` (2^k - 1) times only 1-in-2^k calls: use mask 63 at call
+/// sites too hot to afford two clock reads per operation.
+class ScopedTimer {
+ public:
+#if DMX_METRICS_ENABLED
+  explicit ScopedTimer(Histogram* h, std::atomic<uint64_t>* stride = nullptr,
+                       uint64_t sample_mask = 0)
+      : h_(h) {
+    if (h_ == nullptr) return;
+    if (stride != nullptr &&
+        (stride->fetch_add(1, std::memory_order_relaxed) & sample_mask) !=
+            0) {
+      h_ = nullptr;  // not this call's turn to pay for the clock reads
+      return;
+    }
+    start_ = MetricsNowNanos();
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Record(MetricsNowNanos() - start_);
+  }
+
+ private:
+  Histogram* h_;
+  uint64_t start_ = 0;
+#else
+  explicit ScopedTimer(Histogram*, std::atomic<uint64_t>* = nullptr,
+                       uint64_t = 0) {}
+#endif
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+/// Process-wide registry of named metrics. Lookup is mutex-guarded; the
+/// returned pointers are stable, so resolve once and cache.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry* Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Never returns null.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// JSON document: {"counters":{...},"histograms":{name:{count,sum,mean,
+  /// p50,p95,p99}}}. Safe to call while writers are active.
+  std::string ToJson() const;
+
+  /// Zero every registered metric (benchmarks isolate phases with this).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_METRICS_H_

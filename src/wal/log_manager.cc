@@ -24,6 +24,14 @@ uint32_t FrameCrc(uint32_t gen, const char* body, size_t n) {
 
 }  // namespace
 
+LogManager::LogManager() {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_appends_ = metrics->GetCounter("wal.appends");
+  metric_append_ns_ = metrics->GetHistogram("wal.append_ns");
+  metric_syncs_ = metrics->GetCounter("wal.syncs");
+  metric_sync_ns_ = metrics->GetHistogram("wal.sync_ns");
+}
+
 LogManager::~LogManager() {
   if (file_) Close();
 }
@@ -93,6 +101,7 @@ Status LogManager::Close() {
 
 Status LogManager::Append(LogRecord* rec) {
   std::lock_guard<std::mutex> lock(mu_);
+  ScopedTimer timer((append_tick_++ & 63) == 0 ? metric_append_ns_ : nullptr);
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   rec->lsn = next_lsn_;
   std::string body;
@@ -103,7 +112,8 @@ Status LogManager::Append(LogRecord* rec) {
   framed += body;
   buffer_ += framed;
   next_lsn_ += framed.size();
-  ++records_appended_;
+  records_appended_.Increment();
+  metric_appends_->Increment();
   return Status::OK();
 }
 
@@ -112,6 +122,8 @@ Status LogManager::FlushTo(Lsn lsn) {
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   if (lsn <= flushed_lsn_) return Status::OK();
   if (buffer_.empty()) return Status::OK();
+  ScopedTimer timer(metric_sync_ns_);
+  metric_syncs_->Increment();
   DMX_RETURN_IF_ERROR(file_->Write(
       buffer_start_ - base_lsn_ - 1 + kLogHeaderSize, buffer_.data(),
       buffer_.size()));

@@ -36,6 +36,7 @@
 #ifndef DMX_WAL_LOG_MANAGER_H_
 #define DMX_WAL_LOG_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +44,7 @@
 
 #include "src/util/common.h"
 #include "src/util/env.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 #include "src/wal/log_record.h"
 
@@ -50,7 +52,7 @@ namespace dmx {
 
 class LogManager {
  public:
-  LogManager() = default;
+  LogManager();
   ~LogManager();
 
   LogManager(const LogManager&) = delete;
@@ -103,8 +105,17 @@ class LogManager {
   Lsn flushed_lsn_ = 0;  // highest durable LSN
   std::string buffer_;   // unflushed bytes
   Lsn buffer_start_ = 1; // LSN of buffer_[0]
-  uint64_t records_appended_ = 0;
+  Counter records_appended_;  // atomic: read by stats while writers append
   bool poisoned_ = false;  // set on unrecoverable Truncate failure
+  // Registry metrics ("wal.*"), resolved once at construction. Appends are
+  // a few hundred ns, so their latency is sampled 1-in-64; fsyncs are µs+
+  // and every one is timed. The sampling tick is guarded by mu_ like the
+  // rest of the append path, so it needs no atomicity of its own.
+  Counter* metric_appends_;
+  Histogram* metric_append_ns_;
+  Counter* metric_syncs_;
+  Histogram* metric_sync_ns_;
+  uint64_t append_tick_ = 0;
   mutable std::mutex mu_;
 };
 
