@@ -42,11 +42,12 @@ Schema ScopedDb::BenchSchema() {
 }
 
 ScopedDb::ScopedDb(uint64_t rows, const std::string& sm,
-                   size_t buffer_pool_pages)
+                   size_t buffer_pool_pages, size_t worker_threads)
     : dir_("db") {
   DatabaseOptions options;
   options.dir = dir_.path();
   options.buffer_pool_pages = buffer_pool_pages;
+  options.worker_threads = worker_threads;
   BenchCheck(Database::Open(options, &db_), "open");
   Transaction* txn = db_->Begin();
   AttrList attrs;

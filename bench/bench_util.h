@@ -32,8 +32,11 @@ class TempDir {
 /// score = id * 0.5, payload = 64 chars.
 class ScopedDb {
  public:
+  /// `worker_threads` follows DatabaseOptions::worker_threads (0 =
+  /// hardware concurrency; 1 keeps every scan serial).
   explicit ScopedDb(uint64_t rows = 0, const std::string& sm = "heap",
-                    size_t buffer_pool_pages = 2048);
+                    size_t buffer_pool_pages = 2048,
+                    size_t worker_threads = 1);
 
   Database* db() { return db_.get(); }
   const RelationDescriptor* desc() const { return desc_; }

@@ -10,6 +10,12 @@ are reported but do not fail the gate (refresh the baseline to adopt
 them); benchmarks missing from the results fail it, because a silently
 dropped benchmark is how regressions hide.
 
+Improvements beyond the threshold are reported too (they never fail):
+the baseline was recorded on a single-core container, so suites like
+parallel_scan are expected to show large speedups on multi-core CI
+runners, and surfacing them is how that is verified without baking
+machine-dependent numbers into the gate.
+
 Refresh the baseline with bench/refresh_baseline.sh.
 """
 
@@ -47,6 +53,7 @@ def main():
         return 1
 
     failures = []
+    improvements = []
     new_benchmarks = []
     for suite, benches in sorted(baseline.get("suites", {}).items()):
         got = results.get(suite)
@@ -63,6 +70,10 @@ def main():
                 failures.append(
                     f"{suite}/{name}: {base_ns:.1f} -> {now_ns:.1f} ns/op "
                     f"(+{pct:.0f}%, limit +{args.threshold * 100:.0f}%)")
+            elif base_ns > 0 and now_ns < base_ns * (1.0 - args.threshold):
+                improvements.append(
+                    f"{suite}/{name}: {base_ns:.1f} -> {now_ns:.1f} ns/op "
+                    f"({base_ns / now_ns:.2f}x speedup)")
 
     for suite, benches in sorted(results.items()):
         base = baseline.get("suites", {}).get(suite, {})
@@ -70,6 +81,10 @@ def main():
             if name not in base:
                 new_benchmarks.append(f"{suite}/{name}")
 
+    if improvements:
+        print("Benchmark improvements (consider refreshing the baseline):")
+        for i in improvements:
+            print(f"  {i}")
     if new_benchmarks:
         print("Not in baseline (refresh to adopt):")
         for n in new_benchmarks:

@@ -1,6 +1,9 @@
 #include "src/core/database.h"
 
 #include <cassert>
+#include <thread>
+
+#include "src/util/thread_pool.h"
 
 namespace dmx {
 
@@ -12,6 +15,10 @@ Status Database::Open(const DatabaseOptions& options,
                       std::unique_ptr<Database>* out) {
   auto db = std::unique_ptr<Database>(new Database());
   db->dir_ = options.dir;
+  db->worker_threads_ = options.worker_threads != 0
+                            ? options.worker_threads
+                            : std::thread::hardware_concurrency();
+  if (db->worker_threads_ == 0) db->worker_threads_ = 1;
   db->env_ = options.env != nullptr ? options.env : Env::Default();
   DMX_RETURN_IF_ERROR(db->env_->CreateDir(options.dir));
 
@@ -62,6 +69,8 @@ Status Database::Open(const DatabaseOptions& options,
   return Status::OK();
 }
 
+Database::Database() : txn_mgr_(nullptr) {}
+
 Database::~Database() {
   if (!crash_on_close_) Flush().ok();
 }
@@ -86,6 +95,32 @@ void Database::ResolveDispatchMetrics() {
   }
   metric_vetoes_ = metrics->GetCounter("db.vetoes");
   metric_partial_rollbacks_ = metrics->GetCounter("db.partial_rollbacks");
+  metric_parallel_partitions_ = metrics->GetCounter("parallel.partitions");
+}
+
+ThreadPool* Database::thread_pool() {
+  std::call_once(pool_once_, [this] {
+    thread_pool_ = std::make_unique<ThreadPool>(worker_threads_);
+  });
+  return thread_pool_.get();
+}
+
+Status Database::PartitionScan(Transaction* txn,
+                               const RelationDescriptor* desc,
+                               const ScanSpec& spec, int target,
+                               std::vector<ScanSpec>* partitions) {
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  if (sm.partition_scan == nullptr) {
+    return Status::NotSupported("storage method cannot partition scans");
+  }
+  SmContext ctx;
+  DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+  stats_.sm_calls.Increment();
+  sm_metrics_[desc->sm_id].calls->Increment();
+  ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+  DMX_RETURN_IF_ERROR(sm.partition_scan(ctx, spec, target, partitions));
+  metric_parallel_partitions_->Increment(partitions->size());
+  return Status::OK();
 }
 
 Status Database::Flush() {

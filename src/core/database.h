@@ -33,10 +33,16 @@
 
 namespace dmx {
 
+class ThreadPool;
+
 struct DatabaseOptions {
   /// Directory holding db.pages, wal, and catalog files. Created if absent.
   std::string dir;
   size_t buffer_pool_pages = 256;
+  /// Worker threads available for intra-query parallel scans (the shared
+  /// ThreadPool, created lazily on first parallel scan). 0 = hardware
+  /// concurrency. 1 disables parallelism entirely.
+  size_t worker_threads = 0;
   /// Environment for all file I/O (Env::Default() when null). Not owned;
   /// must outlive the Database. Tests plug in a FaultInjectionEnv here.
   Env* env = nullptr;
@@ -172,6 +178,14 @@ class Database {
                     const AccessPathId& path, const ScanSpec& spec,
                     std::unique_ptr<Scan>* out);
 
+  /// Split a storage-method scan into up to `target` disjoint sub-specs
+  /// via the method's optional `partition_scan` entry point (NotSupported
+  /// when the method has none). Open each returned spec with OpenScanOn;
+  /// a single-element result means the method declined to partition.
+  Status PartitionScan(Transaction* txn, const RelationDescriptor* desc,
+                       const ScanSpec& spec, int target,
+                       std::vector<ScanSpec>* partitions);
+
   /// Direct access-path probe: map an access-path key to record keys.
   Status Lookup(Transaction* txn, const std::string& rel,
                 const AccessPathId& path, const Slice& key,
@@ -202,6 +216,11 @@ class Database {
   /// The environment all durable state goes through (never null once open).
   /// Extensions writing snapshots must use this instead of raw file APIs.
   Env* env() { return env_; }
+  /// Size of the intra-query worker pool (resolved from
+  /// DatabaseOptions::worker_threads at open; >= 1).
+  size_t worker_threads() const { return worker_threads_; }
+  /// The shared worker pool, created on first use.
+  ThreadPool* thread_pool();
   const DatabaseStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -253,7 +272,7 @@ class Database {
   void InvalidateAttachmentRuntime(RelationId id);
 
  private:
-  Database() : txn_mgr_(nullptr) {}
+  Database();
 
   /// The recovery driver's dispatch callback.
   Status ApplyLogRecord(const LogRecord& rec, bool undo, Lsn apply_lsn);
@@ -305,6 +324,11 @@ class Database {
   std::vector<DispatchMetrics> at_metrics_;  // indexed by AtId
   Counter* metric_vetoes_ = nullptr;
   Counter* metric_partial_rollbacks_ = nullptr;
+
+  size_t worker_threads_ = 1;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> thread_pool_;
+  Counter* metric_parallel_partitions_ = nullptr;
 
   std::mutex runtime_mu_;
   std::map<RelationId, std::unique_ptr<RelationRuntime>> runtimes_;

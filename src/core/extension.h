@@ -105,6 +105,12 @@ struct ScanSpec {
 
   /// Fields the caller needs (projection pushdown); empty = all.
   std::vector<int> fields;
+
+  /// Opaque partition descriptor produced by the same storage method's
+  /// `partition_scan` and interpreted only by it (e.g. a page-chain
+  /// segment for heaps). Unset = scan the whole key range. Callers never
+  /// construct these; they pass back what partition_scan returned.
+  std::optional<std::string> partition;
 };
 
 /// One item returned by a scan.
@@ -192,6 +198,17 @@ struct SmOps {
   /// Key-sequential access over the stored relation.
   Status (*open_scan)(SmContext& ctx, const ScanSpec& spec,
                       std::unique_ptr<Scan>* scan) = nullptr;
+
+  /// Optional intra-query parallelism hook: split `spec` into up to
+  /// `target` disjoint sub-specs whose scans together return exactly the
+  /// records of a serial scan of `spec` (each record in exactly one
+  /// partition; no cross-partition ordering promised). A method that
+  /// cannot partition the given spec returns OK with a single element
+  /// (the caller falls back to a serial scan). Null = the method never
+  /// partitions; every scan is serial. Implementations encode any
+  /// physical placement hints in ScanSpec::partition.
+  Status (*partition_scan)(SmContext& ctx, const ScanSpec& spec, int target,
+                           std::vector<ScanSpec>* partitions) = nullptr;
 
   /// Planner support: cost of scanning via this storage method given the
   /// eligible predicates.

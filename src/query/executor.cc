@@ -1,6 +1,7 @@
 #include "src/query/executor.h"
 
 #include "src/sm/key_codec.h"
+#include "src/util/thread_pool.h"
 
 namespace dmx {
 
@@ -220,6 +221,267 @@ Status AggregateSource::Next(Row* row) {
     sum += v.AsDouble();
     if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
     if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+  }
+  row->record_key.clear();
+  row->values.clear();
+  switch (kind_) {
+    case AggKind::kCount:
+      row->values.push_back(Value::Int(static_cast<int64_t>(count)));
+      break;
+    case AggKind::kSum:
+      row->values.push_back(Value::Double(sum));
+      break;
+    case AggKind::kAvg:
+      row->values.push_back(
+          count == 0 ? Value::Null()
+                     : Value::Double(sum / static_cast<double>(count)));
+      break;
+    case AggKind::kMin:
+      row->values.push_back(min_v);
+      break;
+    case AggKind::kMax:
+      row->values.push_back(max_v);
+      break;
+  }
+  return Status::OK();
+}
+
+// -- parallel scan ------------------------------------------------------------
+
+namespace {
+
+// Tuning: morsels big enough to amortise a queue handoff, queue bounded so
+// fast workers cannot run arbitrarily ahead of a slow consumer.
+constexpr size_t kMorselRows = 256;
+constexpr size_t kMaxQueuedMorsels = 16;
+
+Counter* ParallelScansCounter() {
+  static Counter* c = MetricsRegistry::Global()->GetCounter("parallel.scans");
+  return c;
+}
+
+Counter* ParallelMorselsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global()->GetCounter("parallel.morsels");
+  return c;
+}
+
+Histogram* QueueWaitHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global()->GetHistogram("parallel.queue_wait_ns");
+  return h;
+}
+
+}  // namespace
+
+ParallelScanSource::ParallelScanSource(Database* db, Transaction* txn,
+                                       const BoundPlan* plan, int workers)
+    : db_(db), txn_(txn), plan_(plan), target_workers_(workers) {}
+
+ParallelScanSource::~ParallelScanSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return active_ == 0; });
+}
+
+void ParallelScanSource::EnablePartialAggregate(AggKind kind, int column) {
+  agg_enabled_ = true;
+  agg_kind_ = kind;
+  agg_column_ = column;
+}
+
+void ParallelScanSource::EnableProfile(PlanProfile* profile,
+                                       std::vector<size_t> worker_nodes) {
+  profile_ = profile;
+  profile_nodes_ = std::move(worker_nodes);
+}
+
+Status ParallelScanSource::Open() {
+  opened_ = true;
+  const AccessPlan& access = plan_->access;
+  std::vector<ScanSpec> partitions;
+  Status ps = db_->PartitionScan(txn_, &plan_->relation, access.spec,
+                                 target_workers_, &partitions);
+  if (ps.IsNotSupported() || partitions.empty()) {
+    partitions.assign(1, access.spec);  // serial fallback, same machinery
+  } else if (!ps.ok()) {
+    return ps;
+  }
+  // Scans open serially on the consumer thread: OpenScanOn takes
+  // transaction locks, and the lock manager tracks them per transaction,
+  // not per thread.
+  scans_.clear();
+  for (const ScanSpec& sub : partitions) {
+    std::unique_ptr<Scan> scan;
+    DMX_RETURN_IF_ERROR(
+        db_->OpenScanOn(txn_, &plan_->relation, access.path, sub, &scan));
+    scans_.push_back(std::move(scan));
+  }
+  ParallelScansCounter()->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = scans_.size();
+  }
+  for (size_t i = 0; i < scans_.size(); ++i) {
+    db_->thread_pool()->Submit([this, i] { RunWorker(i); });
+  }
+  return Status::OK();
+}
+
+bool ParallelScanSource::PushMorsel(Morsel m) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= kMaxQueuedMorsels) {
+    const uint64_t start = MetricsNowNanos();
+    not_full_.wait(lock, [this] {
+      return cancel_.load(std::memory_order_relaxed) ||
+             queue_.size() < kMaxQueuedMorsels;
+    });
+    QueueWaitHistogram()->Record(MetricsNowNanos() - start);
+  }
+  if (cancel_.load(std::memory_order_relaxed)) return false;
+  queue_.push_back(std::move(m));
+  lock.unlock();
+  not_empty_.notify_one();
+  ParallelMorselsCounter()->Increment();
+  return true;
+}
+
+void ParallelScanSource::RunWorker(size_t idx) {
+  const uint64_t start = MetricsNowNanos();
+  Scan* scan = scans_[idx].get();
+  const AccessPlan& access = plan_->access;
+  const Schema* schema = &plan_->relation.schema;
+  uint64_t produced = 0;
+
+  // Partial-aggregate state, mirroring AggregateSource exactly: count
+  // counts every row, sum/min/max skip nulls.
+  uint64_t count = 0;
+  double sum = 0;
+  Value min_v, max_v;
+
+  Morsel morsel;
+  Status error;
+  while (!cancel_.load(std::memory_order_relaxed)) {
+    ScanItem item;
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    if (!s.ok()) {
+      error = s;
+      break;
+    }
+    // Materialize exactly as AccessSource does for storage-method scans:
+    // the filter already ran in the buffer pool; only needed fields.
+    Row row;
+    if (access.needed_fields.empty()) {
+      row.values = item.view.GetValues();
+    } else {
+      row.values.assign(schema->num_columns(), Value());
+      for (int f : access.needed_fields) {
+        row.values[static_cast<size_t>(f)] =
+            item.view.GetValue(static_cast<size_t>(f));
+      }
+    }
+    row.record_key = std::move(item.record_key);
+    if (agg_enabled_) {
+      ++count;
+      if (agg_kind_ != AggKind::kCount) {
+        const Value& v = row.values[static_cast<size_t>(agg_column_)];
+        if (!v.is_null()) {
+          sum += v.AsDouble();
+          if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+          if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+        }
+      }
+      continue;
+    }
+    ++produced;
+    morsel.rows.push_back(std::move(row));
+    if (morsel.rows.size() >= kMorselRows) {
+      if (!PushMorsel(std::move(morsel))) break;
+      morsel = Morsel();
+    }
+  }
+  if (error.ok() && agg_enabled_ &&
+      !cancel_.load(std::memory_order_relaxed)) {
+    Row partial;
+    partial.values = {Value::Int(static_cast<int64_t>(count)),
+                      Value::Double(sum), min_v, max_v};
+    morsel.rows.push_back(std::move(partial));
+    produced = count;  // profile the scan side, not the 1-row partial
+  }
+  if (error.ok() && !morsel.rows.empty()) PushMorsel(std::move(morsel));
+
+  if (profile_ != nullptr && idx < profile_nodes_.size()) {
+    // One node per worker, this worker the only writer; the queue mutex
+    // below publishes the stores before the consumer reads the profile.
+    OperatorStats& st = profile_->ops[profile_nodes_[idx]];
+    st.rows_out = produced;
+    st.wall_ns = MetricsNowNanos() - start;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error.ok() && error_.ok()) {
+      error_ = error;
+      cancel_.store(true, std::memory_order_relaxed);
+    }
+    --active_;
+    // Wake the consumer (stream may be over) and siblings blocked on a
+    // full queue after a cancel. Notified under the mutex: once active_
+    // hits zero the destructor may tear the condvars down, so the last
+    // worker must not touch them outside the lock.
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+}
+
+Status ParallelScanSource::Next(Row* row) {
+  if (!opened_) DMX_RETURN_IF_ERROR(Open());
+  while (true) {
+    if (current_pos_ < current_.size()) {
+      *row = std::move(current_[current_pos_++]);
+      return Status::OK();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return !queue_.empty() || active_ == 0 || !error_.ok();
+    });
+    if (!error_.ok()) return error_;  // first worker failure wins
+    if (queue_.empty()) return Status::NotFound("end of parallel scan");
+    current_ = std::move(queue_.front().rows);
+    queue_.pop_front();
+    current_pos_ = 0;
+    lock.unlock();
+    not_full_.notify_one();
+  }
+}
+
+Status ParallelAggregateMergeSource::Next(Row* row) {
+  if (done_) return Status::NotFound("aggregate consumed");
+  done_ = true;
+  uint64_t count = 0;
+  double sum = 0;
+  Value min_v, max_v;
+  Row partial;
+  while (true) {
+    Status s = child_->Next(&partial);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    count += static_cast<uint64_t>(partial.values[0].int_value());
+    sum += partial.values[1].AsDouble();
+    const Value& pmin = partial.values[2];
+    const Value& pmax = partial.values[3];
+    if (!pmin.is_null() && (min_v.is_null() || pmin.Compare(min_v) < 0)) {
+      min_v = pmin;
+    }
+    if (!pmax.is_null() && (max_v.is_null() || pmax.Compare(max_v) > 0)) {
+      max_v = pmax;
+    }
   }
   row->record_key.clear();
   row->values.clear();

@@ -7,8 +7,12 @@
 #ifndef DMX_QUERY_EXECUTOR_H_
 #define DMX_QUERY_EXECUTOR_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "src/query/plan_cache.h"
 
@@ -145,6 +149,92 @@ class AggregateSource : public RowSource {
   std::unique_ptr<RowSource> child_;
   AggKind kind_;
   int column_;
+  bool done_ = false;
+};
+
+struct PlanProfile;
+
+/// Morsel-driven parallel storage-method scan: an exchange operator. The
+/// storage method's optional `partition_scan` entry point splits the scan
+/// spec into disjoint sub-specs; one ManagedScan per partition runs on the
+/// Database's shared ThreadPool, filtering (and optionally pre-aggregating)
+/// below the exchange, and the consumer merges fixed-size morsels through a
+/// bounded queue. The first non-OK worker Status cancels the siblings and
+/// surfaces from Next(). Row order across partitions is nondeterministic.
+///
+/// Falls back to a single worker when the method declines to partition
+/// (single-element result) or has no partition_scan at all.
+class ParallelScanSource : public RowSource {
+ public:
+  /// `plan` must outlive the source. `workers` is the planner's target
+  /// partition count (>= 2); the storage method may return fewer.
+  ParallelScanSource(Database* db, Transaction* txn, const BoundPlan* plan,
+                     int workers);
+  ~ParallelScanSource() override;
+
+  /// Push a simple aggregate below the exchange: each worker emits one
+  /// partial row [count(all rows), sum(non-null), min, max] instead of its
+  /// scan output. Merge with ParallelAggregateMergeSource. Must be called
+  /// before the first Next().
+  void EnablePartialAggregate(AggKind kind, int column);
+
+  /// EXPLAIN ANALYZE: worker i records its produced rows and wall time
+  /// into profile->ops[worker_nodes[i]] (one node per worker, single
+  /// writer; results are published by the queue mutex before the consumer
+  /// reads them). Must be called before the first Next().
+  void EnableProfile(PlanProfile* profile, std::vector<size_t> worker_nodes);
+
+  Status Next(Row* row) override;
+
+ private:
+  struct Morsel {
+    std::vector<Row> rows;
+  };
+
+  Status Open();
+  void RunWorker(size_t idx);
+  /// Blocks until the queue has room; returns false when cancelled.
+  bool PushMorsel(Morsel m);
+
+  Database* db_;
+  Transaction* txn_;
+  const BoundPlan* plan_;
+  const int target_workers_;
+  bool opened_ = false;
+
+  bool agg_enabled_ = false;
+  AggKind agg_kind_ = AggKind::kCount;
+  int agg_column_ = 0;
+
+  PlanProfile* profile_ = nullptr;
+  std::vector<size_t> profile_nodes_;
+
+  std::vector<std::unique_ptr<Scan>> scans_;  // one per partition
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Morsel> queue_;
+  size_t active_ = 0;  // workers not yet finished
+  std::atomic<bool> cancel_{false};
+  Status error_;  // first worker failure, guarded by mu_
+
+  std::vector<Row> current_;  // morsel being drained by the consumer
+  size_t current_pos_ = 0;
+};
+
+/// Merges the per-worker partial aggregate rows a ParallelScanSource emits
+/// (EnablePartialAggregate) into the single row AggregateSource would have
+/// produced over the same input — byte-identical, including null handling.
+class ParallelAggregateMergeSource : public RowSource {
+ public:
+  ParallelAggregateMergeSource(std::unique_ptr<RowSource> child, AggKind kind)
+      : child_(std::move(child)), kind_(kind) {}
+  Status Next(Row* row) override;
+
+ private:
+  std::unique_ptr<RowSource> child_;
+  AggKind kind_;
   bool done_ = false;
 };
 

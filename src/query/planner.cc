@@ -1,10 +1,18 @@
 #include "src/query/planner.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/sm/key_codec.h"
 
 namespace dmx {
+
+namespace {
+// Parallel scans only pay off past a cardinality floor, and each worker
+// needs enough rows that partitioning beats the exchange overhead.
+constexpr uint64_t kParallelRowThreshold = 8192;
+constexpr uint64_t kParallelMinRowsPerWorker = 4096;
+}  // namespace
 
 std::string AccessPlan::DebugString(const ExtensionRegistry* registry) const {
   if (path.is_storage_method()) return "storage-method scan";
@@ -224,6 +232,7 @@ Status PlanAccess(Database* db, Transaction* txn,
   out->index_only = false;
   out->key_fields.clear();
   out->needed_fields.clear();
+  out->parallel_workers = 0;
   if (needed_fields != nullptr) {
     out->needed_fields = *needed_fields;
     if (predicate != nullptr) predicate->CollectFields(&out->needed_fields);
@@ -234,6 +243,18 @@ Status PlanAccess(Database* db, Transaction* txn,
     // The storage-method scan evaluates the whole predicate itself, while
     // the record bytes are still in the buffer pool.
     out->spec.filter = predicate;
+    // Parallel eligibility: the method must know how to partition, the
+    // pool must have at least two threads, and the scan must be large
+    // enough that the exchange overhead amortises. cpu_cost for a full
+    // storage-method scan is the record count.
+    const SmOps& sm = db->registry()->sm_ops(desc->sm_id);
+    uint64_t est_rows = static_cast<uint64_t>(best->cost.cpu_cost);
+    if (sm.partition_scan != nullptr && db->worker_threads() >= 2 &&
+        est_rows >= kParallelRowThreshold) {
+      out->parallel_workers = static_cast<int>(
+          std::min<uint64_t>(db->worker_threads(),
+                             est_rows / kParallelMinRowsPerWorker));
+    }
     return Status::OK();
   }
 

@@ -52,6 +52,13 @@ struct AccessPlan {
   /// from a record"); unread fields surface as NULL.
   std::vector<int> needed_fields;
 
+  /// >= 2 when the planner judged the scan worth parallelising (storage
+  /// method implements partition_scan, the pool has threads to spare, and
+  /// the estimated cardinality amortises the exchange overhead). Only the
+  /// read-only SELECT path acts on it; modification statements scan
+  /// serially regardless.
+  int parallel_workers = 0;
+
   /// Display form for examples/tests, e.g. "btree_index#1" or "heap scan".
   std::string DebugString(const ExtensionRegistry* registry) const;
 };

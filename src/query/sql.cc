@@ -1013,6 +1013,12 @@ class SqlExecutor {
               {Value::String("join method: " + join_method_), Value::Null(),
                Value::Null()});
         }
+        if (access.parallel_workers >= 2) {
+          result->rows.push_back(
+              {Value::String("parallel workers: " +
+                             std::to_string(access.parallel_workers)),
+               Value::Null(), Value::Null()});
+        }
         return Status::OK();
       }
       if (analyze_) {
@@ -1101,6 +1107,30 @@ class SqlExecutor {
                      std::unique_ptr<RowSource>* source) {
     DMX_RETURN_IF_ERROR(session_->plans_.GetAccessPlan(
         txn, table, where, /*key=*/sql_, plan_holder, needed_fields));
+    const AccessPlan& access = (*plan_holder)->access;
+    if (access.parallel_workers >= 2) {
+      // Exchange operator over the storage method's partitioned scan; the
+      // filter runs below the exchange inside each worker's scan.
+      auto psrc = std::make_unique<ParallelScanSource>(
+          db_, txn, plan_holder->get(), access.parallel_workers);
+      parallel_src_ = psrc.get();
+      std::vector<size_t> worker_nodes;
+      if (analyze_) {
+        for (int i = 0; i < access.parallel_workers; ++i) {
+          worker_nodes.push_back(
+              profile_.Add("worker " + std::to_string(i)));
+        }
+        psrc->EnableProfile(&profile_, worker_nodes);
+      }
+      *source = std::move(psrc);
+      *source = Profiled(
+          std::move(*source),
+          "parallel_scan(" + table + "): " +
+              access.DebugString(db_->registry()) + " [" +
+              std::to_string(access.parallel_workers) + " workers]",
+          std::move(worker_nodes));
+      return Status::OK();
+    }
     *source = std::make_unique<AccessSource>(db_, txn, plan_holder->get());
     *source = Profiled(
         std::move(*source),
@@ -1270,10 +1300,22 @@ class SqlExecutor {
         DMX_RETURN_IF_ERROR(
             scope.Resolve(items[0].qualifier, items[0].column, &column));
       }
-      std::unique_ptr<RowSource> agg = std::make_unique<AggregateSource>(
-          std::move(source), items[0].agg, column);
-      agg = Profiled(std::move(agg), "aggregate(" + items[0].label + ")",
-                     {top_idx_});
+      std::unique_ptr<RowSource> agg;
+      if (parallel_src_ != nullptr && d2 == nullptr) {
+        // Push the aggregation below the exchange: workers pre-aggregate
+        // their partitions, the merge combines one partial row each.
+        parallel_src_->EnablePartialAggregate(items[0].agg, column);
+        agg = std::make_unique<ParallelAggregateMergeSource>(
+            std::move(source), items[0].agg);
+        agg = Profiled(std::move(agg),
+                       "aggregate(" + items[0].label + ") [partial merge]",
+                       {top_idx_});
+      } else {
+        agg = std::make_unique<AggregateSource>(std::move(source),
+                                                items[0].agg, column);
+        agg = Profiled(std::move(agg), "aggregate(" + items[0].label + ")",
+                       {top_idx_});
+      }
       std::vector<Row> rows;
       DMX_RETURN_IF_ERROR(CollectRows(agg.get(), &rows));
       result->columns = {items[0].label};
@@ -1500,6 +1542,9 @@ class SqlExecutor {
   PlanProfile profile_;
   size_t top_idx_ = 0;  // profile index of the current plan-tree root
   std::string join_method_;
+  /// Set by BuildSingle when the plan runs a parallel scan, so Materialize
+  /// can push a single aggregate below the exchange. Joins never set it.
+  ParallelScanSource* parallel_src_ = nullptr;
 };
 
 Session::~Session() {

@@ -460,6 +460,55 @@ Status BTree::LeafPages(uint64_t* n) {
   return Status::OK();
 }
 
+Status BTree::SeparatorKeys(int target, std::vector<std::string>* seps) {
+  seps->clear();
+  if (target < 2) return Status::OK();
+  // Breadth-first by level: any single internal level's separators are
+  // globally sorted (left-to-right across siblings), so the first level
+  // with enough of them is a valid cut set — no parent context needed.
+  std::vector<PageId> level;
+  PageId root;
+  DMX_RETURN_IF_ERROR(RootPage(&root));
+  level.push_back(root);
+  std::vector<std::string> best;  // deepest internal level seen so far
+  while (true) {
+    std::vector<std::string> level_seps;
+    std::vector<PageId> next_level;
+    bool hit_leaf = false;
+    for (PageId id : level) {
+      PageHandle h;
+      DMX_RETURN_IF_ERROR(bp_->Fetch(id, &h));
+      if (NodeType(*h.page()) == kLeaf) {
+        hit_leaf = true;
+        break;
+      }
+      InternalNode in;
+      DMX_RETURN_IF_ERROR(ParseInternal(*h.page(), &in));
+      next_level.push_back(in.leftmost);
+      for (auto& [sep, child] : in.entries) {
+        level_seps.push_back(std::move(sep));
+        next_level.push_back(child);
+      }
+    }
+    if (!hit_leaf && !level_seps.empty()) best = std::move(level_seps);
+    bool enough = static_cast<int>(best.size()) >= target - 1;
+    if (hit_leaf || enough || next_level.size() > 256 ||
+        next_level.size() == level.size()) {
+      // Leaves reached, enough cuts, or the next level is too wide to be
+      // worth reading: downsample the best level evenly and stop.
+      size_t want = std::min<size_t>(target - 1, best.size());
+      for (size_t k = 1; k <= want; ++k) {
+        size_t idx = k * best.size() / (want + 1);
+        if (idx >= best.size()) idx = best.size() - 1;
+        if (!seps->empty() && seps->back() == best[idx]) continue;
+        seps->push_back(best[idx]);
+      }
+      return Status::OK();
+    }
+    level = std::move(next_level);
+  }
+}
+
 Status BTree::Height(uint32_t* height) {
   *height = 1;
   PageId node;

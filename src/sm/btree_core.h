@@ -72,6 +72,15 @@ class BTree {
   /// Tree height (1 = root is a leaf). For cost estimation.
   Status Height(uint32_t* h);
 
+  /// Up to `target - 1` composite separator entries (key + value, the
+  /// internal-node form; split with BTreeSplitEntry) that cut the tree
+  /// into roughly equal key ranges, in ascending order. Descends from the
+  /// root until one internal level yields enough separators, then
+  /// downsamples evenly. Empty result when the root is a leaf. Used by
+  /// scan partitioning; exactness of the placement is a balance question
+  /// only — every range boundary is a real entry boundary.
+  Status SeparatorKeys(int target, std::vector<std::string>* seps);
+
   BufferPool* buffer_pool() const { return bp_; }
   PageId anchor() const { return anchor_; }
 

@@ -251,6 +251,56 @@ Status BtOpenScan(SmContext& ctx, const ScanSpec& spec,
   return Status::OK();
 }
 
+// Partition by separator keys: each sub-spec is a key range expressed with
+// the ordinary low_key/high_key fields (half-open at the separator), so
+// BtOpenScan needs no partition-specific path — every worker does a fresh
+// descent. Correctness does not depend on separator placement: any set of
+// strictly increasing keys cuts the key space into disjoint, covering
+// ranges.
+Status BtPartitionScan(SmContext& ctx, const ScanSpec& spec, int target,
+                       std::vector<ScanSpec>* partitions) {
+  partitions->clear();
+  BtSmState* st = StateOf(ctx);
+  std::vector<std::string> composites;
+  if (target >= 2) {
+    DMX_RETURN_IF_ERROR(st->tree->SeparatorKeys(target, &composites));
+  }
+  std::vector<std::string> cuts;
+  for (const std::string& c : composites) {
+    std::string key, value;
+    if (!BTreeSplitEntry(Slice(c), &key, &value).ok()) continue;
+    // Clamp to the requested range; a cut at or outside a bound would
+    // produce an empty partition.
+    if (spec.low_key.has_value() &&
+        Slice(key).compare(Slice(*spec.low_key)) <= 0) {
+      continue;
+    }
+    if (spec.high_key.has_value() &&
+        Slice(key).compare(Slice(*spec.high_key)) >= 0) {
+      continue;
+    }
+    if (!cuts.empty() && cuts.back() == key) continue;
+    cuts.push_back(std::move(key));
+  }
+  if (cuts.empty()) {
+    partitions->push_back(spec);  // declined: serial fallback
+    return Status::OK();
+  }
+  for (size_t i = 0; i <= cuts.size(); ++i) {
+    ScanSpec sub = spec;
+    if (i > 0) {
+      sub.low_key = cuts[i - 1];
+      sub.low_inclusive = true;
+    }
+    if (i < cuts.size()) {
+      sub.high_key = cuts[i];
+      sub.high_inclusive = false;
+    }
+    partitions->push_back(std::move(sub));
+  }
+  return Status::OK();
+}
+
 Status BtCost(SmContext& ctx, const std::vector<ExprPtr>& predicates,
               AccessCost* out) {
   BtSmState* st = StateOf(ctx);
@@ -355,6 +405,7 @@ const SmOps& BTreeStorageMethodOps() {
     o.erase = BtErase;
     o.fetch = BtFetch;
     o.open_scan = BtOpenScan;
+    o.partition_scan = BtPartitionScan;
     o.cost = BtCost;
     o.undo = BtUndo;
     o.redo = BtRedo;

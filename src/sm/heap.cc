@@ -1,6 +1,8 @@
 #include "src/sm/heap.h"
 
+#include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "src/core/costing.h"
 #include "src/core/database.h"
@@ -20,6 +22,12 @@ struct HeapState : public ExtState {
   PageId last = kInvalidPageId;
   uint64_t pages = 0;
   uint64_t records = 0;
+  /// Serializes page mutation and the chain-tail/counter fields across
+  /// concurrent writer transactions. Record X locks don't help here: two
+  /// inserters lock different records yet mutate the same tail page.
+  /// Readers need no lock — their relation S lock conflicts with the
+  /// writers' IX, so state reads never race a writer.
+  std::mutex mu;
 };
 
 HeapState* StateOf(SmContext& ctx) {
@@ -103,8 +111,9 @@ Status LogHeapOp(SmContext& ctx, std::string payload, Lsn* lsn) {
   return Status::OK();
 }
 
-Status HeapInsert(SmContext& ctx, const Slice& record,
-                  std::string* record_key) {
+// Callers hold HeapState::mu.
+Status HeapInsertLocked(SmContext& ctx, const Slice& record,
+                        std::string* record_key) {
   HeapState* st = StateOf(ctx);
   BufferPool* bp = ctx.db->buffer_pool();
 
@@ -148,8 +157,9 @@ Status HeapInsert(SmContext& ctx, const Slice& record,
   return Status::OK();
 }
 
-Status HeapErase(SmContext& ctx, const Slice& record_key,
-                 const Slice& old_record) {
+// Callers hold HeapState::mu.
+Status HeapEraseLocked(SmContext& ctx, const Slice& record_key,
+                       const Slice& old_record) {
   HeapState* st = StateOf(ctx);
   Rid rid;
   DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
@@ -167,9 +177,22 @@ Status HeapErase(SmContext& ctx, const Slice& record_key,
   return Status::OK();
 }
 
+Status HeapInsert(SmContext& ctx, const Slice& record,
+                  std::string* record_key) {
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  return HeapInsertLocked(ctx, record, record_key);
+}
+
+Status HeapErase(SmContext& ctx, const Slice& record_key,
+                 const Slice& old_record) {
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  return HeapEraseLocked(ctx, record_key, old_record);
+}
+
 Status HeapUpdate(SmContext& ctx, const Slice& record_key,
                   const Slice& old_record, const Slice& new_record,
                   std::string* new_key) {
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
   Rid rid;
   DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
   {
@@ -193,8 +216,8 @@ Status HeapUpdate(SmContext& ctx, const Slice& record_key,
     sp.InsertAt(rid.slot, old_record).ok();
   }
   // Move: delete + insert (the record key changes).
-  DMX_RETURN_IF_ERROR(HeapErase(ctx, record_key, old_record));
-  return HeapInsert(ctx, new_record, new_key);
+  DMX_RETURN_IF_ERROR(HeapEraseLocked(ctx, record_key, old_record));
+  return HeapInsertLocked(ctx, new_record, new_key);
 }
 
 Status HeapFetch(SmContext& ctx, const Slice& record_key,
@@ -212,12 +235,36 @@ Status HeapFetch(SmContext& ctx, const Slice& record_key,
 
 // -- scan ---------------------------------------------------------------------
 
+// A partition descriptor is a page-chain segment: (start_page, stop_page)
+// as two Fixed32s, stop exclusive, kInvalidPageId = run to the chain end.
+// Segments rather than page-id ranges because chain order is not page-id
+// order once FreePage has recycled pages.
+void EncodeHeapPartition(PageId start, PageId stop, std::string* out) {
+  out->clear();
+  PutFixed32(out, start);
+  PutFixed32(out, stop);
+}
+
+bool DecodeHeapPartition(const Slice& in, PageId* start, PageId* stop) {
+  if (in.size() != 8) return false;
+  *start = DecodeFixed32(in.data());
+  *stop = DecodeFixed32(in.data() + 4);
+  return true;
+}
+
 class HeapScan : public Scan {
  public:
   HeapScan(Database* db, const RelationDescriptor* desc, PageId first,
            const ScanSpec& spec)
       : db_(db), desc_(desc), spec_(spec) {
     next_ = Rid{first, 0};
+    if (spec_.partition.has_value()) {
+      PageId start, stop;
+      if (DecodeHeapPartition(Slice(*spec_.partition), &start, &stop)) {
+        next_ = Rid{start, 0};
+        stop_page_ = stop;
+      }
+    }
     if (spec_.low_key.has_value()) {
       Rid low;
       if (Rid::Decode(Slice(*spec_.low_key), &low).ok()) {
@@ -229,7 +276,9 @@ class HeapScan : public Scan {
 
   Status Next(ScanItem* out) override {
     while (true) {
-      if (next_.page == kInvalidPageId) return Status::NotFound("end of scan");
+      if (next_.page == kInvalidPageId || next_.page == stop_page_) {
+        return Status::NotFound("end of scan");
+      }
       if (!pinned_.valid() || pinned_.page_id() != next_.page) {
         pinned_.Release();
         DMX_RETURN_IF_ERROR(db_->buffer_pool()->Fetch(next_.page, &pinned_));
@@ -283,6 +332,8 @@ class HeapScan : public Scan {
   ScanSpec spec_;
   Rid next_;
   Rid last_returned_;
+  /// Exclusive chain-segment bound (kInvalidPageId = scan to the end).
+  PageId stop_page_ = kInvalidPageId;
   PageHandle pinned_;
 };
 
@@ -290,6 +341,44 @@ Status HeapOpenScan(SmContext& ctx, const ScanSpec& spec,
                     std::unique_ptr<Scan>* scan) {
   HeapState* st = StateOf(ctx);
   *scan = std::make_unique<HeapScan>(ctx.db, ctx.desc, st->first, spec);
+  return Status::OK();
+}
+
+// Split the page chain into up to `target` contiguous segments. Declines
+// (single-element result) on bounded scans: low/high keys are Rid
+// positions, and honouring them per-segment would need the chain prefix
+// order that partitions are meant to avoid recomputing.
+Status HeapPartitionScan(SmContext& ctx, const ScanSpec& spec, int target,
+                         std::vector<ScanSpec>* partitions) {
+  partitions->clear();
+  HeapState* st = StateOf(ctx);
+  if (target < 2 || spec.low_key.has_value() || spec.high_key.has_value() ||
+      st->pages < 2 || st->first == kInvalidPageId) {
+    partitions->push_back(spec);
+    return Status::OK();
+  }
+  // Walk the chain once to learn its order (not page-id order after frees).
+  std::vector<PageId> chain;
+  chain.reserve(st->pages);
+  BufferPool* bp = ctx.db->buffer_pool();
+  PageId page = st->first;
+  while (page != kInvalidPageId) {
+    chain.push_back(page);
+    PageHandle h;
+    DMX_RETURN_IF_ERROR(bp->Fetch(page, &h));
+    page = SlottedPage(h.page()).next_page();
+  }
+  size_t parts = std::min<size_t>(target, chain.size());
+  for (size_t i = 0; i < parts; ++i) {
+    size_t begin = chain.size() * i / parts;
+    size_t end = chain.size() * (i + 1) / parts;
+    ScanSpec sub = spec;
+    sub.partition.emplace();
+    EncodeHeapPartition(chain[begin],
+                        end < chain.size() ? chain[end] : kInvalidPageId,
+                        &*sub.partition);
+    partitions->push_back(std::move(sub));
+  }
   return Status::OK();
 }
 
@@ -422,6 +511,10 @@ Status ApplyHeapOp(SmContext& ctx, const HeapLogOp& op, bool undo,
 }
 
 Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
+  // Transaction-time undo (abort, veto, savepoint rollback) can run while
+  // other writer transactions mutate the same pages; restart recovery is
+  // single-threaded and merely pays an uncontended lock.
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
   HeapLogOp op;
   DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
   // Gate on the page LSN only when *redoing a CLR* (restart replaying an
@@ -437,6 +530,7 @@ Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
 }
 
 Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
   HeapLogOp op;
   DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
   return ApplyHeapOp(ctx, op, /*undo=*/false, apply_lsn,
@@ -458,6 +552,7 @@ const SmOps& HeapStorageMethodOps() {
     o.erase = HeapErase;
     o.fetch = HeapFetch;
     o.open_scan = HeapOpenScan;
+    o.partition_scan = HeapPartitionScan;
     o.cost = HeapCost;
     o.undo = HeapUndo;
     o.redo = HeapRedo;

@@ -1,0 +1,52 @@
+// ThreadPool: the shared worker-thread service backing intra-query
+// parallelism. One pool per Database (sized from
+// DatabaseOptions::worker_threads), shared by every concurrent parallel
+// scan: partitions are submitted as independent tasks, so a pool smaller
+// than the total partition count degrades gracefully to queuing instead of
+// oversubscribing the machine.
+//
+// Tasks must not assume which pool thread runs them and must provide their
+// own completion signalling (the pool has no join-one-task primitive; the
+// destructor drains the queue and joins all threads).
+
+#ifndef DMX_UTIL_THREAD_POOL_H_
+#define DMX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmx {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (minimum 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Runs every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some pool thread.
+  void Submit(std::function<void()> task);
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  void Loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_THREAD_POOL_H_
