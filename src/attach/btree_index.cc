@@ -240,6 +240,9 @@ Status IdxOnInsert(AtContext& ctx, const Slice& record_key,
   RecordView view(new_record, &ctx.desc->schema);
   for (size_t i = 0; i < st->desc.instances.size(); ++i) {
     const IndexInstance& inst = st->desc.instances[i];
+    // Quarantined instances skip maintenance: REPAIR rebuilds them from
+    // the base relation, so falling behind is safe.
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string key;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
     DMX_RETURN_IF_ERROR(
@@ -256,6 +259,7 @@ Status IdxOnUpdate(AtContext& ctx, const Slice& old_key,
   RecordView new_view(new_record, &ctx.desc->schema);
   for (size_t i = 0; i < st->desc.instances.size(); ++i) {
     const IndexInstance& inst = st->desc.instances[i];
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string okey, nkey;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(old_view, inst.fields, &okey));
     DMX_RETURN_IF_ERROR(EncodeFieldKey(new_view, inst.fields, &nkey));
@@ -279,6 +283,7 @@ Status IdxOnDelete(AtContext& ctx, const Slice& record_key,
   RecordView view(old_record, &ctx.desc->schema);
   for (size_t i = 0; i < st->desc.instances.size(); ++i) {
     const IndexInstance& inst = st->desc.instances[i];
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string key;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
     DMX_RETURN_IF_ERROR(
@@ -464,6 +469,145 @@ Status IdxListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
   return Status::OK();
 }
 
+// Dual-enumeration consistency check: a structural sweep of the tree, then
+// every base record must appear in the index under its computed key, the
+// entry count must match the relation's record count (which together rule
+// out orphaned entries), and unique instances must hold no duplicate keys.
+Status IdxVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  IndexState* st = StateOf(ctx);
+  const IndexInstance* inst = st->desc.Find(instance_no);
+  BTree* tree = st->TreeFor(instance_no);
+  if (inst == nullptr || tree == nullptr) {
+    return Status::NotFound("btree index instance " +
+                            std::to_string(instance_no));
+  }
+  std::vector<std::string> problems;
+  uint64_t entries = 0;
+  DMX_RETURN_IF_ERROR(tree->Verify(&problems, &entries));
+  const std::string tag = "btree_index#" + std::to_string(instance_no) + ": ";
+  for (const std::string& p : problems) report->Problem(tag + p);
+  report->items += entries;
+  if (!report->clean()) return Status::OK();  // don't walk a broken tree
+
+  uint64_t base_records = 0;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    ++base_records;
+    std::string key;
+    Status ks = EncodeFieldKey(item.view, inst->fields, &key);
+    if (!ks.ok()) {
+      report->Problem(tag + "cannot compose key for a base record: " +
+                      ks.ToString());
+      continue;
+    }
+    std::vector<std::string> rkeys;
+    Status ls = tree->Lookup(Slice(key), &rkeys);
+    bool found = false;
+    if (ls.ok()) {
+      for (const std::string& rk : rkeys) {
+        if (Slice(rk) == Slice(item.record_key)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      report->Problem(tag + "base record has no matching index entry");
+    }
+  }
+  if (entries != base_records) {
+    report->Problem(tag + "holds " + std::to_string(entries) +
+                    " entries but the relation holds " +
+                    std::to_string(base_records) + " records");
+  }
+  if (inst->unique) {
+    std::unique_ptr<BTreeIterator> it;
+    DMX_RETURN_IF_ERROR(tree->NewIterator(&it));
+    std::string key, value, prev;
+    bool has_prev = false;
+    while (it->Next(&key, &value).ok()) {
+      if (has_prev && key == prev) {
+        report->Problem(tag + "duplicate key in unique index");
+        break;
+      }
+      prev = key;
+      has_prev = true;
+    }
+  }
+  return Status::OK();
+}
+
+// Online rebuild (REPAIR): build a fresh tree off the base relation and
+// point the instance at its anchor. The damaged tree's pages are left
+// untouched — the caller releases them via release_instance (with the
+// pre-repair descriptor) only at commit.
+Status IdxRepairInstance(AtContext& ctx, uint32_t instance_no,
+                         std::string* new_desc) {
+  IndexTypeDesc desc;
+  DMX_RETURN_IF_ERROR(IndexTypeDesc::DecodeFrom(ctx.at_desc, &desc));
+  IndexInstance* inst = nullptr;
+  for (IndexInstance& i : desc.instances) {
+    if (i.no == instance_no) inst = &i;
+  }
+  if (inst == nullptr) {
+    return Status::NotFound("btree index instance " +
+                            std::to_string(instance_no));
+  }
+  PageId fresh;
+  DMX_RETURN_IF_ERROR(BTree::Create(ctx.db->buffer_pool(), &fresh));
+  BTree tree(ctx.db->buffer_pool(), fresh);
+  std::unique_ptr<Scan> scan;
+  Status s = ctx.db->OpenScanOn(ctx.txn, ctx.desc,
+                                AccessPathId::StorageMethod(), ScanSpec{},
+                                &scan);
+  if (s.ok()) {
+    ScanItem item;
+    while (true) {
+      Status ns = scan->Next(&item);
+      if (ns.IsNotFound()) break;
+      if (!ns.ok()) {
+        s = ns;
+        break;
+      }
+      std::string key;
+      s = EncodeFieldKey(item.view, inst->fields, &key);
+      if (s.ok()) {
+        s = tree.Insert(Slice(key), Slice(item.record_key), inst->unique);
+        if (s.IsConstraint()) {
+          s = Status::Constraint("unique index " +
+                                 std::to_string(instance_no) +
+                                 " cannot be rebuilt: the base relation "
+                                 "holds duplicate keys");
+        }
+      }
+      if (!s.ok()) break;
+    }
+  }
+  if (!s.ok()) {
+    BTree::Destroy(ctx.db->buffer_pool(), fresh).ok();
+    return s;
+  }
+  inst->anchor = fresh;
+  new_desc->clear();
+  desc.EncodeTo(new_desc);
+  return Status::OK();
+}
+
+// Unique indexes enforce a data invariant; while one is quarantined its
+// maintenance skip would let duplicates slip in, so writes must be refused.
+bool IdxGuardsIntegrity(const Slice& at_desc, uint32_t instance_no) {
+  IndexTypeDesc desc;
+  if (!IndexTypeDesc::DecodeFrom(at_desc, &desc).ok()) return false;
+  const IndexInstance* inst = desc.Find(instance_no);
+  return inst != nullptr && inst->unique;
+}
+
 Status IdxInstanceFields(const Slice& at_desc, uint32_t instance,
                          std::vector<int>* fields) {
   IndexTypeDesc desc;
@@ -497,6 +641,9 @@ const AtOps& BTreeIndexOps() {
     o.instance_count = IdxInstanceCount;
     o.list_instances = IdxListInstances;
     o.instance_fields = IdxInstanceFields;
+    o.verify = IdxVerify;
+    o.repair_instance = IdxRepairInstance;
+    o.guards_integrity = IdxGuardsIntegrity;
     return o;
   }();
   return ops;

@@ -174,6 +174,59 @@ uint32_t ChkInstanceCount(const Slice& at_desc) {
   return static_cast<uint32_t>(desc.instances.size());
 }
 
+Status ChkListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  CheckTypeDesc desc;
+  DMX_RETURN_IF_ERROR(CheckTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const CheckInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+// Verify re-evaluates the predicate over every base record — catches rows
+// that slipped in while the constraint was quarantined or before it existed.
+Status ChkVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  CheckState* st = static_cast<CheckState*>(ctx.state);
+  const CheckInstance* inst = nullptr;
+  for (const CheckInstance& i : st->desc.instances) {
+    if (i.no == instance_no) inst = &i;
+  }
+  if (inst == nullptr) {
+    return Status::NotFound("check instance " + std::to_string(instance_no));
+  }
+  const std::string tag = "check#" + std::to_string(instance_no) + ": ";
+
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    bool passes = false;
+    DMX_RETURN_IF_ERROR(ctx.db->evaluator()->EvalPredicate(*inst->predicate,
+                                                           item.view,
+                                                           &passes));
+    if (!passes) {
+      report->Problem(tag + "record violates check constraint" +
+                      (inst->name.empty() ? "" : " '" + inst->name + "'"));
+    }
+    ++report->items;
+  }
+  return Status::OK();
+}
+
+// A quarantined check constraint stops vetoing writes, so writes must be
+// refused until REPAIR re-validates the data.
+bool ChkGuardsIntegrity(const Slice& at_desc, uint32_t instance_no) {
+  CheckTypeDesc desc;
+  if (!CheckTypeDesc::DecodeFrom(at_desc, &desc).ok()) return false;
+  for (const CheckInstance& inst : desc.instances) {
+    if (inst.no == instance_no) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const AtOps& CheckConstraintOps() {
@@ -186,6 +239,9 @@ const AtOps& CheckConstraintOps() {
     o.on_insert = ChkOnInsert;
     o.on_update = ChkOnUpdate;
     o.instance_count = ChkInstanceCount;
+    o.list_instances = ChkListInstances;
+    o.verify = ChkVerify;
+    o.guards_integrity = ChkGuardsIntegrity;
     return o;
   }();
   return ops;

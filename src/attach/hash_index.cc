@@ -191,6 +191,7 @@ Status HashOnInsert(AtContext& ctx, const Slice& record_key,
   HashState* st = StateOf(ctx);
   RecordView view(new_record, &ctx.desc->schema);
   for (const HashInstance& inst : st->desc.instances) {
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string key;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
     TableAdd(st, inst.no, key, record_key.ToString());
@@ -207,6 +208,7 @@ Status HashOnUpdate(AtContext& ctx, const Slice& old_key,
   RecordView old_view(old_record, &ctx.desc->schema);
   RecordView new_view(new_record, &ctx.desc->schema);
   for (const HashInstance& inst : st->desc.instances) {
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string okey, nkey;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(old_view, inst.fields, &okey));
     DMX_RETURN_IF_ERROR(EncodeFieldKey(new_view, inst.fields, &nkey));
@@ -224,6 +226,7 @@ Status HashOnDelete(AtContext& ctx, const Slice& record_key,
   HashState* st = StateOf(ctx);
   RecordView view(old_record, &ctx.desc->schema);
   for (const HashInstance& inst : st->desc.instances) {
+    if (ctx.desc->IsQuarantined(ctx.at_id, inst.no)) continue;
     std::string key;
     DMX_RETURN_IF_ERROR(EncodeFieldKey(view, inst.fields, &key));
     TableRemove(st, inst.no, key, record_key.ToString());
@@ -330,6 +333,58 @@ Status HashListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
   return Status::OK();
 }
 
+// Cross-check the live table for one instance against a fresh enumeration
+// of the base relation: every base record's key must map to its record key
+// exactly once, and the table must hold nothing else.
+Status HashVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  HashState* st = StateOf(ctx);
+  const HashInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("hash instance " + std::to_string(instance_no));
+  }
+  static const std::unordered_multimap<std::string, std::string> kEmpty;
+  auto tit = st->tables.find(instance_no);
+  const auto& table = tit != st->tables.end() ? tit->second : kEmpty;
+  const std::string tag = "hash_index#" + std::to_string(instance_no) + ": ";
+
+  uint64_t base_records = 0;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    ++base_records;
+    std::string key;
+    Status ks = EncodeFieldKey(item.view, inst->fields, &key);
+    if (!ks.ok()) {
+      report->Problem(tag + "cannot compose key for a base record: " +
+                      ks.ToString());
+      continue;
+    }
+    auto [begin, end] = table.equal_range(key);
+    bool found = false;
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == item.record_key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      report->Problem(tag + "base record has no matching hash entry");
+    }
+  }
+  report->items += table.size();
+  if (table.size() != base_records) {
+    report->Problem(tag + "holds " + std::to_string(table.size()) +
+                    " entries but the relation holds " +
+                    std::to_string(base_records) + " records");
+  }
+  return Status::OK();
+}
+
 Status HashInstanceFields(const Slice& at_desc, uint32_t instance,
                           std::vector<int>* fields) {
   HashTypeDesc desc;
@@ -360,6 +415,7 @@ const AtOps& HashIndexOps() {
     o.instance_count = HashInstanceCount;
     o.list_instances = HashListInstances;
     o.instance_fields = HashInstanceFields;
+    o.verify = HashVerify;
     return o;
   }();
   return ops;

@@ -62,6 +62,21 @@ struct JoinData {
     }
     return n;
   }
+  bool Contains(int side, const std::string& jk, const std::string& rkey) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sides.find(jk);
+    if (it == sides.end()) return false;
+    const auto& s = side == 1 ? it->second.first : it->second.second;
+    return s.count(rkey) > 0;
+  }
+  size_t SideCount(int side) {
+    std::lock_guard<std::mutex> lock(mu);
+    size_t n = 0;
+    for (const auto& [jk, entry] : sides) {
+      n += side == 1 ? entry.first.size() : entry.second.size();
+    }
+    return n;
+  }
 };
 
 std::mutex g_join_mu;
@@ -360,6 +375,53 @@ uint32_t JiInstanceCount(const Slice& at_desc) {
   return static_cast<uint32_t>(desc.instances.size());
 }
 
+Status JiListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  JiTypeDesc desc;
+  DMX_RETURN_IF_ERROR(JiTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const JiInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+// Verify covers this relation's side of the shared pair table: every base
+// record must appear under its join key, and the side's entry count must
+// match the base row count (the other side is verified by its own relation).
+Status JiVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  JiState* st = StateOf(ctx);
+  const JiInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("join index instance " +
+                            std::to_string(instance_no));
+  }
+  const std::string tag = "join_index#" + std::to_string(instance_no) + ": ";
+  JoinData* data = st->data[instance_no].get();
+
+  uint64_t base_rows = 0;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    std::string jk;
+    DMX_RETURN_IF_ERROR(EncodeFieldKey(item.view, inst->fields, &jk));
+    if (!data->Contains(inst->side, jk, item.record_key)) {
+      report->Problem(tag + "base record '" + item.record_key +
+                      "' missing from join pair table");
+    }
+    ++base_rows;
+  }
+  size_t side_count = data->SideCount(inst->side);
+  report->items += side_count;
+  if (side_count != base_rows) {
+    report->Problem(tag + "side entry count " + std::to_string(side_count) +
+                    " != base rows " + std::to_string(base_rows));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 size_t JoinIndexPairCount(const std::string& name) {
@@ -381,6 +443,8 @@ const AtOps& JoinIndexOps() {
     o.redo = JiRedo;
     o.rebuild = JiRebuild;
     o.instance_count = JiInstanceCount;
+    o.list_instances = JiListInstances;
+    o.verify = JiVerify;
     return o;
   }();
   return ops;

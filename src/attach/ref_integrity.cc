@@ -293,6 +293,62 @@ uint32_t RiInstanceCount(const Slice& at_desc) {
   return static_cast<uint32_t>(desc.instances.size());
 }
 
+Status RiListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  RiTypeDesc desc;
+  DMX_RETURN_IF_ERROR(RiTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const RiInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+// Child-side verify: every non-NULL foreign key must have a parent row.
+// Parent-side instances are passive (the child side holds the invariant),
+// so they verify trivially.
+Status RiVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  RiState* st = StateOf(ctx);
+  const RiInstance* inst = nullptr;
+  for (const RiInstance& i : st->desc.instances) {
+    if (i.no == instance_no) inst = &i;
+  }
+  if (inst == nullptr) {
+    return Status::NotFound("refint instance " + std::to_string(instance_no));
+  }
+  if (inst->is_parent) return Status::OK();
+  const std::string tag = "refint#" + std::to_string(instance_no) + ": ";
+
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    std::vector<Value> values;
+    if (!KeyValues(item.view, inst->fields, &values)) continue;  // NULL fk
+    std::vector<std::string> matches;
+    DMX_RETURN_IF_ERROR(FindMatches(ctx, *inst, values, true, &matches));
+    if (matches.empty()) {
+      report->Problem(tag + "orphaned foreign key: no parent record");
+    }
+    ++report->items;
+  }
+  return Status::OK();
+}
+
+// Child-side refint guards integrity: while quarantined its parent-exists
+// veto is skipped, so writes are refused. Parent-side instances enforce
+// nothing on this relation's own writes that the child side can't recheck,
+// but dangling children could still be created through them — guard both.
+bool RiGuardsIntegrity(const Slice& at_desc, uint32_t instance_no) {
+  RiTypeDesc desc;
+  if (!RiTypeDesc::DecodeFrom(at_desc, &desc).ok()) return false;
+  for (const RiInstance& inst : desc.instances) {
+    if (inst.no == instance_no) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const AtOps& RefIntegrityOps() {
@@ -306,6 +362,9 @@ const AtOps& RefIntegrityOps() {
     o.on_update = RiOnUpdate;
     o.on_delete = RiOnDelete;
     o.instance_count = RiInstanceCount;
+    o.list_instances = RiListInstances;
+    o.verify = RiVerify;
+    o.guards_integrity = RiGuardsIntegrity;
     return o;
   }();
   return ops;

@@ -648,6 +648,49 @@ Status RtListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
   return Status::OK();
 }
 
+// Verify cross-checks the in-memory tree against the base relation: every
+// base record with a non-NULL rectangle must be findable by an exact-rect
+// probe, and the entry count must match.
+Status RtVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  RtState* st = StateOf(ctx);
+  const RtInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("rtree instance " + std::to_string(instance_no));
+  }
+  const std::string tag = "rtree_index#" + std::to_string(instance_no) + ": ";
+  const RTree& tree = st->trees[instance_no];
+
+  uint64_t indexed_rows = 0;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    Rect r;
+    bool has_null;
+    DMX_RETURN_IF_ERROR(RectOf(item.view, *inst, &r, &has_null));
+    if (has_null) continue;
+    ++indexed_rows;
+    std::vector<std::string> keys;
+    tree.Search('E', r, &keys);
+    bool found = false;
+    for (const std::string& k : keys) found = found || k == item.record_key;
+    if (!found) {
+      report->Problem(tag + "base record '" + item.record_key +
+                      "' has no matching rtree entry");
+    }
+  }
+  report->items += tree.size();
+  if (tree.size() != indexed_rows) {
+    report->Problem(tag + "entry count " + std::to_string(tree.size()) +
+                    " != indexed base rows " + std::to_string(indexed_rows));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string EncodeRTreeProbe(ExprOp op, const double query_rect[4]) {
@@ -680,6 +723,7 @@ const AtOps& RTreeIndexOps() {
     o.rebuild = RtRebuild;
     o.instance_count = RtInstanceCount;
     o.list_instances = RtListInstances;
+    o.verify = RtVerify;
     return o;
   }();
   return ops;

@@ -1,5 +1,6 @@
 #include "src/attach/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -269,6 +270,52 @@ uint32_t StInstanceCount(const Slice& at_desc) {
   return static_cast<uint32_t>(desc.instances.size());
 }
 
+Status StListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  StatsTypeDesc desc;
+  DMX_RETURN_IF_ERROR(StatsTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const StatsInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+// Verify recomputes count/sum from the base relation and compares against
+// the live snapshot. Sums tolerate float rounding from delta maintenance.
+Status StVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  StatsState* st = StateOf(ctx);
+  const StatsInstance* inst = st->desc.Find(instance_no);
+  if (inst == nullptr) {
+    return Status::NotFound("stats instance " + std::to_string(instance_no));
+  }
+  const std::string tag = "stats#" + std::to_string(instance_no) + ": ";
+
+  uint64_t count = 0;
+  double sum = 0;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    ++count;
+    sum += FieldValue(item.view, inst->field);
+    ++report->items;
+  }
+
+  const StatsSnapshot& snap = st->values[instance_no];
+  if (snap.count != count) {
+    report->Problem(tag + "row count drifted: stats say " +
+                    std::to_string(snap.count) + ", base relation has " +
+                    std::to_string(count));
+  }
+  double tol = 1e-9 * std::max({std::fabs(sum), std::fabs(snap.sum), 1.0});
+  if (std::fabs(snap.sum - sum) > tol) {
+    report->Problem(tag + "sum drifted beyond rounding tolerance");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status ReadStats(Database* db, Transaction* txn, const std::string& rel,
@@ -303,6 +350,8 @@ const AtOps& StatsOps() {
     o.redo = StRedo;
     o.rebuild = StRebuild;
     o.instance_count = StInstanceCount;
+    o.list_instances = StListInstances;
+    o.verify = StVerify;
     return o;
   }();
   return ops;

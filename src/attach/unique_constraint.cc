@@ -291,6 +291,66 @@ uint32_t UqInstanceCount(const Slice& at_desc) {
   return static_cast<uint32_t>(desc.instances.size());
 }
 
+Status UqListInstances(const Slice& at_desc, std::vector<uint32_t>* out) {
+  UniqueTypeDesc desc;
+  DMX_RETURN_IF_ERROR(UniqueTypeDesc::DecodeFrom(at_desc, &desc));
+  out->clear();
+  for (const UniqueInstance& inst : desc.instances) out->push_back(inst.no);
+  return Status::OK();
+}
+
+// Verify re-derives key multiplicities straight from the base relation, so
+// it catches both genuine duplicate data and a drifted live table.
+Status UqVerify(AtContext& ctx, uint32_t instance_no, VerifyReport* report) {
+  UniqueState* st = StateOf(ctx);
+  const UniqueInstance* inst = nullptr;
+  for (const UniqueInstance& i : st->desc.instances) {
+    if (i.no == instance_no) inst = &i;
+  }
+  if (inst == nullptr) {
+    return Status::NotFound("unique instance " + std::to_string(instance_no));
+  }
+  const std::string tag = "unique#" + std::to_string(instance_no) + ": ";
+
+  std::map<std::string, int64_t> seen;
+  std::unique_ptr<Scan> scan;
+  DMX_RETURN_IF_ERROR(ctx.db->OpenScanOn(
+      ctx.txn, ctx.desc, AccessPathId::StorageMethod(), ScanSpec{}, &scan));
+  ScanItem item;
+  while (true) {
+    Status s = scan->Next(&item);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    std::string key;
+    if (!KeyOf(item.view, inst->fields, &key)) continue;
+    if (++seen[key] == 2) {
+      report->Problem(tag + "duplicate value for unique constraint" +
+                      (inst->name.empty() ? "" : " '" + inst->name + "'"));
+    }
+    ++report->items;
+  }
+
+  // Cross-check the live count table against the recomputed one.
+  auto live_it = st->counts.find(instance_no);
+  static const std::map<std::string, int64_t> kEmpty;
+  const auto& live = live_it != st->counts.end() ? live_it->second : kEmpty;
+  if (live != seen) {
+    report->Problem(tag + "in-memory key counts disagree with base relation");
+  }
+  return Status::OK();
+}
+
+// Every unique instance guards integrity: with the constraint quarantined
+// its veto no longer fires, so writes must be refused until REPAIR.
+bool UqGuardsIntegrity(const Slice& at_desc, uint32_t instance_no) {
+  UniqueTypeDesc desc;
+  if (!UniqueTypeDesc::DecodeFrom(at_desc, &desc).ok()) return false;
+  for (const UniqueInstance& inst : desc.instances) {
+    if (inst.no == instance_no) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const AtOps& UniqueConstraintOps() {
@@ -307,6 +367,9 @@ const AtOps& UniqueConstraintOps() {
     o.redo = UqRedo;
     o.rebuild = UqRebuild;
     o.instance_count = UqInstanceCount;
+    o.list_instances = UqListInstances;
+    o.verify = UqVerify;
+    o.guards_integrity = UqGuardsIntegrity;
     return o;
   }();
   return ops;

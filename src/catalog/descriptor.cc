@@ -22,6 +22,15 @@ void RelationDescriptor::EncodeTo(std::string* dst) const {
     PutLengthPrefixedSlice(dst, at_desc[i]);
   }
   PutVarint64(dst, version);
+  // Quarantine state (corruption containment).
+  dst->push_back(sm_quarantined ? 1 : 0);
+  PutLengthPrefixedSlice(dst, sm_quarantine_reason);
+  PutVarint32(dst, static_cast<uint32_t>(quarantined.size()));
+  for (const QuarantineEntry& q : quarantined) {
+    PutFixed16(dst, q.at);
+    PutVarint32(dst, q.instance);
+    PutLengthPrefixedSlice(dst, q.reason);
+  }
 }
 
 Status RelationDescriptor::DecodeFrom(Slice* input, RelationDescriptor* out) {
@@ -65,6 +74,34 @@ Status RelationDescriptor::DecodeFrom(Slice* input, RelationDescriptor* out) {
     return Status::Corruption("descriptor version");
   }
   out->version = version;
+  if (input->empty()) return Status::Corruption("descriptor quarantine flag");
+  out->sm_quarantined = (*input)[0] != 0;
+  input->remove_prefix(1);
+  Slice sm_reason;
+  if (!GetLengthPrefixedSlice(input, &sm_reason)) {
+    return Status::Corruption("descriptor quarantine reason");
+  }
+  out->sm_quarantine_reason = sm_reason.ToString();
+  uint32_t nquarantined;
+  if (!GetVarint32(input, &nquarantined)) {
+    return Status::Corruption("descriptor quarantine count");
+  }
+  out->quarantined.clear();
+  for (uint32_t i = 0; i < nquarantined; ++i) {
+    QuarantineEntry q;
+    if (input->size() < 2) return Status::Corruption("quarantine entry at");
+    q.at = DecodeFixed16(input->data());
+    input->remove_prefix(2);
+    if (!GetVarint32(input, &q.instance)) {
+      return Status::Corruption("quarantine entry instance");
+    }
+    Slice reason;
+    if (!GetLengthPrefixedSlice(input, &reason)) {
+      return Status::Corruption("quarantine entry reason");
+    }
+    q.reason = reason.ToString();
+    out->quarantined.push_back(std::move(q));
+  }
   return Status::OK();
 }
 

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "src/types/schema.h"
 #include "src/util/common.h"
@@ -46,8 +47,53 @@ struct RelationDescriptor {
   /// plans record it to detect invalidation.
   uint64_t version = 1;
 
+  /// Catalog-persisted damage record for one attachment instance that
+  /// failed verification (or tripped kCorruption during normal access).
+  /// While quarantined, the planner skips the access path, maintenance
+  /// hooks skip the instance, and — when the instance guards integrity —
+  /// writes to the relation are refused until REPAIR clears it.
+  struct QuarantineEntry {
+    uint16_t at = 0;        // attachment type id
+    uint32_t instance = 0;  // instance number within the type
+    std::string reason;     // first finding that triggered the quarantine
+  };
+
+  /// Base storage quarantined: the stored relation itself failed its
+  /// structural sweep. Reads keep working best-effort; writes are refused.
+  bool sm_quarantined = false;
+  std::string sm_quarantine_reason;
+  std::vector<QuarantineEntry> quarantined;
+
   bool HasAttachment(AtId at) const {
     return at < at_desc.size() && !at_desc[at].empty();
+  }
+
+  bool IsQuarantined(AtId at, uint32_t instance) const {
+    for (const QuarantineEntry& q : quarantined) {
+      if (q.at == at && q.instance == instance) return true;
+    }
+    return false;
+  }
+
+  bool AnyQuarantined() const {
+    return sm_quarantined || !quarantined.empty();
+  }
+
+  /// Record damage (idempotent; the first reason wins).
+  void Quarantine(AtId at, uint32_t instance, std::string reason) {
+    if (IsQuarantined(at, instance)) return;
+    quarantined.push_back(QuarantineEntry{
+        static_cast<uint16_t>(at), instance, std::move(reason)});
+  }
+
+  /// Lift the quarantine after a successful repair.
+  void ClearQuarantine(AtId at, uint32_t instance) {
+    for (auto it = quarantined.begin(); it != quarantined.end(); ++it) {
+      if (it->at == at && it->instance == instance) {
+        quarantined.erase(it);
+        return;
+      }
+    }
   }
 
   void EncodeTo(std::string* dst) const;

@@ -20,6 +20,8 @@ Status Database::Open(const DatabaseOptions& options,
                             : std::thread::hardware_concurrency();
   if (db->worker_threads_ == 0) db->worker_threads_ = 1;
   db->env_ = options.env != nullptr ? options.env : Env::Default();
+  db->lock_mgr_.set_timeout(
+      std::chrono::milliseconds(options.lock_timeout_ms));
   DMX_RETURN_IF_ERROR(db->env_->CreateDir(options.dir));
 
   DMX_RETURN_IF_ERROR(
@@ -96,6 +98,11 @@ void Database::ResolveDispatchMetrics() {
   metric_vetoes_ = metrics->GetCounter("db.vetoes");
   metric_partial_rollbacks_ = metrics->GetCounter("db.partial_rollbacks");
   metric_parallel_partitions_ = metrics->GetCounter("parallel.partitions");
+  metric_check_runs_ = metrics->GetCounter("check.runs");
+  metric_check_failures_ = metrics->GetCounter("check.failures");
+  metric_repair_runs_ = metrics->GetCounter("repair.runs");
+  metric_repair_rebuilt_ = metrics->GetCounter("repair.rebuilt_instances");
+  metric_quarantine_events_ = metrics->GetCounter("quarantine.events");
 }
 
 ThreadPool* Database::thread_pool() {
@@ -525,6 +532,7 @@ Status Database::InsertRecord(Transaction* txn,
                               const RelationDescriptor* desc,
                               const Slice& record, std::string* record_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kInsert));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
                                      LockNames::Relation(desc->id),
@@ -585,6 +593,7 @@ Status Database::UpdateRecord(Transaction* txn,
                               const Slice& record_key,
                               const Slice& new_record, std::string* new_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kUpdate));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
                                      LockNames::Relation(desc->id),
@@ -650,6 +659,7 @@ Status Database::DeleteRecord(Transaction* txn,
                               const RelationDescriptor* desc,
                               const Slice& record_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kDelete));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
                                      LockNames::Relation(desc->id),
@@ -823,8 +833,15 @@ Status Database::OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
     DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
     stats_.at_calls.Increment();
     at_metrics_[at].calls->Increment();
-    ScopedTimer timer(at_metrics_[at].call_ns);
-    DMX_RETURN_IF_ERROR(ops.open_scan(ctx, path.instance, spec, &inner));
+    Status s;
+    {
+      ScopedTimer timer(at_metrics_[at].call_ns);
+      s = ops.open_scan(ctx, path.instance, spec, &inner);
+    }
+    if (s.IsCorruption()) {
+      QuarantineOnAccess(desc, at, path.instance, s.ToString());
+    }
+    DMX_RETURN_IF_ERROR(s);
   }
   *out = std::make_unique<ManagedScan>(&scan_mgr_, txn, std::move(inner));
   return Status::OK();
@@ -854,8 +871,15 @@ Status Database::Lookup(Transaction* txn, const std::string& rel,
   DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
   stats_.at_calls.Increment();
   at_metrics_[at].calls->Increment();
-  ScopedTimer timer(at_metrics_[at].call_ns);
-  return ops.lookup(ctx, path.instance, key, record_keys);
+  Status s;
+  {
+    ScopedTimer timer(at_metrics_[at].call_ns);
+    s = ops.lookup(ctx, path.instance, key, record_keys);
+  }
+  if (s.IsCorruption()) {
+    QuarantineOnAccess(desc, at, path.instance, s.ToString());
+  }
+  return s;
 }
 
 Status Database::EstimateCost(Transaction* txn,
@@ -898,6 +922,343 @@ Status Database::CountRecords(Transaction* txn,
   SmContext ctx;
   DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
   return sm.count(ctx, count);
+}
+
+// -- corruption containment ------------------------------------------------------
+
+namespace {
+std::string ComponentName(const AtOps& ops, uint32_t instance) {
+  return std::string(ops.name != nullptr ? ops.name : "attachment") + "#" +
+         std::to_string(instance);
+}
+}  // namespace
+
+Status Database::CheckWritable(const RelationDescriptor* desc) {
+  if (!desc->AnyQuarantined()) return Status::OK();
+  if (desc->sm_quarantined) {
+    return Status::Corruption(
+        "relation '" + desc->name + "' storage is quarantined (" +
+        desc->sm_quarantine_reason + "); writes refused until REPAIR " +
+        desc->name + " succeeds");
+  }
+  for (const RelationDescriptor::QuarantineEntry& q : desc->quarantined) {
+    AtId at = static_cast<AtId>(q.at);
+    if (at >= registry_.num_attachment_types()) continue;
+    if (!desc->HasAttachment(at)) continue;
+    const AtOps& ops = registry_.at_ops(at);
+    if (ops.guards_integrity == nullptr ||
+        !ops.guards_integrity(Slice(desc->at_desc[at]), q.instance)) {
+      continue;  // plain index/stats: maintenance skips it; writes proceed
+    }
+    return Status::Corruption(
+        "relation '" + desc->name + "' has quarantined integrity guard " +
+        ComponentName(ops, q.instance) + " (" + q.reason +
+        "); writes refused until REPAIR " + desc->name + " succeeds");
+  }
+  return Status::OK();
+}
+
+void Database::QuarantineOnAccess(const RelationDescriptor* desc, AtId at,
+                                  uint32_t instance,
+                                  const std::string& reason) {
+  if (desc->IsQuarantined(at, instance)) return;
+  RelationDescriptor updated = *desc;
+  updated.Quarantine(at, instance, reason);
+  if (!catalog_.UpdateRelation(updated).ok()) return;
+  metric_quarantine_events_->Increment();
+  // A maintenance action, persisted immediately — if the process dies the
+  // damage record must survive so the planner keeps avoiding the path.
+  catalog_.Save().ok();
+}
+
+Status Database::CheckRelation(Transaction* txn, const std::string& rel,
+                               CheckResult* out) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kSelect));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(desc->id),
+                                     LockMode::kS));
+  metric_check_runs_->Increment();
+  out->clean = true;
+  out->items = 0;
+  out->findings.clear();
+  out->quarantined.clear();
+  out->cleared.clear();
+
+  RelationDescriptor updated = *desc;
+  bool changed = false;
+
+  // Storage-method structural sweep.
+  const SmOps& sm = registry_.sm_ops(desc->sm_id);
+  if (sm.verify != nullptr) {
+    SmContext ctx;
+    DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+    VerifyReport report;
+    stats_.sm_calls.Increment();
+    sm_metrics_[desc->sm_id].calls->Increment();
+    Status vs;
+    {
+      ScopedTimer timer(sm_metrics_[desc->sm_id].call_ns);
+      vs = sm.verify(ctx, &report);
+    }
+    if (!vs.ok()) {
+      out->findings.push_back({"storage",
+                               "verify could not run: " + vs.ToString()});
+    } else {
+      out->items += report.items;
+      for (const std::string& p : report.problems) {
+        out->findings.push_back({"storage", p});
+      }
+      if (!report.clean()) {
+        if (!updated.sm_quarantined) {
+          updated.sm_quarantined = true;
+          updated.sm_quarantine_reason = report.problems.front();
+          metric_quarantine_events_->Increment();
+          out->quarantined.push_back("storage");
+          changed = true;
+        }
+      } else if (updated.sm_quarantined) {
+        updated.sm_quarantined = false;
+        updated.sm_quarantine_reason.clear();
+        out->cleared.push_back("storage");
+        changed = true;
+      }
+    }
+  }
+
+  // Per-attachment, per-instance cross-checks.
+  for (AtId at = 0; at < registry_.num_attachment_types(); ++at) {
+    if (!desc->HasAttachment(at)) continue;
+    const AtOps& ops = registry_.at_ops(at);
+    if (ops.verify == nullptr) continue;
+    std::vector<uint32_t> instances;
+    if (ops.list_instances != nullptr) {
+      Status ls = ops.list_instances(Slice(desc->at_desc[at]), &instances);
+      if (!ls.ok()) {
+        out->findings.push_back(
+            {std::string(ops.name != nullptr ? ops.name : "attachment"),
+             "cannot enumerate instances: " + ls.ToString()});
+        continue;
+      }
+    } else if (ops.instance_count != nullptr &&
+               ops.instance_count(Slice(desc->at_desc[at])) == 0) {
+      continue;
+    } else {
+      instances.push_back(kAllInstances);
+    }
+    AtContext ctx;
+    DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+    for (uint32_t inst : instances) {
+      const std::string component = ComponentName(ops, inst);
+      VerifyReport report;
+      stats_.at_calls.Increment();
+      at_metrics_[at].calls->Increment();
+      Status vs;
+      {
+        ScopedTimer timer(at_metrics_[at].call_ns);
+        vs = ops.verify(ctx, inst, &report);
+      }
+      if (!vs.ok()) {
+        out->findings.push_back(
+            {component, "verify could not run: " + vs.ToString()});
+        continue;
+      }
+      out->items += report.items;
+      for (const std::string& p : report.problems) {
+        out->findings.push_back({component, p});
+      }
+      if (!report.clean()) {
+        if (!updated.IsQuarantined(at, inst)) {
+          updated.Quarantine(at, inst, report.problems.front());
+          metric_quarantine_events_->Increment();
+          out->quarantined.push_back(component);
+          changed = true;
+        }
+      } else if (updated.IsQuarantined(at, inst)) {
+        // Verified consistent again (repair finished, or the damage record
+        // was stale) — lift the quarantine.
+        updated.ClearQuarantine(at, inst);
+        out->cleared.push_back(component);
+        changed = true;
+      }
+    }
+  }
+
+  // Drop damage records whose attachment type/instances no longer exist.
+  for (const RelationDescriptor::QuarantineEntry& q : desc->quarantined) {
+    AtId at = static_cast<AtId>(q.at);
+    if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
+      updated.ClearQuarantine(at, q.instance);
+      changed = true;
+    }
+  }
+
+  out->clean = out->findings.empty();
+  if (!out->clean) metric_check_failures_->Increment();
+  if (changed) {
+    // Quarantine is a maintenance action, not transactional state: persist
+    // immediately so a crash cannot lose the damage record.
+    DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+    DMX_RETURN_IF_ERROR(catalog_.Save());
+  }
+  return Status::OK();
+}
+
+Status Database::RepairRelation(Transaction* txn, const std::string& rel,
+                                RepairResult* out) {
+  const RelationDescriptor* desc;
+  DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
+  DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kUpdate));
+  DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(), LockNames::Relation(desc->id),
+                                     LockMode::kX));
+  metric_repair_runs_->Increment();
+  out->repaired.clear();
+  out->unrepaired.clear();
+  const RelationId id = desc->id;
+
+  // Base storage: there is no redundant copy to rebuild from; re-verify
+  // and lift the quarantine only if the sweep now comes back clean.
+  if (desc->sm_quarantined) {
+    const SmOps& sm = registry_.sm_ops(desc->sm_id);
+    VerifyReport report;
+    Status vs = Status::NotSupported("storage method has no verify");
+    if (sm.verify != nullptr) {
+      SmContext ctx;
+      DMX_RETURN_IF_ERROR(MakeSmContext(txn, desc, &ctx));
+      vs = sm.verify(ctx, &report);
+    }
+    if (vs.ok() && report.clean()) {
+      RelationDescriptor updated = *desc;
+      updated.sm_quarantined = false;
+      updated.sm_quarantine_reason.clear();
+      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      txn->Defer(TxnEvent::kCommit,
+                 [this](Transaction*) { return catalog_.Save(); });
+      out->repaired.push_back("storage");
+    } else {
+      out->unrepaired.push_back(
+          "storage: base relation storage cannot be rebuilt from itself; "
+          "restore from backup");
+    }
+  }
+
+  // Quarantined attachment instances: rebuild each from the base relation.
+  const std::vector<RelationDescriptor::QuarantineEntry> targets =
+      desc->quarantined;
+  for (const RelationDescriptor::QuarantineEntry& q : targets) {
+    const AtId at = static_cast<AtId>(q.at);
+    const uint32_t inst = q.instance;
+    if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
+      // The damaged instance is gone; nothing left to repair.
+      RelationDescriptor updated = *desc;
+      updated.ClearQuarantine(at, inst);
+      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      txn->Defer(TxnEvent::kCommit,
+                 [this](Transaction*) { return catalog_.Save(); });
+      out->repaired.push_back("attachment " + std::to_string(q.at) + "#" +
+                              std::to_string(inst) + " (dropped)");
+      continue;
+    }
+    const AtOps& ops = registry_.at_ops(at);
+    const std::string component = ComponentName(ops, inst);
+
+    if (ops.repair_instance != nullptr) {
+      // Persistent storage: build a fresh structure off the base relation.
+      // The old storage stays untouched until commit, so an abort (or a
+      // crash before the deferred catalog save) recovers to the old, still
+      // quarantined state and REPAIR can simply run again.
+      const std::string old_desc = desc->at_desc[at];
+      AtContext ctx;
+      DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+      std::string new_desc;
+      stats_.at_calls.Increment();
+      at_metrics_[at].calls->Increment();
+      Status rs;
+      {
+        ScopedTimer timer(at_metrics_[at].call_ns);
+        rs = ops.repair_instance(ctx, inst, &new_desc);
+      }
+      if (!rs.ok()) {
+        out->unrepaired.push_back(component + ": rebuild failed: " +
+                                  rs.ToString());
+        continue;
+      }
+      RelationDescriptor updated = *desc;
+      updated.at_desc[at] = new_desc;
+      updated.ClearQuarantine(at, inst);
+      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      InvalidateAttachmentRuntime(id);
+      metric_repair_rebuilt_->Increment();
+      out->repaired.push_back(component);
+      txn->Defer(TxnEvent::kCommit,
+                 [this, id, at, inst, old_desc](Transaction* t) {
+                   const RelationDescriptor* d = catalog_.Find(id);
+                   if (d != nullptr) {
+                     const AtOps& aops = registry_.at_ops(at);
+                     if (aops.release_instance != nullptr) {
+                       AtContext actx;
+                       if (MakeAtContext(t, d, at, &actx).ok()) {
+                         // Hand the release the *pre-repair* descriptor so
+                         // it can locate the damaged storage.
+                         actx.at_desc = Slice(old_desc);
+                         aops.release_instance(actx, inst);
+                       }
+                     }
+                   }
+                   // The rebuilt structure's pages are not WAL-logged;
+                   // flush them (and sync) before the catalog save makes
+                   // the new anchor visible. A crash in between recovers
+                   // to the old, still-quarantined descriptor.
+                   DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+                   return catalog_.Save();
+                 });
+      txn->Defer(TxnEvent::kAbort,
+                 [this, id, at, inst, old_desc, new_desc,
+                  reason = q.reason](Transaction* t) {
+                   const RelationDescriptor* d = catalog_.Find(id);
+                   if (d == nullptr) return Status::OK();
+                   const AtOps& aops = registry_.at_ops(at);
+                   if (aops.release_instance != nullptr) {
+                     AtContext actx;
+                     if (MakeAtContext(t, d, at, &actx).ok()) {
+                       actx.at_desc = Slice(new_desc);
+                       aops.release_instance(actx, inst);
+                     }
+                   }
+                   RelationDescriptor reverted = *d;
+                   reverted.at_desc[at] = old_desc;
+                   reverted.Quarantine(at, inst, reason);
+                   catalog_.UpdateRelation(reverted);
+                   InvalidateAttachmentRuntime(id);
+                   return Status::OK();
+                 });
+    } else {
+      // Purely derived in-memory state: drop the runtime and reopen (open
+      // re-primes from the base relation), then demand a clean re-verify.
+      InvalidateAttachmentRuntime(id);
+      AtContext ctx;
+      DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
+      VerifyReport report;
+      Status vs = ops.verify != nullptr
+                      ? ops.verify(ctx, inst, &report)
+                      : Status::NotSupported("no verify procedure");
+      if (vs.ok() && report.clean()) {
+        RelationDescriptor updated = *desc;
+        updated.ClearQuarantine(at, inst);
+        DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+        txn->Defer(TxnEvent::kCommit,
+                   [this](Transaction*) { return catalog_.Save(); });
+        out->repaired.push_back(component);
+      } else if (!vs.ok()) {
+        out->unrepaired.push_back(component + ": " + vs.ToString());
+      } else {
+        out->unrepaired.push_back(component +
+                                  ": still inconsistent after rebuild: " +
+                                  report.problems.front());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace dmx

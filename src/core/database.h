@@ -46,6 +46,9 @@ struct DatabaseOptions {
   /// Environment for all file I/O (Env::Default() when null). Not owned;
   /// must outlive the Database. Tests plug in a FaultInjectionEnv here.
   Env* env = nullptr;
+  /// How long a lock request waits before giving up with Busy. The timeout
+  /// message names the first conflicting holder's transaction id.
+  uint64_t lock_timeout_ms = 2000;
   /// Hook to register user extensions "at the factory" — runs after the
   /// built-ins are registered and before restart recovery, so recovery can
   /// dispatch into them.
@@ -66,6 +69,30 @@ struct AccessPathId {
   }
   bool is_storage_method() const { return path == 0; }
   AtId at_id() const { return static_cast<AtId>(path - 1); }
+};
+
+/// One problem surfaced by a consistency check. `component` names the
+/// structure ("storage" for the storage method, "<at_name>#<instance>" for
+/// an attachment instance); `detail` is the extension's finding text.
+struct CheckFinding {
+  std::string component;
+  std::string detail;
+};
+
+/// Result of CheckRelation: every finding across the storage method and all
+/// attachment instances, plus the components newly quarantined by this run.
+struct CheckResult {
+  bool clean = true;
+  uint64_t items = 0;  // entries/records swept (scale indicator)
+  std::vector<CheckFinding> findings;
+  std::vector<std::string> quarantined;  // components quarantined this run
+  std::vector<std::string> cleared;      // quarantines lifted (verified clean)
+};
+
+/// Result of RepairRelation over the currently-quarantined components.
+struct RepairResult {
+  std::vector<std::string> repaired;    // components restored + cleared
+  std::vector<std::string> unrepaired;  // components still quarantined (why)
 };
 
 /// Dispatch counters (the tuple-at-a-time call-volume experiments).
@@ -186,6 +213,24 @@ class Database {
                        const ScanSpec& spec, int target,
                        std::vector<ScanSpec>* partitions);
 
+  // -- corruption containment --------------------------------------------------
+  /// CHECK <relation>: run the storage method's `verify` sweep and every
+  /// attachment instance's `verify` cross-check. Components that fail are
+  /// quarantined in the catalog (persisted immediately — a maintenance
+  /// action, not part of the transaction); components that verify clean
+  /// have any stale quarantine lifted. Requires kSelect.
+  Status CheckRelation(Transaction* txn, const std::string& rel,
+                       CheckResult* out);
+
+  /// REPAIR <relation>: rebuild every quarantined attachment instance from
+  /// the base relation (via the type's `repair_instance` op, or by
+  /// re-priming + re-verifying derived in-memory state) and lift the
+  /// quarantines that now verify clean. The descriptor swap commits with
+  /// the transaction; a crash mid-rebuild recovers to the old (still
+  /// quarantined) state. Requires kUpdate.
+  Status RepairRelation(Transaction* txn, const std::string& rel,
+                        RepairResult* out);
+
   /// Direct access-path probe: map an access-path key to record keys.
   Status Lookup(Transaction* txn, const std::string& rel,
                 const AccessPathId& path, const Slice& key,
@@ -291,6 +336,16 @@ class Database {
                            int op, const Slice& old_key, const Slice& new_key,
                            const Slice& old_rec, const Slice& new_rec);
 
+  /// Refuse the modification when the relation's storage is quarantined or
+  /// a quarantined attachment instance guards integrity (its maintenance
+  /// would be skipped, silently breaking the guarantee it enforces).
+  Status CheckWritable(const RelationDescriptor* desc);
+
+  /// Persist a quarantine for (at, instance) after kCorruption surfaced
+  /// during normal access — the planner skips the path from now on.
+  void QuarantineOnAccess(const RelationDescriptor* desc, AtId at,
+                          uint32_t instance, const std::string& reason);
+
   struct RelationRuntime {
     std::unique_ptr<ExtState> sm_state;
     std::array<std::unique_ptr<ExtState>, kMaxAttachmentTypes> at_state;
@@ -324,6 +379,11 @@ class Database {
   std::vector<DispatchMetrics> at_metrics_;  // indexed by AtId
   Counter* metric_vetoes_ = nullptr;
   Counter* metric_partial_rollbacks_ = nullptr;
+  Counter* metric_check_runs_ = nullptr;
+  Counter* metric_check_failures_ = nullptr;
+  Counter* metric_repair_runs_ = nullptr;
+  Counter* metric_repair_rebuilt_ = nullptr;
+  Counter* metric_quarantine_events_ = nullptr;
 
   size_t worker_threads_ = 1;
   std::once_flag pool_once_;

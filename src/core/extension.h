@@ -154,6 +154,20 @@ class Scan {
   virtual Status RestorePosition(const Slice& pos) = 0;
 };
 
+/// Findings of a consistency sweep (SmOps::verify / AtOps::verify).
+/// Implementations record structural damage as problems instead of
+/// returning kCorruption: a verify pass must survey the whole structure,
+/// not stop at the first bad page.
+struct VerifyReport {
+  /// Human-readable findings; empty = structure is consistent.
+  std::vector<std::string> problems;
+  /// Items inspected (records, index entries) — for progress/metrics.
+  uint64_t items = 0;
+
+  void Problem(std::string p) { problems.push_back(std::move(p)); }
+  bool clean() const { return problems.empty(); }
+};
+
 /// Storage method operation vector ("generic operations ... must be
 /// provided in order to add a new storage method to the system").
 struct SmOps {
@@ -228,6 +242,13 @@ struct SmOps {
   /// resident methods snapshot their state, enabling log truncation).
   /// Null = nothing to do.
   Status (*checkpoint)(SmContext& ctx) = nullptr;
+
+  /// Consistency sweep over the stored relation (CHECK): walk the physical
+  /// structure — page chains, slot directories, tree invariants — and
+  /// record every inconsistency in `report`. Internal kCorruption from
+  /// page reads is recorded as a problem, not propagated; a non-OK return
+  /// means the sweep itself could not run. Null = no structural check.
+  Status (*verify)(SmContext& ctx, VerifyReport* report) = nullptr;
 };
 
 /// Attachment operation vector. The modification hooks (`on_*`) are the
@@ -307,6 +328,34 @@ struct AtOps {
   /// access). Null if the access key is not composed from record fields.
   Status (*instance_fields)(const Slice& at_desc, uint32_t instance,
                             std::vector<int>* fields) = nullptr;
+
+  /// Consistency cross-check of one instance against the base relation
+  /// (CHECK): dual enumeration for indexes (every entry maps to a live
+  /// record with matching key fields and vice versa), re-validation for
+  /// constraints, recount for statistics. Findings go into `report`;
+  /// internal kCorruption is recorded, not propagated. Null = no check.
+  Status (*verify)(AtContext& ctx, uint32_t instance_no,
+                   VerifyReport* report) = nullptr;
+
+  /// Rebuild one damaged instance from scratch off the base relation
+  /// (REPAIR): allocate fresh storage, bulk-load via the storage method's
+  /// scan, and return the updated type-descriptor encoding in *new_desc.
+  /// Must NOT touch the old storage — the caller swaps the descriptor in
+  /// transactionally and releases the old storage (via release_instance
+  /// with the pre-repair descriptor) only at commit, so an abort or crash
+  /// mid-rebuild leaves the old state intact. Null = instance is repaired
+  /// by `rebuild`/reopen alone (purely derived in-memory state) or is not
+  /// repairable.
+  Status (*repair_instance)(AtContext& ctx, uint32_t instance_no,
+                            std::string* new_desc) = nullptr;
+
+  /// Does this instance guard data integrity (unique/check/referential
+  /// constraints)? While such an instance is quarantined the core refuses
+  /// writes to the relation — the constraint can no longer be enforced.
+  /// Quarantined non-guarding instances (plain indexes, stats) merely stop
+  /// serving reads and skip maintenance until repaired. Null = false.
+  bool (*guards_integrity)(const Slice& at_desc, uint32_t instance_no) =
+      nullptr;
 };
 
 }  // namespace dmx

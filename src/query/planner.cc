@@ -45,6 +45,9 @@ Status EnumerateAccessPaths(Database* db, Transaction* txn,
     DMX_RETURN_IF_ERROR(
         ops.list_instances(Slice(desc->at_desc[at]), &instances));
     for (uint32_t inst : instances) {
+      // Quarantined instances never become access paths: queries degrade
+      // to the base-relation scan until REPAIR clears the damage record.
+      if (desc->IsQuarantined(at, inst)) continue;
       AccessCandidate c;
       c.path = AccessPathId::Attachment(at, inst);
       DMX_RETURN_IF_ERROR(

@@ -501,6 +501,8 @@ class SqlExecutor {
       result->message = "CHECKPOINT";
       return Status::OK();
     }
+    if (p.TakeKw("CHECK")) return CheckStmt(result);
+    if (p.TakeKw("REPAIR")) return RepairStmt(result);
     if (p.TakeKw("BEGIN")) return Begin(result);
     if (p.TakeKw("COMMIT")) return Commit(result);
     if (p.TakeKw("ROLLBACK")) {
@@ -767,6 +769,72 @@ class SqlExecutor {
       }
       add(std::string("attachment ") + ops.name, detail);
     }
+    if (desc->sm_quarantined) {
+      add("quarantine", "storage: " + desc->sm_quarantine_reason);
+    }
+    for (const RelationDescriptor::QuarantineEntry& q : desc->quarantined) {
+      add("quarantine",
+          std::string(db_->registry()->at_ops(q.at).name) + "#" +
+              std::to_string(q.instance) + ": " + q.reason);
+    }
+    return Status::OK();
+  }
+
+  // CHECK t: run every registered verify op and report findings.
+  Status CheckStmt(QueryResult* result) {
+    std::string table;
+    DMX_RETURN_IF_ERROR(parser_->ExpectIdent(&table));
+    CheckResult check;
+    DMX_RETURN_IF_ERROR(InTxn([&](Transaction* txn) {
+      return db_->CheckRelation(txn, table, &check);
+    }));
+    result->columns = {"component", "status", "detail"};
+    auto add = [&](const std::string& c, const std::string& s,
+                   const std::string& d) {
+      result->rows.push_back(
+          {Value::String(c), Value::String(s), Value::String(d)});
+    };
+    for (const CheckFinding& f : check.findings) {
+      add(f.component, "damaged", f.detail);
+    }
+    for (const std::string& q : check.quarantined) {
+      add(q, "quarantined", "access path disabled until REPAIR");
+    }
+    for (const std::string& c : check.cleared) {
+      add(c, "cleared", "verified clean; quarantine lifted");
+    }
+    result->message =
+        check.clean
+            ? "CHECK " + table + ": clean (" + std::to_string(check.items) +
+                  " items verified)"
+            : "CHECK " + table + ": " +
+                  std::to_string(check.findings.size()) + " finding(s)";
+    return Status::OK();
+  }
+
+  // REPAIR t: rebuild quarantined attachment instances from the base
+  // relation and lift their quarantine on success.
+  Status RepairStmt(QueryResult* result) {
+    std::string table;
+    DMX_RETURN_IF_ERROR(parser_->ExpectIdent(&table));
+    RepairResult rep;
+    DMX_RETURN_IF_ERROR(InTxn([&](Transaction* txn) {
+      return db_->RepairRelation(txn, table, &rep);
+    }));
+    result->columns = {"component", "status"};
+    for (const std::string& r : rep.repaired) {
+      result->rows.push_back({Value::String(r), Value::String("repaired")});
+    }
+    for (const std::string& u : rep.unrepaired) {
+      result->rows.push_back({Value::String(u), Value::String("unrepaired")});
+    }
+    result->message =
+        rep.unrepaired.empty()
+            ? "REPAIR " + table + ": " + std::to_string(rep.repaired.size()) +
+                  " component(s) repaired"
+            : "REPAIR " + table + ": " +
+                  std::to_string(rep.unrepaired.size()) +
+                  " component(s) still damaged";
     return Status::OK();
   }
 
@@ -1018,6 +1086,19 @@ class SqlExecutor {
               {Value::String("parallel workers: " +
                              std::to_string(access.parallel_workers)),
                Value::Null(), Value::Null()});
+        }
+        // Surface degraded plans: quarantined access paths were skipped
+        // during enumeration, so the chosen path routes around damage.
+        for (const RelationDescriptor* d : {d1, d2}) {
+          if (d == nullptr) continue;
+          for (const RelationDescriptor::QuarantineEntry& q : d->quarantined) {
+            result->rows.push_back(
+                {Value::String(
+                     "quarantined (not considered): " +
+                     std::string(db_->registry()->at_ops(q.at).name) + "#" +
+                     std::to_string(q.instance) + " on " + d->name),
+                 Value::Null(), Value::Null()});
+          }
         }
         return Status::OK();
       }

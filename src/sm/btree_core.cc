@@ -509,6 +509,132 @@ Status BTree::SeparatorKeys(int target, std::vector<std::string>* seps) {
   }
 }
 
+Status BTree::Verify(std::vector<std::string>* problems, uint64_t* entries) {
+  *entries = 0;
+  auto bad = [&](PageId id, const std::string& what) {
+    problems->push_back("btree page " + std::to_string(id) + ": " + what);
+  };
+  PageId root;
+  {
+    PageHandle ah;
+    Status s = bp_->Fetch(anchor_, &ah);
+    if (!s.ok()) {
+      bad(anchor_, "anchor unreadable: " + s.ToString());
+      return Status::OK();
+    }
+    root = DecodeFixed32(ah.page()->data + 8);
+  }
+
+  // DFS with separator bounds; children pushed right-to-left so leaves are
+  // visited in key order (needed to validate the leaf chain).
+  struct Frame {
+    PageId id;
+    std::string low;   // inclusive lower bound on composites
+    std::string high;  // exclusive upper bound (valid iff has_high)
+    bool has_high;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root, "", "", false, 0});
+  std::vector<std::pair<PageId, PageId>> leaves;  // (id, next) in key order
+  int64_t leaf_depth = -1;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (++visited > (1u << 22)) {
+      bad(f.id, "traversal exceeded page budget (cycle?)");
+      break;
+    }
+    PageHandle h;
+    Status s = bp_->Fetch(f.id, &h);
+    if (!s.ok()) {
+      bad(f.id, "unreadable: " + s.ToString());
+      continue;
+    }
+    char type = NodeType(*h.page());
+    if (type == kLeaf) {
+      if (leaf_depth < 0) {
+        leaf_depth = f.depth;
+      } else if (f.depth != static_cast<uint32_t>(leaf_depth)) {
+        bad(f.id, "leaf at depth " + std::to_string(f.depth) +
+                      ", expected " + std::to_string(leaf_depth));
+      }
+      LeafNode leaf;
+      s = ParseLeaf(*h.page(), &leaf);
+      if (!s.ok()) {
+        bad(f.id, "unparsable leaf: " + s.ToString());
+        continue;
+      }
+      const std::string* prev = nullptr;
+      for (const std::string& e : leaf.entries) {
+        ++*entries;
+        std::string k, v;
+        if (!BTreeSplitEntry(Slice(e), &k, &v).ok()) {
+          bad(f.id, "malformed composite entry");
+          break;
+        }
+        if (prev != nullptr && !(*prev < e)) {
+          bad(f.id, "entries out of order");
+          break;
+        }
+        if (e < f.low || (f.has_high && !(e < f.high))) {
+          bad(f.id, "entry outside separator bounds");
+          break;
+        }
+        prev = &e;
+      }
+      leaves.emplace_back(f.id, leaf.next);
+      continue;
+    }
+    if (type != kInternal) {
+      bad(f.id, "unknown node type " + std::to_string(type));
+      continue;
+    }
+    InternalNode n;
+    s = ParseInternal(*h.page(), &n);
+    if (!s.ok()) {
+      bad(f.id, "unparsable internal node: " + s.ToString());
+      continue;
+    }
+    for (size_t i = 0; i < n.entries.size(); ++i) {
+      const std::string& sep = n.entries[i].first;
+      if (i > 0 && !(n.entries[i - 1].first < sep)) {
+        bad(f.id, "separators out of order");
+      }
+      if (sep < f.low || (f.has_high && !(sep < f.high))) {
+        bad(f.id, "separator outside parent bounds");
+      }
+    }
+    // Child i's range: [sep[i-1], sep[i]) with the parent's bounds at the
+    // edges (leftmost uses the parent's low, last child the parent's high).
+    for (size_t i = n.entries.size() + 1; i-- > 0;) {
+      Frame c;
+      c.depth = f.depth + 1;
+      c.id = (i == 0) ? n.leftmost : n.entries[i - 1].second;
+      c.low = (i == 0) ? f.low : n.entries[i - 1].first;
+      if (i == n.entries.size()) {
+        c.high = f.high;
+        c.has_high = f.has_high;
+      } else {
+        c.high = n.entries[i].first;
+        c.has_high = true;
+      }
+      stack.push_back(std::move(c));
+    }
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    PageId expect =
+        (i + 1 < leaves.size()) ? leaves[i + 1].first : kInvalidPageId;
+    if (leaves[i].second != expect) {
+      bad(leaves[i].first,
+          "leaf chain link " + std::to_string(leaves[i].second) +
+              ", expected " + std::to_string(expect));
+    }
+  }
+  return Status::OK();
+}
+
 Status BTree::Height(uint32_t* height) {
   *height = 1;
   PageId node;

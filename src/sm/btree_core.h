@@ -72,6 +72,13 @@ class BTree {
   /// Tree height (1 = root is a leaf). For cost estimation.
   Status Height(uint32_t* h);
 
+  /// Structural consistency sweep (CHECK support): validates node types,
+  /// entry parse and ordering, separator bounds, uniform leaf depth, and
+  /// the leaf chain. Findings — including unreadable (CRC-failing) pages —
+  /// are appended to *problems; *entries receives the number of leaf
+  /// entries seen. Returns non-OK only when the sweep itself cannot run.
+  Status Verify(std::vector<std::string>* problems, uint64_t* entries);
+
   /// Up to `target - 1` composite separator entries (key + value, the
   /// internal-node form; split with BTreeSplitEntry) that cut the tree
   /// into roughly equal key ranges, in ascending order. Descends from the

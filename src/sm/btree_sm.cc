@@ -382,6 +382,40 @@ Status BtApply(SmContext& ctx, const LogRecord& rec, bool undo) {
   }
 }
 
+// Structural sweep plus a record-decode pass: the stored values are the
+// relation's records, so a corrupted leaf payload must surface here.
+Status BtVerify(SmContext& ctx, VerifyReport* report) {
+  BtSmState* st = StateOf(ctx);
+  std::vector<std::string> problems;
+  uint64_t entries = 0;
+  DMX_RETURN_IF_ERROR(st->tree->Verify(&problems, &entries));
+  for (std::string& p : problems) report->Problem(std::move(p));
+  report->items += entries;
+  if (!report->clean()) return Status::OK();
+  std::unique_ptr<BTreeIterator> it;
+  DMX_RETURN_IF_ERROR(st->tree->NewIterator(&it));
+  std::string key, value;
+  while (true) {
+    Status s = it->Next(&key, &value);
+    if (s.IsNotFound()) break;
+    DMX_RETURN_IF_ERROR(s);
+    RecordView view(Slice(value), &ctx.desc->schema);
+    Status vs = view.Validate();
+    if (!vs.ok()) {
+      report->Problem("btree record at key fails to decode: " +
+                      vs.ToString());
+      continue;
+    }
+    std::string expect;
+    Status ks = EncodeFieldKey(view, st->key_fields, &expect);
+    if (ks.ok() && expect != key) {
+      report->Problem("btree entry key does not match its record's "
+                      "key fields");
+    }
+  }
+  return Status::OK();
+}
+
 Status BtUndo(SmContext& ctx, const LogRecord& rec, Lsn) {
   return BtApply(ctx, rec, /*undo=*/true);
 }
@@ -410,6 +444,7 @@ const SmOps& BTreeStorageMethodOps() {
     o.undo = BtUndo;
     o.redo = BtRedo;
     o.count = BtCount;
+    o.verify = BtVerify;
     return o;
   }();
   return ops;

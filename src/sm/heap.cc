@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <set>
 
 #include "src/core/costing.h"
 #include "src/core/database.h"
@@ -537,6 +538,80 @@ Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
                      /*gate_on_page_lsn=*/true);
 }
 
+// -- consistency sweep ---------------------------------------------------------
+
+// Walk the page chain validating slot directories, record encodings, and
+// the chain itself; recount and compare against the open-state counters.
+// Unreadable (CRC-failing) pages become findings, not errors.
+Status HeapVerify(SmContext& ctx, VerifyReport* report) {
+  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  HeapState* st = StateOf(ctx);
+  BufferPool* bp = ctx.db->buffer_pool();
+  PageId page = FirstPageOf(Slice(ctx.desc->sm_desc));
+  if (page == kInvalidPageId) {
+    report->Problem("heap descriptor missing first page");
+    return Status::OK();
+  }
+  std::set<PageId> visited;
+  uint64_t live = 0, pages = 0;
+  PageId last = kInvalidPageId;
+  while (page != kInvalidPageId) {
+    if (!visited.insert(page).second) {
+      report->Problem("heap page chain cycles back to page " +
+                      std::to_string(page));
+      break;
+    }
+    PageHandle h;
+    Status fs = bp->Fetch(page, &h);
+    if (!fs.ok()) {
+      report->Problem("heap page " + std::to_string(page) +
+                      " unreadable: " + fs.ToString());
+      break;  // the chain link lives on the unreadable page
+    }
+    SlottedPage sp(h.page());
+    for (uint16_t s = 0; s < sp.num_slots(); ++s) {
+      if (!sp.IsLive(s)) continue;
+      Slice data;
+      Status gs = sp.Get(s, &data);
+      if (!gs.ok()) {
+        report->Problem("heap page " + std::to_string(page) + " slot " +
+                        std::to_string(s) + ": " + gs.ToString());
+        continue;
+      }
+      RecordView view(data, &ctx.desc->schema);
+      Status vs = view.Validate();
+      if (!vs.ok()) {
+        report->Problem("heap page " + std::to_string(page) + " slot " +
+                        std::to_string(s) +
+                        ": record fails to decode: " + vs.ToString());
+        continue;
+      }
+      ++live;
+    }
+    ++pages;
+    last = page;
+    page = sp.next_page();
+  }
+  report->items += live;
+  if (report->clean()) {
+    if (live != st->records) {
+      report->Problem("heap record count mismatch: chain holds " +
+                      std::to_string(live) + ", state says " +
+                      std::to_string(st->records));
+    }
+    if (pages != st->pages) {
+      report->Problem("heap page count mismatch: chain holds " +
+                      std::to_string(pages) + ", state says " +
+                      std::to_string(st->pages));
+    }
+    if (last != st->last) {
+      report->Problem("heap chain tail is page " + std::to_string(last) +
+                      ", state says " + std::to_string(st->last));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const SmOps& HeapStorageMethodOps() {
@@ -557,6 +632,7 @@ const SmOps& HeapStorageMethodOps() {
     o.undo = HeapUndo;
     o.redo = HeapRedo;
     o.count = HeapCount;
+    o.verify = HeapVerify;
     return o;
   }();
   return ops;

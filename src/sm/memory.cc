@@ -254,6 +254,30 @@ Status MemCount(SmContext& ctx, uint64_t* records) {
   return Status::OK();
 }
 
+// In-memory table sweep: every row must decode against the schema and no
+// key may exceed the insertion counter (a stale counter would hand out
+// duplicate record keys).
+Status MemVerify(SmContext& ctx, VerifyReport* report) {
+  MemState* st = StateOf(ctx);
+  for (const auto& [key, record] : st->rows) {
+    RecordView view(Slice(record), &ctx.desc->schema);
+    Status vs = view.Validate();
+    if (!vs.ok()) {
+      report->Problem("memory row " + std::to_string(DecodeMemKey(Slice(key))) +
+                      " fails to decode: " + vs.ToString());
+      continue;
+    }
+    if (DecodeMemKey(Slice(key)) >= st->next) {
+      report->Problem("memory row key " +
+                      std::to_string(DecodeMemKey(Slice(key))) +
+                      " at or above the insertion counter " +
+                      std::to_string(st->next));
+    }
+    ++report->items;
+  }
+  return Status::OK();
+}
+
 Status MemNoUndo(SmContext&, const LogRecord&, Lsn) { return Status::OK(); }
 Status MemNoRedo(SmContext&, const LogRecord&, Lsn) { return Status::OK(); }
 
@@ -329,6 +353,7 @@ const SmOps& TempStorageMethodOps() {
     o.undo = MemNoUndo;
     o.redo = MemNoRedo;
     o.count = MemCount;
+    o.verify = MemVerify;
     return o;
   }();
   return ops;
@@ -352,6 +377,7 @@ const SmOps& MainMemoryStorageMethodOps() {
     o.undo = MainMemUndo;
     o.redo = MainMemRedo;
     o.count = MemCount;
+    o.verify = MemVerify;
     return o;
   }();
   return ops;

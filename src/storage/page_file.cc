@@ -1,5 +1,6 @@
 #include "src/storage/page_file.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "src/util/coding.h"
@@ -68,8 +69,11 @@ Status PageFile::ReadRaw(PageId id, char* buf) {
   const uint32_t expected = DecodeFixed32(frame + kPageSize);
   const uint32_t actual = Crc32c(frame, kPageSize);
   if (expected != actual) {
+    char crcs[48];
+    snprintf(crcs, sizeof(crcs), " (stored 0x%08x, computed 0x%08x)",
+             expected, actual);
     return Status::Corruption("page " + std::to_string(id) +
-                              " checksum mismatch in '" + path_ + "'");
+                              " checksum mismatch in '" + path_ + "'" + crcs);
   }
   memcpy(buf, frame, kPageSize);
   return Status::OK();

@@ -39,6 +39,7 @@ LockManager::LockManager() {
   metric_waits_ = metrics->GetCounter("lock.waits");
   metric_wait_ns_ = metrics->GetHistogram("lock.wait_ns");
   metric_deadlocks_ = metrics->GetCounter("lock.deadlocks");
+  metric_deadlock_victims_ = metrics->GetCounter("lock.deadlock_victims");
   metric_timeouts_ = metrics->GetCounter("lock.timeouts");
 }
 
@@ -50,31 +51,58 @@ bool LockManager::CanGrant(const Entry& e, TxnId txn, LockMode mode) const {
   return true;
 }
 
-bool LockManager::WouldDeadlock(TxnId waiter, const std::string& resource,
-                                LockMode mode) const {
+bool LockManager::FindDeadlockCycle(TxnId waiter, const std::string& resource,
+                                    LockMode mode,
+                                    std::set<TxnId>* cycle) const {
   // DFS over the waits-for graph: waiter -> {incompatible holders of the
   // resource it waits on} -> resources those are waiting on -> ...
+  // `path` tracks the chain of blocked transactions so that when an edge
+  // closes back on the original waiter, the cycle membership is known.
   std::set<TxnId> visited;
-  std::function<bool(TxnId, const std::string&, LockMode)> blocked_by_waiter =
-      [&](TxnId w, const std::string& res, LockMode m) -> bool {
+  std::vector<TxnId> path{waiter};
+  std::function<bool(const std::string&, LockMode)> blocked_by_waiter =
+      [&](const std::string& res, LockMode m) -> bool {
+    TxnId w = path.back();
     auto it = table_.find(res);
     if (it == table_.end()) return false;
     for (const auto& [holder, held] : it->second.granted) {
       if (holder == w) continue;
       if (LockCompatible(held, m)) continue;
-      if (holder == waiter) return true;  // cycle back to original waiter
+      if (holder == waiter) {  // cycle back to original waiter
+        cycle->insert(path.begin(), path.end());
+        return true;
+      }
       if (!visited.insert(holder).second) continue;
       // What is `holder` itself waiting on?
       for (const auto& [res2, entry2] : table_) {
         auto wit = entry2.waiting.find(holder);
         if (wit != entry2.waiting.end()) {
-          if (blocked_by_waiter(holder, res2, wit->second)) return true;
+          path.push_back(holder);
+          if (blocked_by_waiter(res2, wit->second)) return true;
+          path.pop_back();
         }
       }
     }
     return false;
   };
-  return blocked_by_waiter(waiter, resource, mode);
+  return blocked_by_waiter(resource, mode);
+}
+
+TxnId LockManager::ChooseVictim(const std::set<TxnId>& cycle) const {
+  TxnId victim = kInvalidTxnId;
+  size_t victim_locks = 0;
+  for (TxnId t : cycle) {
+    auto it = by_txn_.find(t);
+    size_t locks = it == by_txn_.end() ? 0 : it->second.size();
+    // Fewest locks held loses; among equals the youngest (largest id)
+    // transaction loses, since it has done the least work.
+    if (victim == kInvalidTxnId || locks < victim_locks ||
+        (locks == victim_locks && t > victim)) {
+      victim = t;
+      victim_locks = locks;
+    }
+  }
+  return victim;
 }
 
 Status LockManager::Lock(TxnId txn, const std::string& resource,
@@ -90,9 +118,22 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   uint64_t wait_start = 0;
   while (!CanGrant(e, txn, needed)) {
-    if (WouldDeadlock(txn, resource, needed)) {
-      metric_deadlocks_->Increment();
-      return Status::Deadlock("lock '" + resource + "'");
+    std::set<TxnId> cycle;
+    if (FindDeadlockCycle(txn, resource, needed, &cycle)) {
+      TxnId victim = ChooseVictim(cycle);
+      if (victim == txn) {
+        metric_deadlocks_->Increment();
+        metric_deadlock_victims_->Increment();
+        return Status::Deadlock("lock '" + resource + "'");
+      }
+      // Condemn the cheaper participant; it aborts from its own wait and
+      // releases its locks. insert() guards against re-counting the same
+      // cycle while the victim is still winding down.
+      if (victims_.insert(victim).second) {
+        metric_deadlocks_->Increment();
+        metric_deadlock_victims_->Increment();
+        cv_.notify_all();
+      }
     }
     if (wait_start == 0) {
       metric_waits_->Increment();
@@ -101,10 +142,26 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
     e.waiting[txn] = needed;
     auto result = cv_.wait_until(lock, deadline);
     e.waiting.erase(txn);
+    if (victims_.erase(txn) > 0) {
+      metric_wait_ns_->Record(MetricsNowNanos() - wait_start);
+      return Status::Deadlock("lock '" + resource +
+                              "' (chosen as deadlock victim)");
+    }
     if (result == std::cv_status::timeout) {
+      TxnId blocker = kInvalidTxnId;
+      for (const auto& [holder, held] : e.granted) {
+        if (holder != txn && !LockCompatible(held, needed)) {
+          blocker = holder;
+          break;
+        }
+      }
       metric_timeouts_->Increment();
       metric_wait_ns_->Record(MetricsNowNanos() - wait_start);
-      return Status::Busy("lock timeout on '" + resource + "'");
+      std::string msg = "lock timeout on '" + resource + "'";
+      if (blocker != kInvalidTxnId) {
+        msg += " (blocked by txn " + std::to_string(blocker) + ")";
+      }
+      return Status::Busy(msg);
     }
   }
   if (wait_start != 0) {

@@ -9,7 +9,9 @@
 // Hierarchical modes (IS/IX/S/SIX/X) over named resources; relation- and
 // record-granularity names are composed with the LockNames helpers.
 // Deadlocks are detected with a waits-for graph check when a request is
-// about to block; the requester is the victim.
+// about to block; the cycle participant holding the fewest locks (ties
+// broken toward the youngest transaction) is chosen as the victim, so the
+// cheapest work is redone.
 
 #ifndef DMX_TXN_LOCK_MANAGER_H_
 #define DMX_TXN_LOCK_MANAGER_H_
@@ -81,13 +83,19 @@ class LockManager {
 
   // All require mu_ held:
   bool CanGrant(const Entry& e, TxnId txn, LockMode mode) const;
-  bool WouldDeadlock(TxnId waiter, const std::string& resource,
-                     LockMode mode) const;
+  // True if waiting would close a cycle; fills `cycle` with its members.
+  bool FindDeadlockCycle(TxnId waiter, const std::string& resource,
+                         LockMode mode, std::set<TxnId>* cycle) const;
+  // Cycle member holding the fewest locks; ties go to the youngest txn.
+  TxnId ChooseVictim(const std::set<TxnId>& cycle) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, Entry> table_;
   std::map<TxnId, std::set<std::string>> by_txn_;
+  // Waiters condemned by another request's deadlock detection; each returns
+  // Deadlock from its own Lock() call on next wake.
+  std::set<TxnId> victims_;
   std::chrono::milliseconds timeout_{2000};
   // Registry metrics ("lock.*"), resolved once at construction. Waits are
   // counted and timed only when a request actually blocks, so the
@@ -96,6 +104,7 @@ class LockManager {
   Counter* metric_waits_;
   Histogram* metric_wait_ns_;
   Counter* metric_deadlocks_;
+  Counter* metric_deadlock_victims_;
   Counter* metric_timeouts_;
 };
 

@@ -307,5 +307,155 @@ TEST(FaultInjectionDbTest, CorruptedPageReadReturnsCorruption) {
   db->Abort(check);
 }
 
+// -- crash during REPAIR -----------------------------------------------------
+
+// A crash after REPAIR rebuilt the index but before its transaction
+// committed must recover to the old, still-quarantined descriptor: the
+// deferred catalog save never ran, so the damage record survives power loss
+// and a second REPAIR completes the job.
+TEST(FaultInjectionRepairTest, CrashMidRepairKeepsQuarantineAndData) {
+  TempDir dir("repaircrash");
+  FaultInjectionEnv env;
+  DatabaseOptions options;
+  options.dir = dir.path() + "/db";
+  options.env = &env;
+  const std::string pages = options.dir + "/db.pages";
+  constexpr int kRows = 500;
+
+  uint32_t index_no = 0;
+  AtId bt_at = 0;
+  std::unique_ptr<Database> db;
+
+  // Committed rows, checkpointed so the heap pages are synced.
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  {
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->CreateRelation(txn, "t", KvSchema(), "heap", {}).ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(db->Insert(txn, "t",
+                             {Value::Int(i),
+                              Value::String("v" + std::to_string(i))})
+                      .ok());
+    }
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t base_pages = size / kDiskPageSize;
+
+  // The index is built after the measurement, so its pages all land in
+  // [base_pages, all_pages).
+  {
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->CreateAttachment(txn, "t", "btree_index",
+                                     {{"fields", "k"}}, &index_no)
+                    .ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    bt_at = static_cast<AtId>(
+        db->registry()->FindAttachmentType("btree_index"));
+  }
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t all_pages = size / kDiskPageSize;
+  ASSERT_GT(all_pages, base_pages);
+
+  // Scribble one index page out of band, then reopen and CHECK: the
+  // quarantine is persisted with a durable catalog save.
+  db->SimulateCrashOnClose();
+  db.reset();
+  {
+    std::mt19937 rng(7u);
+    const uint64_t target = base_pages + rng() % (all_pages - base_pages);
+    FILE* f = fopen(pages.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseek(f, static_cast<long>(target * kDiskPageSize), SEEK_SET),
+              0);
+    for (size_t i = 0; i < kPageSize; ++i) {
+      fputc(static_cast<int>(rng() & 0xff), f);
+    }
+    fclose(f);
+  }
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  const std::string component = "btree_index#" + std::to_string(index_no);
+  {
+    Transaction* txn = db->Begin();
+    CheckResult check;
+    ASSERT_TRUE(db->CheckRelation(txn, "t", &check).ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_EQ(check.quarantined.size(), 1u);
+    EXPECT_EQ(check.quarantined[0], component);
+  }
+
+  // REPAIR rebuilds the tree, then the process dies before Commit: power
+  // loss drops every write that was not synced.
+  {
+    Transaction* txn = db->Begin();
+    RepairResult rep;
+    Status s = db->RepairRelation(txn, "t", &rep);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_EQ(rep.repaired.size(), 1u);
+    EXPECT_EQ(rep.repaired[0], component);
+    // no Commit: crash here
+  }
+  db->SimulateCrashOnClose();
+  db.reset();
+  ASSERT_TRUE(env.DropUnsyncedWrites().ok());
+  env.ClearFaults();
+
+  // Recovery lands on the pre-repair state: still quarantined, every
+  // committed row intact through the base relation.
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  {
+    const RelationDescriptor* desc;
+    ASSERT_TRUE(db->FindRelation("t", &desc).ok());
+    EXPECT_TRUE(desc->IsQuarantined(bt_at, index_no));
+
+    Transaction* txn = db->Begin();
+    std::unique_ptr<Scan> scan;
+    ASSERT_TRUE(db->OpenScan(txn, "t", AccessPathId::StorageMethod(),
+                             ScanSpec{}, &scan)
+                    .ok());
+    ScanItem item;
+    int rows = 0;
+    while (scan->Next(&item).ok()) ++rows;
+    scan.reset();
+    ASSERT_TRUE(db->Commit(txn).ok());
+    EXPECT_EQ(rows, kRows);
+  }
+
+  // A second REPAIR, committed this time, restores a CHECK-clean index.
+  {
+    Transaction* txn = db->Begin();
+    RepairResult rep;
+    ASSERT_TRUE(db->RepairRelation(txn, "t", &rep).ok());
+    ASSERT_EQ(rep.repaired.size(), 1u);
+    ASSERT_TRUE(db->Commit(txn).ok());
+  }
+  {
+    Transaction* txn = db->Begin();
+    CheckResult check;
+    ASSERT_TRUE(db->CheckRelation(txn, "t", &check).ok());
+    EXPECT_TRUE(check.clean) << (check.findings.empty()
+                                     ? ""
+                                     : check.findings[0].detail);
+    // The rebuilt tree answers probes again.
+    std::string probe;
+    ASSERT_TRUE(EncodeValueKey({Value::Int(123)}, &probe).ok());
+    std::vector<std::string> found;
+    ASSERT_TRUE(db->Lookup(txn, "t", AccessPathId::Attachment(bt_at, index_no),
+                           Slice(probe), &found)
+                    .ok());
+    ASSERT_EQ(found.size(), 1u);
+    Record rec;
+    Schema schema = KvSchema();
+    ASSERT_TRUE(db->Fetch(txn, "t", Slice(found[0]), &rec).ok());
+    EXPECT_EQ(rec.View(&schema).GetInt(0), 123);
+    ASSERT_TRUE(db->Commit(txn).ok());
+  }
+  db->SimulateCrashOnClose();
+  db.reset();
+}
+
 }  // namespace
 }  // namespace dmx

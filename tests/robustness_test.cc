@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <random>
 #include <thread>
 
 #include "src/core/database.h"
 #include "src/query/sql.h"
 #include "src/sm/key_codec.h"
+#include "src/storage/page_file.h"
 #include "tests/test_util.h"
 
 namespace dmx {
@@ -231,6 +233,207 @@ TEST(BankTest, ConcurrentTransfersPreserveTotal) {
   ASSERT_TRUE(db->Commit(check).ok());
   EXPECT_EQ(total, kAccounts * kInitial)
       << "committed=" << committed << " aborted=" << aborted;
+}
+
+// -- corruption containment --------------------------------------------------
+
+// Scribble random bytes over a random page of a B-tree index. CHECK must
+// flag exactly that attachment (never the base storage), queries must keep
+// answering through the base relation, and REPAIR must rebuild the index to
+// a CHECK-clean state with every committed row intact.
+TEST(CorruptionContainmentTest, ScribbledIndexPageIsQuarantinedAndRepaired) {
+  TempDir dir("scribble");
+  DatabaseOptions options;
+  options.dir = dir.path();
+  const std::string pages = options.dir + "/db.pages";
+  constexpr int kRows = 5000;
+
+  // Phase 1: base relation with committed rows, checkpointed to disk.
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Session session(db.get());
+    QueryResult r;
+    ASSERT_TRUE(
+        session.Execute("CREATE TABLE t (k INT NOT NULL, v STRING)", &r).ok());
+    for (int batch = 0; batch < kRows / 100; ++batch) {
+      std::string values;
+      for (int i = 0; i < 100; ++i) {
+        int k = batch * 100 + i;
+        if (i) values += ", ";
+        values += "(" + std::to_string(k) + ", 'v" + std::to_string(k) + "')";
+      }
+      ASSERT_TRUE(session.Execute("INSERT INTO t VALUES " + values, &r).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t base_pages = size / kDiskPageSize;
+
+  // Phase 2: build the index. Its pages are allocated past the base ones,
+  // so [base_pages, all_pages) brackets the tree.
+  uint32_t index_no = 0;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->CreateAttachment(txn, "t", "btree_index",
+                                     {{"fields", "k"}}, &index_no)
+                    .ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t all_pages = size / kDiskPageSize;
+  ASSERT_GT(all_pages, base_pages);
+
+  // Fuzz step: overwrite the payload of one random index page — any page of
+  // the tree, the root included, must be caught.
+  std::mt19937 rng(20260805u);
+  const uint64_t target = base_pages + rng() % (all_pages - base_pages);
+  FILE* f = fopen(pages.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, static_cast<long>(target * kDiskPageSize), SEEK_SET), 0);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    fputc(static_cast<int>(rng() & 0xff), f);
+  }
+  fclose(f);
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  const std::string component = "btree_index#" + std::to_string(index_no);
+
+  // CHECK flags exactly the damaged attachment and quarantines it.
+  {
+    Transaction* txn = db->Begin();
+    CheckResult check;
+    ASSERT_TRUE(db->CheckRelation(txn, "t", &check).ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    EXPECT_FALSE(check.clean);
+    ASSERT_EQ(check.quarantined.size(), 1u);
+    EXPECT_EQ(check.quarantined[0], component);
+    ASSERT_FALSE(check.findings.empty());
+    for (const CheckFinding& finding : check.findings) {
+      EXPECT_EQ(finding.component, component) << finding.detail;
+    }
+  }
+
+  // Queries still answer through the base relation; EXPLAIN says why the
+  // index was passed over.
+  {
+    Session session(db.get());
+    QueryResult r;
+    ASSERT_TRUE(
+        session.Execute("EXPLAIN SELECT * FROM t WHERE k = 7", &r).ok());
+    EXPECT_EQ(r.rows[0][0].string_value(), "storage-method scan");
+    bool surfaced = false;
+    for (const auto& row : r.rows) {
+      surfaced |= row[0].string_value().rfind(
+                      "quarantined (not considered): " + component, 0) == 0;
+    }
+    EXPECT_TRUE(surfaced);
+    ASSERT_TRUE(session.Execute("SELECT COUNT(*) FROM t", &r).ok());
+    EXPECT_EQ(r.rows[0][0].int_value(), kRows);
+  }
+
+  // REPAIR rebuilds from the base relation; CHECK comes back clean and the
+  // planner trusts the index again.
+  {
+    Session session(db.get());
+    QueryResult r;
+    ASSERT_TRUE(session.Execute("REPAIR t", &r).ok());
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0][0].string_value(), component);
+    EXPECT_EQ(r.rows[0][1].string_value(), "repaired");
+    ASSERT_TRUE(session.Execute("CHECK t", &r).ok());
+    EXPECT_NE(r.message.find("clean"), std::string::npos) << r.message;
+    ASSERT_TRUE(
+        session.Execute("EXPLAIN SELECT * FROM t WHERE k = 7", &r).ok());
+    EXPECT_EQ(r.rows[0][0].string_value(), component);
+    ASSERT_TRUE(session.Execute("SELECT v FROM t WHERE k = 123", &r).ok());
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0][0].string_value(), "v123");
+  }
+}
+
+// A quarantined UNIQUE index guards a data invariant: skipping its
+// maintenance would let duplicates in, so writes are refused (reads keep
+// working) until REPAIR restores it.
+TEST(CorruptionContainmentTest, QuarantinedIntegrityGuardRefusesWrites) {
+  TempDir dir("guard");
+  DatabaseOptions options;
+  options.dir = dir.path();
+  const std::string pages = options.dir + "/db.pages";
+  constexpr int kRows = 500;
+
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Session session(db.get());
+    QueryResult r;
+    ASSERT_TRUE(
+        session.Execute("CREATE TABLE t (k INT NOT NULL, v STRING)", &r).ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(session
+                      .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                   ", 'v')",
+                               &r)
+                      .ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t base_pages = size / kDiskPageSize;
+
+  uint32_t index_no = 0;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->CreateAttachment(txn, "t", "btree_index",
+                                     {{"fields", "k"}, {"unique", "1"}},
+                                     &index_no)
+                    .ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t all_pages = size / kDiskPageSize;
+  ASSERT_GT(all_pages, base_pages);
+
+  std::mt19937 rng(99u);
+  const uint64_t target = base_pages + rng() % (all_pages - base_pages);
+  FILE* f = fopen(pages.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, static_cast<long>(target * kDiskPageSize), SEEK_SET), 0);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    fputc(static_cast<int>(rng() & 0xff), f);
+  }
+  fclose(f);
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  Session session(db.get());
+  QueryResult r;
+  ASSERT_TRUE(session.Execute("CHECK t", &r).ok());
+  EXPECT_EQ(r.message.find("clean"), std::string::npos) << r.message;
+
+  // Writes bounce with a pointer to REPAIR; reads keep answering.
+  Status ws = session.Execute("INSERT INTO t VALUES (9999, 'x')", &r);
+  ASSERT_FALSE(ws.ok());
+  EXPECT_NE(ws.ToString().find("writes refused"), std::string::npos)
+      << ws.ToString();
+  ASSERT_TRUE(session.Execute("SELECT COUNT(*) FROM t", &r).ok());
+  EXPECT_EQ(r.rows[0][0].int_value(), kRows);
+
+  ASSERT_TRUE(session.Execute("REPAIR t", &r).ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (9999, 'x')", &r).ok());
+  // The rebuilt unique index is live again: duplicates bounce.
+  EXPECT_FALSE(session.Execute("INSERT INTO t VALUES (9999, 'x')", &r).ok());
+  ASSERT_TRUE(session.Execute("SELECT COUNT(*) FROM t", &r).ok());
+  EXPECT_EQ(r.rows[0][0].int_value(), kRows + 1);
 }
 
 }  // namespace
