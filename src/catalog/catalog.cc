@@ -81,9 +81,28 @@ Status Catalog::UpdateRelation(const RelationDescriptor& desc) {
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(desc.id));
   }
-  uint64_t new_version = it->second->version + 1;
-  *it->second = desc;
-  it->second->version = new_version;
+  // Copy-on-write: retire the old object instead of assigning over it, so
+  // readers holding its pointer (or Slices into its strings) never race
+  // with the replacement.
+  auto fresh = std::make_unique<RelationDescriptor>(desc);
+  fresh->version = it->second->version + 1;
+  retired_.push_back(std::move(it->second));
+  it->second = std::move(fresh);
+  return Status::OK();
+}
+
+Status Catalog::MutateRelation(
+    RelationId id, const std::function<bool(RelationDescriptor&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("relation id " + std::to_string(id));
+  }
+  auto fresh = std::make_unique<RelationDescriptor>(*it->second);
+  if (!fn(*fresh)) return Status::OK();
+  ++fresh->version;
+  retired_.push_back(std::move(it->second));
+  it->second = std::move(fresh);
   return Status::OK();
 }
 
@@ -97,9 +116,12 @@ Status Catalog::RenameRelation(RelationId id, const std::string& new_name) {
     return Status::InvalidArgument("relation '" + new_name +
                                    "' already exists");
   }
+  auto fresh = std::make_unique<RelationDescriptor>(*it->second);
+  fresh->name = new_name;
+  ++fresh->version;
   by_name_.erase(it->second->name);
-  it->second->name = new_name;
-  ++it->second->version;
+  retired_.push_back(std::move(it->second));
+  it->second = std::move(fresh);
   by_name_[new_name] = id;
   return Status::OK();
 }

@@ -14,6 +14,7 @@
 #ifndef DMX_CATALOG_CATALOG_H_
 #define DMX_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,16 +48,30 @@ class Catalog {
   Status RestoreRelation(RelationDescriptor desc);
 
   /// Replace a relation's descriptor (attachment create/drop). Bumps the
-  /// version so dependent plans invalidate.
+  /// version so dependent plans invalidate. The previous descriptor object
+  /// is retired, never mutated: readers that already hold its pointer (or
+  /// Slices into its strings) keep a valid — if stale — snapshot.
   Status UpdateRelation(const RelationDescriptor& desc);
+
+  /// Atomic read-modify-write of a relation's descriptor: `fn` receives a
+  /// copy of the *current* descriptor under the catalog lock and returns
+  /// whether it changed anything. On true the copy is installed (version
+  /// bumped, old descriptor retired as in UpdateRelation); on false the
+  /// call is a no-op. This is the safe way to flip quarantine state from
+  /// paths that hold only a shared relation lock: concurrent mutators
+  /// merge instead of overwriting each other's entries.
+  Status MutateRelation(RelationId id,
+                        const std::function<bool(RelationDescriptor&)>& fn);
 
   /// Rename a relation (storage-method migration swaps names). Bumps the
   /// version.
   Status RenameRelation(RelationId id, const std::string& new_name);
 
   /// Lookup by name / id. Returns a stable pointer owned by the catalog;
-  /// valid until the relation is dropped. Copy the descriptor when
-  /// embedding into a plan.
+  /// valid until the relation is dropped, but frozen at the state it had
+  /// when fetched — an Update/Mutate/Rename swaps in a fresh object, so
+  /// re-Find after updating to observe the change. Copy the descriptor
+  /// when embedding into a plan.
   const RelationDescriptor* Find(const std::string& name) const;
   const RelationDescriptor* Find(RelationId id) const;
 
@@ -74,6 +89,10 @@ class Catalog {
   RelationId next_id_ = 1;
   std::map<RelationId, std::unique_ptr<RelationDescriptor>> by_id_;
   std::map<std::string, RelationId> by_name_;
+  /// Superseded descriptors, kept alive so readers that fetched a pointer
+  /// before an update never dangle. Bounded by the number of DDL /
+  /// quarantine events in the process lifetime.
+  std::vector<std::unique_ptr<RelationDescriptor>> retired_;
 };
 
 }  // namespace dmx

@@ -9,6 +9,11 @@ namespace dmx {
 
 namespace {
 constexpr uint32_t kAllInstances = UINT32_MAX;
+
+std::string ComponentName(const AtOps& ops, uint32_t instance) {
+  return std::string(ops.name != nullptr ? ops.name : "attachment") + "#" +
+         std::to_string(instance);
+}
 }  // namespace
 
 Status Database::Open(const DatabaseOptions& options,
@@ -103,6 +108,8 @@ void Database::ResolveDispatchMetrics() {
   metric_repair_runs_ = metrics->GetCounter("repair.runs");
   metric_repair_rebuilt_ = metrics->GetCounter("repair.rebuilt_instances");
   metric_quarantine_events_ = metrics->GetCounter("quarantine.events");
+  metric_quarantine_save_failures_ =
+      metrics->GetCounter("quarantine.save_failures");
 }
 
 ThreadPool* Database::thread_pool() {
@@ -829,6 +836,15 @@ Status Database::OpenScanOn(Transaction* txn, const RelationDescriptor* desc,
     if (ops.open_scan == nullptr) {
       return Status::NotSupported("attachment is not an access path");
     }
+    // The planner already skips quarantined paths; a direct probe must be
+    // refused the same way, or a damaged-but-readable structure that fell
+    // behind its base relation would answer with stale rows and OK.
+    if (desc->IsQuarantined(at, path.instance)) {
+      return Status::Corruption(
+          "access path " + ComponentName(ops, path.instance) + " on '" +
+          desc->name + "' is quarantined; run REPAIR " + desc->name +
+          " to rebuild it");
+    }
     AtContext ctx;
     DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
     stats_.at_calls.Increment();
@@ -866,6 +882,12 @@ Status Database::Lookup(Transaction* txn, const std::string& rel,
   const AtOps& ops = registry_.at_ops(at);
   if (ops.lookup == nullptr) {
     return Status::NotSupported("attachment has no direct-by-key access");
+  }
+  if (desc->IsQuarantined(at, path.instance)) {
+    return Status::Corruption(
+        "access path " + ComponentName(ops, path.instance) + " on '" +
+        desc->name + "' is quarantined; run REPAIR " + desc->name +
+        " to rebuild it");
   }
   AtContext ctx;
   DMX_RETURN_IF_ERROR(MakeAtContext(txn, desc, at, &ctx));
@@ -926,13 +948,6 @@ Status Database::CountRecords(Transaction* txn,
 
 // -- corruption containment ------------------------------------------------------
 
-namespace {
-std::string ComponentName(const AtOps& ops, uint32_t instance) {
-  return std::string(ops.name != nullptr ? ops.name : "attachment") + "#" +
-         std::to_string(instance);
-}
-}  // namespace
-
 Status Database::CheckWritable(const RelationDescriptor* desc) {
   if (!desc->AnyQuarantined()) return Status::OK();
   if (desc->sm_quarantined) {
@@ -958,17 +973,39 @@ Status Database::CheckWritable(const RelationDescriptor* desc) {
   return Status::OK();
 }
 
+Status Database::PersistQuarantineRecord() {
+  Status save = catalog_.Save();
+  if (save.ok()) {
+    quarantine_save_pending_.store(false, std::memory_order_relaxed);
+    return save;
+  }
+  metric_quarantine_save_failures_->Increment();
+  quarantine_save_pending_.store(true, std::memory_order_relaxed);
+  return save;
+}
+
 void Database::QuarantineOnAccess(const RelationDescriptor* desc, AtId at,
                                   uint32_t instance,
                                   const std::string& reason) {
-  if (desc->IsQuarantined(at, instance)) return;
-  RelationDescriptor updated = *desc;
-  updated.Quarantine(at, instance, reason);
-  if (!catalog_.UpdateRelation(updated).ok()) return;
-  metric_quarantine_events_->Increment();
+  // Callers hold only a shared relation lock, so the descriptor is flipped
+  // through the catalog's copy-on-write mutate: concurrent scans keep
+  // reading their (now retired) snapshot, and concurrent quarantines merge
+  // instead of overwriting each other.
+  bool added = false;
+  Status us = catalog_.MutateRelation(
+      desc->id, [&](RelationDescriptor& d) {
+        if (d.IsQuarantined(at, instance)) return false;
+        d.Quarantine(at, instance, reason);
+        added = true;
+        return true;
+      });
+  if (!us.ok()) return;
+  if (added) metric_quarantine_events_->Increment();
   // A maintenance action, persisted immediately — if the process dies the
   // damage record must survive so the planner keeps avoiding the path.
-  catalog_.Save().ok();
+  if (added || quarantine_save_pending_.load(std::memory_order_relaxed)) {
+    PersistQuarantineRecord().ok();
+  }
 }
 
 Status Database::CheckRelation(Transaction* txn, const std::string& rel,
@@ -985,8 +1022,20 @@ Status Database::CheckRelation(Transaction* txn, const std::string& rel,
   out->quarantined.clear();
   out->cleared.clear();
 
-  RelationDescriptor updated = *desc;
-  bool changed = false;
+  // CHECK runs under a shared lock, so concurrent readers may hold
+  // pointers into the live descriptor and a concurrent access may
+  // quarantine a path mid-sweep. Decisions are therefore buffered against
+  // the snapshot and applied at the end through the catalog's atomic
+  // copy-on-write mutate, which merges with concurrently-recorded entries
+  // instead of overwriting them.
+  struct PendingOp {
+    bool storage;  // storage-method flag vs. attachment entry
+    bool set;      // quarantine vs. clear
+    AtId at;
+    uint32_t instance;
+    std::string reason;
+  };
+  std::vector<PendingOp> pending;
 
   // Storage-method structural sweep.
   const SmOps& sm = registry_.sm_ops(desc->sm_id);
@@ -1010,18 +1059,14 @@ Status Database::CheckRelation(Transaction* txn, const std::string& rel,
         out->findings.push_back({"storage", p});
       }
       if (!report.clean()) {
-        if (!updated.sm_quarantined) {
-          updated.sm_quarantined = true;
-          updated.sm_quarantine_reason = report.problems.front();
+        if (!desc->sm_quarantined) {
           metric_quarantine_events_->Increment();
           out->quarantined.push_back("storage");
-          changed = true;
+          pending.push_back({true, true, 0, 0, report.problems.front()});
         }
-      } else if (updated.sm_quarantined) {
-        updated.sm_quarantined = false;
-        updated.sm_quarantine_reason.clear();
+      } else if (desc->sm_quarantined) {
         out->cleared.push_back("storage");
-        changed = true;
+        pending.push_back({true, false, 0, 0, ""});
       }
     }
   }
@@ -1068,38 +1113,60 @@ Status Database::CheckRelation(Transaction* txn, const std::string& rel,
         out->findings.push_back({component, p});
       }
       if (!report.clean()) {
-        if (!updated.IsQuarantined(at, inst)) {
-          updated.Quarantine(at, inst, report.problems.front());
+        if (!desc->IsQuarantined(at, inst)) {
           metric_quarantine_events_->Increment();
           out->quarantined.push_back(component);
-          changed = true;
+          pending.push_back({false, true, at, inst, report.problems.front()});
         }
-      } else if (updated.IsQuarantined(at, inst)) {
+      } else if (desc->IsQuarantined(at, inst)) {
         // Verified consistent again (repair finished, or the damage record
         // was stale) — lift the quarantine.
-        updated.ClearQuarantine(at, inst);
         out->cleared.push_back(component);
-        changed = true;
+        pending.push_back({false, false, at, inst, ""});
       }
-    }
-  }
-
-  // Drop damage records whose attachment type/instances no longer exist.
-  for (const RelationDescriptor::QuarantineEntry& q : desc->quarantined) {
-    AtId at = static_cast<AtId>(q.at);
-    if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
-      updated.ClearQuarantine(at, q.instance);
-      changed = true;
     }
   }
 
   out->clean = out->findings.empty();
   if (!out->clean) metric_check_failures_->Increment();
+
+  bool changed = false;
+  DMX_RETURN_IF_ERROR(catalog_.MutateRelation(
+      desc->id, [&](RelationDescriptor& d) {
+        for (const PendingOp& op : pending) {
+          if (op.storage) {
+            if (op.set == d.sm_quarantined) continue;
+            d.sm_quarantined = op.set;
+            d.sm_quarantine_reason = op.reason;
+            changed = true;
+          } else if (op.set) {
+            if (d.IsQuarantined(op.at, op.instance)) continue;
+            d.Quarantine(op.at, op.instance, op.reason);
+            changed = true;
+          } else if (d.IsQuarantined(op.at, op.instance)) {
+            d.ClearQuarantine(op.at, op.instance);
+            changed = true;
+          }
+        }
+        // Drop damage records whose attachment type/instances no longer
+        // exist.
+        for (size_t i = d.quarantined.size(); i-- > 0;) {
+          AtId qat = static_cast<AtId>(d.quarantined[i].at);
+          if (qat >= registry_.num_attachment_types() ||
+              !d.HasAttachment(qat)) {
+            d.quarantined.erase(d.quarantined.begin() +
+                                static_cast<ptrdiff_t>(i));
+            changed = true;
+          }
+        }
+        return changed;
+      }));
   if (changed) {
     // Quarantine is a maintenance action, not transactional state: persist
     // immediately so a crash cannot lose the damage record.
-    DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
-    DMX_RETURN_IF_ERROR(catalog_.Save());
+    DMX_RETURN_IF_ERROR(PersistQuarantineRecord());
+  } else if (quarantine_save_pending_.load(std::memory_order_relaxed)) {
+    PersistQuarantineRecord().ok();  // retry an earlier failed save
   }
   return Status::OK();
 }
@@ -1128,12 +1195,27 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
       vs = sm.verify(ctx, &report);
     }
     if (vs.ok() && report.clean()) {
-      RelationDescriptor updated = *desc;
-      updated.sm_quarantined = false;
-      updated.sm_quarantine_reason.clear();
-      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      const std::string reason = desc->sm_quarantine_reason;
+      DMX_RETURN_IF_ERROR(
+          catalog_.MutateRelation(id, [](RelationDescriptor& d) {
+            d.sm_quarantined = false;
+            d.sm_quarantine_reason.clear();
+            return true;
+          }));
       txn->Defer(TxnEvent::kCommit,
                  [this](Transaction*) { return catalog_.Save(); });
+      // A rollback must resurrect the damage record, or the in-memory
+      // catalog would say clean while the durable one still says
+      // quarantined — and the quarantine would silently return on restart.
+      txn->Defer(TxnEvent::kAbort, [this, id, reason](Transaction*) {
+        catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+          if (d.sm_quarantined) return false;
+          d.sm_quarantined = true;
+          d.sm_quarantine_reason = reason;
+          return true;
+        });
+        return Status::OK();
+      });
       out->repaired.push_back("storage");
     } else {
       out->unrepaired.push_back(
@@ -1148,13 +1230,28 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
   for (const RelationDescriptor::QuarantineEntry& q : targets) {
     const AtId at = static_cast<AtId>(q.at);
     const uint32_t inst = q.instance;
+    // Catalog mutations retire the previous descriptor object; re-fetch
+    // the live one so this entry sees any swap an earlier iteration made.
+    desc = catalog_.Find(id);
+    if (desc == nullptr) break;
     if (at >= registry_.num_attachment_types() || !desc->HasAttachment(at)) {
       // The damaged instance is gone; nothing left to repair.
-      RelationDescriptor updated = *desc;
-      updated.ClearQuarantine(at, inst);
-      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      DMX_RETURN_IF_ERROR(
+          catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+            d.ClearQuarantine(at, inst);
+            return true;
+          }));
       txn->Defer(TxnEvent::kCommit,
                  [this](Transaction*) { return catalog_.Save(); });
+      txn->Defer(TxnEvent::kAbort,
+                 [this, id, at, inst, reason = q.reason](Transaction*) {
+                   catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+                     if (d.IsQuarantined(at, inst)) return false;
+                     d.Quarantine(at, inst, reason);
+                     return true;
+                   });
+                   return Status::OK();
+                 });
       out->repaired.push_back("attachment " + std::to_string(q.at) + "#" +
                               std::to_string(inst) + " (dropped)");
       continue;
@@ -1183,15 +1280,29 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                                   rs.ToString());
         continue;
       }
-      RelationDescriptor updated = *desc;
-      updated.at_desc[at] = new_desc;
-      updated.ClearQuarantine(at, inst);
-      DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+      DMX_RETURN_IF_ERROR(
+          catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+            d.at_desc[at] = new_desc;
+            d.ClearQuarantine(at, inst);
+            return true;
+          }));
       InvalidateAttachmentRuntime(id);
       metric_repair_rebuilt_->Increment();
       out->repaired.push_back(component);
       txn->Defer(TxnEvent::kCommit,
                  [this, id, at, inst, old_desc](Transaction* t) {
+                   // The rebuilt structure's pages are not WAL-logged;
+                   // flush them (and sync), then durably publish the new
+                   // anchor, and only then free the old storage. A crash
+                   // before the save recovers to the old, still-
+                   // quarantined descriptor with its pages intact; a
+                   // crash after the save merely leaks the old pages. The
+                   // old storage must never be freed before the save: the
+                   // flushed frees would outlive a crash whose recovery
+                   // still points at them, double-freeing on the next
+                   // release.
+                   DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+                   DMX_RETURN_IF_ERROR(catalog_.Save());
                    const RelationDescriptor* d = catalog_.Find(id);
                    if (d != nullptr) {
                      const AtOps& aops = registry_.at_ops(at);
@@ -1205,12 +1316,9 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                        }
                      }
                    }
-                   // The rebuilt structure's pages are not WAL-logged;
-                   // flush them (and sync) before the catalog save makes
-                   // the new anchor visible. A crash in between recovers
-                   // to the old, still-quarantined descriptor.
-                   DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
-                   return catalog_.Save();
+                   // Make the frees durable too; losing them in a crash
+                   // only leaks pages.
+                   return buffer_pool_->FlushAll();
                  });
       txn->Defer(TxnEvent::kAbort,
                  [this, id, at, inst, old_desc, new_desc,
@@ -1225,10 +1333,11 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                        aops.release_instance(actx, inst);
                      }
                    }
-                   RelationDescriptor reverted = *d;
-                   reverted.at_desc[at] = old_desc;
-                   reverted.Quarantine(at, inst, reason);
-                   catalog_.UpdateRelation(reverted);
+                   catalog_.MutateRelation(id, [&](RelationDescriptor& r) {
+                     r.at_desc[at] = old_desc;
+                     r.Quarantine(at, inst, reason);
+                     return true;
+                   });
                    InvalidateAttachmentRuntime(id);
                    return Status::OK();
                  });
@@ -1243,11 +1352,25 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                       ? ops.verify(ctx, inst, &report)
                       : Status::NotSupported("no verify procedure");
       if (vs.ok() && report.clean()) {
-        RelationDescriptor updated = *desc;
-        updated.ClearQuarantine(at, inst);
-        DMX_RETURN_IF_ERROR(catalog_.UpdateRelation(updated));
+        DMX_RETURN_IF_ERROR(
+            catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+              d.ClearQuarantine(at, inst);
+              return true;
+            }));
         txn->Defer(TxnEvent::kCommit,
                    [this](Transaction*) { return catalog_.Save(); });
+        txn->Defer(TxnEvent::kAbort,
+                   [this, id, at, inst, reason = q.reason](Transaction*) {
+                     catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+                       if (d.IsQuarantined(at, inst)) return false;
+                       d.Quarantine(at, inst, reason);
+                       return true;
+                     });
+                     // The re-primed runtime may reflect rolled-back
+                     // data; drop it so the next open re-derives.
+                     InvalidateAttachmentRuntime(id);
+                     return Status::OK();
+                   });
         out->repaired.push_back(component);
       } else if (!vs.ok()) {
         out->unrepaired.push_back(component + ": " + vs.ToString());

@@ -14,6 +14,7 @@
 #define DMX_CORE_DATABASE_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -346,6 +347,12 @@ class Database {
   void QuarantineOnAccess(const RelationDescriptor* desc, AtId at,
                           uint32_t instance, const std::string& reason);
 
+  /// Durably save the catalog after a quarantine change. A failure leaves
+  /// the damage record memory-only: it is counted
+  /// (`quarantine.save_failures`) and retried on the next
+  /// quarantine-related access so the record eventually reaches disk.
+  Status PersistQuarantineRecord();
+
   struct RelationRuntime {
     std::unique_ptr<ExtState> sm_state;
     std::array<std::unique_ptr<ExtState>, kMaxAttachmentTypes> at_state;
@@ -384,6 +391,10 @@ class Database {
   Counter* metric_repair_runs_ = nullptr;
   Counter* metric_repair_rebuilt_ = nullptr;
   Counter* metric_quarantine_events_ = nullptr;
+  Counter* metric_quarantine_save_failures_ = nullptr;
+  /// Set when a quarantine's catalog save failed; the next
+  /// quarantine-related access retries the save.
+  std::atomic<bool> quarantine_save_pending_{false};
 
   size_t worker_threads_ = 1;
   std::once_flag pool_once_;

@@ -436,5 +436,131 @@ TEST(CorruptionContainmentTest, QuarantinedIntegrityGuardRefusesWrites) {
   EXPECT_EQ(r.rows[0][0].int_value(), kRows + 1);
 }
 
+// Quarantine must bind every entrance, not just the planner: direct
+// API probes of a quarantined path are refused, and a REPAIR that rolls
+// back leaves the damage record in place — in memory and on disk alike.
+TEST(CorruptionContainmentTest, QuarantineRefusesProbesAndSurvivesAbort) {
+  TempDir dir("qabort");
+  DatabaseOptions options;
+  options.dir = dir.path();
+  const std::string pages = options.dir + "/db.pages";
+  constexpr int kRows = 500;
+
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Session session(db.get());
+    QueryResult r;
+    ASSERT_TRUE(
+        session.Execute("CREATE TABLE t (k INT NOT NULL, v STRING)", &r).ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(session
+                      .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                   ", 'v')",
+                               &r)
+                      .ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t base_pages = size / kDiskPageSize;
+
+  uint32_t index_no = 0;
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(options, &db).ok());
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->CreateAttachment(txn, "t", "btree_index",
+                                     {{"fields", "k"}}, &index_no)
+                    .ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  ASSERT_TRUE(Env::Default()->GetFileSize(pages, &size).ok());
+  const uint64_t all_pages = size / kDiskPageSize;
+  ASSERT_GT(all_pages, base_pages);
+
+  std::mt19937 rng(4242u);
+  const uint64_t target = base_pages + rng() % (all_pages - base_pages);
+  FILE* f = fopen(pages.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, static_cast<long>(target * kDiskPageSize), SEEK_SET), 0);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    fputc(static_cast<int>(rng() & 0xff), f);
+  }
+  fclose(f);
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  const AtId bt_at = static_cast<AtId>(
+      db->registry()->FindAttachmentType("btree_index"));
+  {
+    Transaction* txn = db->Begin();
+    CheckResult check;
+    ASSERT_TRUE(db->CheckRelation(txn, "t", &check).ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    ASSERT_EQ(check.quarantined.size(), 1u);
+  }
+
+  const AccessPathId path = AccessPathId::Attachment(bt_at, index_no);
+  // Direct probes of the quarantined path bounce with Corruption instead
+  // of answering from the damaged (or stale) structure.
+  {
+    Transaction* txn = db->Begin();
+    std::vector<std::string> record_keys;
+    // The gate fires before the key is ever interpreted.
+    Status ls = db->Lookup(txn, "t", path, Slice("any"), &record_keys);
+    EXPECT_TRUE(ls.IsCorruption()) << ls.ToString();
+    std::unique_ptr<Scan> scan;
+    Status ss = db->OpenScan(txn, "t", path, ScanSpec{}, &scan);
+    EXPECT_TRUE(ss.IsCorruption()) << ss.ToString();
+    ASSERT_TRUE(db->Commit(txn).ok());
+  }
+
+  // REPAIR rebuilds, then rolls back: the quarantine must survive the
+  // abort so memory and the durable catalog agree.
+  {
+    Transaction* txn = db->Begin();
+    RepairResult rep;
+    ASSERT_TRUE(db->RepairRelation(txn, "t", &rep).ok());
+    ASSERT_EQ(rep.repaired.size(), 1u);
+    ASSERT_TRUE(db->Abort(txn).ok());
+    const RelationDescriptor* desc;
+    ASSERT_TRUE(db->FindRelation("t", &desc).ok());
+    EXPECT_TRUE(desc->IsQuarantined(bt_at, index_no));
+  }
+
+  // Drop the damaged index: the stale damage record stays behind. A
+  // rolled-back REPAIR must also restore this cleanup-only lift.
+  {
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(
+        db->DropAttachment(txn, "t", "btree_index", index_no).ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+  }
+  {
+    Transaction* txn = db->Begin();
+    RepairResult rep;
+    ASSERT_TRUE(db->RepairRelation(txn, "t", &rep).ok());
+    ASSERT_EQ(rep.repaired.size(), 1u);
+    EXPECT_NE(rep.repaired[0].find("dropped"), std::string::npos);
+    ASSERT_TRUE(db->Abort(txn).ok());
+    const RelationDescriptor* desc;
+    ASSERT_TRUE(db->FindRelation("t", &desc).ok());
+    EXPECT_TRUE(desc->IsQuarantined(bt_at, index_no));
+  }
+  // Committed this time, the lift sticks.
+  {
+    Transaction* txn = db->Begin();
+    RepairResult rep;
+    ASSERT_TRUE(db->RepairRelation(txn, "t", &rep).ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    const RelationDescriptor* desc;
+    ASSERT_TRUE(db->FindRelation("t", &desc).ok());
+    EXPECT_FALSE(desc->IsQuarantined(bt_at, index_no));
+  }
+}
+
 }  // namespace
 }  // namespace dmx
