@@ -2,7 +2,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include "src/core/database.h"
@@ -16,19 +15,19 @@ namespace {
 // Shared pair table, keyed by join-index name. Both sides' instances (and
 // both relations' rebuilds) converge on the same object.
 struct JoinData {
-  std::mutex mu;
+  Mutex mu;
   // join key -> record keys present on each side.
   std::map<std::string, std::pair<std::set<std::string>,
                                   std::set<std::string>>>
-      sides;
+      sides GUARDED_BY(mu);
 
   void Add(int side, const std::string& jk, const std::string& rkey) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto& entry = sides[jk];
     (side == 1 ? entry.first : entry.second).insert(rkey);
   }
   void Remove(int side, const std::string& jk, const std::string& rkey) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto it = sides.find(jk);
     if (it == sides.end()) return;
     (side == 1 ? it->second.first : it->second.second).erase(rkey);
@@ -37,7 +36,7 @@ struct JoinData {
     }
   }
   void ClearSide(int side) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     for (auto it = sides.begin(); it != sides.end();) {
       (side == 1 ? it->second.first : it->second.second).clear();
       if (it->second.first.empty() && it->second.second.empty()) {
@@ -48,14 +47,14 @@ struct JoinData {
     }
   }
   std::vector<std::string> OtherSide(int side, const std::string& jk) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto it = sides.find(jk);
     if (it == sides.end()) return {};
     const auto& others = side == 1 ? it->second.second : it->second.first;
     return std::vector<std::string>(others.begin(), others.end());
   }
   size_t PairCount() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     size_t n = 0;
     for (const auto& [jk, entry] : sides) {
       n += entry.first.size() * entry.second.size();
@@ -63,14 +62,14 @@ struct JoinData {
     return n;
   }
   bool Contains(int side, const std::string& jk, const std::string& rkey) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     auto it = sides.find(jk);
     if (it == sides.end()) return false;
     const auto& s = side == 1 ? it->second.first : it->second.second;
     return s.count(rkey) > 0;
   }
   size_t SideCount(int side) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     size_t n = 0;
     for (const auto& [jk, entry] : sides) {
       n += side == 1 ? entry.first.size() : entry.second.size();
@@ -79,7 +78,7 @@ struct JoinData {
   }
 };
 
-std::mutex g_join_mu;
+Mutex g_join_mu;
 std::map<std::string, std::shared_ptr<JoinData>>& JoinRegistry() {
   static auto* registry =
       new std::map<std::string, std::shared_ptr<JoinData>>();
@@ -87,7 +86,7 @@ std::map<std::string, std::shared_ptr<JoinData>>& JoinRegistry() {
 }
 
 std::shared_ptr<JoinData> JoinDataOf(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_join_mu);
+  MutexLock lock(&g_join_mu);
   auto& slot = JoinRegistry()[name];
   if (slot == nullptr) slot = std::make_shared<JoinData>();
   return slot;

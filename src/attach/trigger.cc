@@ -1,7 +1,6 @@
 #include "src/attach/trigger.h"
 
 #include <map>
-#include <mutex>
 
 #include "src/core/database.h"
 #include "src/util/coding.h"
@@ -10,14 +9,14 @@ namespace dmx {
 
 namespace {
 
-std::mutex g_trigger_mu;
+Mutex g_trigger_mu;
 std::map<std::string, TriggerFn>& TriggerRegistry() {
   static auto* registry = new std::map<std::string, TriggerFn>();
   return *registry;
 }
 
 TriggerFn FindTrigger(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_trigger_mu);
+  MutexLock lock(&g_trigger_mu);
   auto it = TriggerRegistry().find(name);
   return it == TriggerRegistry().end() ? nullptr : it->second;
 }
@@ -204,7 +203,7 @@ uint32_t TrInstanceCount(const Slice& at_desc) {
 }  // namespace
 
 void RegisterTriggerFunction(const std::string& name, TriggerFn fn) {
-  std::lock_guard<std::mutex> lock(g_trigger_mu);
+  MutexLock lock(&g_trigger_mu);
   TriggerRegistry()[name] = std::move(fn);
 }
 

@@ -5,7 +5,7 @@
 namespace dmx {
 
 Status Catalog::Load(const std::string& path, Env* env) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   env_ = env != nullptr ? env : Env::Default();
   path_ = path;
   std::string data;
@@ -28,7 +28,7 @@ Status Catalog::Load(const std::string& path, Env* env) {
 }
 
 Status Catalog::Save() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string data;
   PutFixed32(&data, next_id_);
   PutVarint32(&data, static_cast<uint32_t>(by_id_.size()));
@@ -39,7 +39,7 @@ Status Catalog::Save() const {
 }
 
 Status Catalog::AddRelation(RelationDescriptor desc, RelationId* id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (by_name_.count(desc.name)) {
     return Status::InvalidArgument("relation '" + desc.name +
                                    "' already exists");
@@ -53,7 +53,7 @@ Status Catalog::AddRelation(RelationDescriptor desc, RelationId* id) {
 }
 
 Status Catalog::RemoveRelation(RelationId id, RelationDescriptor* removed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(id));
@@ -65,7 +65,7 @@ Status Catalog::RemoveRelation(RelationId id, RelationDescriptor* removed) {
 }
 
 Status Catalog::RestoreRelation(RelationDescriptor desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (by_id_.count(desc.id) || by_name_.count(desc.name)) {
     return Status::InvalidArgument("restore collides");
   }
@@ -76,7 +76,7 @@ Status Catalog::RestoreRelation(RelationDescriptor desc) {
 }
 
 Status Catalog::UpdateRelation(const RelationDescriptor& desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(desc.id);
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(desc.id));
@@ -93,7 +93,7 @@ Status Catalog::UpdateRelation(const RelationDescriptor& desc) {
 
 Status Catalog::MutateRelation(
     RelationId id, const std::function<bool(RelationDescriptor&)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(id));
@@ -107,7 +107,7 @@ Status Catalog::MutateRelation(
 }
 
 Status Catalog::RenameRelation(RelationId id, const std::string& new_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(id));
@@ -127,26 +127,26 @@ Status Catalog::RenameRelation(RelationId id, const std::string& new_name) {
 }
 
 const RelationDescriptor* Catalog::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return nullptr;
   return by_id_.at(it->second).get();
 }
 
 const RelationDescriptor* Catalog::Find(RelationId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   return it == by_id_.end() ? nullptr : it->second.get();
 }
 
 uint64_t Catalog::VersionOf(RelationId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_id_.find(id);
   return it == by_id_.end() ? 0 : it->second->version;
 }
 
 std::vector<RelationId> Catalog::AllRelationIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<RelationId> out;
   out.reserve(by_id_.size());
   for (const auto& [id, desc] : by_id_) out.push_back(id);

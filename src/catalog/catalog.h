@@ -17,12 +17,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/catalog/descriptor.h"
 #include "src/util/env.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -83,16 +83,17 @@ class Catalog {
   std::vector<RelationId> AllRelationIds() const;
 
  private:
-  mutable std::mutex mu_;
-  Env* env_ = nullptr;
-  std::string path_;
-  RelationId next_id_ = 1;
-  std::map<RelationId, std::unique_ptr<RelationDescriptor>> by_id_;
-  std::map<std::string, RelationId> by_name_;
+  mutable Mutex mu_;
+  Env* env_ GUARDED_BY(mu_) = nullptr;
+  std::string path_ GUARDED_BY(mu_);
+  RelationId next_id_ GUARDED_BY(mu_) = 1;
+  std::map<RelationId, std::unique_ptr<RelationDescriptor>> by_id_
+      GUARDED_BY(mu_);
+  std::map<std::string, RelationId> by_name_ GUARDED_BY(mu_);
   /// Superseded descriptors, kept alive so readers that fetched a pointer
   /// before an update never dangle. Bounded by the number of DDL /
   /// quarantine events in the process lifetime.
-  std::vector<std::unique_ptr<RelationDescriptor>> retired_;
+  std::vector<std::unique_ptr<RelationDescriptor>> retired_ GUARDED_BY(mu_);
 };
 
 }  // namespace dmx

@@ -4,14 +4,14 @@ namespace dmx {
 
 void AuthorizationManager::Grant(const std::string& user, RelationId rel,
                                  uint8_t privileges) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enabled_ = true;
   grants_[{user, rel}] |= privileges;
 }
 
 void AuthorizationManager::Revoke(const std::string& user, RelationId rel,
                                   uint8_t privileges) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = grants_.find({user, rel});
   if (it == grants_.end()) return;
   it->second &= static_cast<uint8_t>(~privileges);
@@ -19,7 +19,7 @@ void AuthorizationManager::Revoke(const std::string& user, RelationId rel,
 }
 
 void AuthorizationManager::Clear(RelationId rel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = grants_.begin(); it != grants_.end();) {
     if (it->first.second == rel) {
       it = grants_.erase(it);
@@ -31,7 +31,7 @@ void AuthorizationManager::Clear(RelationId rel) {
 
 Status AuthorizationManager::Check(const std::string& user, RelationId rel,
                                    Privilege needed) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_ || user.empty()) return Status::OK();
   auto it = grants_.find({user, rel});
   if (it != grants_.end() &&

@@ -14,11 +14,11 @@
 #define DMX_CORE_AUTHORIZATION_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/util/common.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -59,14 +59,15 @@ class AuthorizationManager {
                Privilege needed) const;
 
   bool enabled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return enabled_;
   }
 
  private:
-  mutable std::mutex mu_;
-  bool enabled_ = false;
-  std::map<std::pair<std::string, RelationId>, uint8_t> grants_;
+  mutable Mutex mu_;
+  bool enabled_ GUARDED_BY(mu_) = false;
+  std::map<std::pair<std::string, RelationId>, uint8_t> grants_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace dmx

@@ -79,7 +79,8 @@ Status Database::Open(const DatabaseOptions& options,
 Database::Database() : txn_mgr_(nullptr) {}
 
 Database::~Database() {
-  if (!crash_on_close_) Flush().ok();
+  // Best-effort write-back; errors are unreportable in a destructor.
+  if (!crash_on_close_) (void)Flush();
 }
 
 void Database::ResolveDispatchMetrics() {
@@ -175,7 +176,7 @@ Status Database::FindRelation(const std::string& name,
 }
 
 Database::RelationRuntime* Database::GetRuntime(RelationId id) {
-  std::lock_guard<std::mutex> lock(runtime_mu_);
+  MutexLock lock(&runtime_mu_);
   auto it = runtimes_.find(id);
   if (it != runtimes_.end()) return it->second.get();
   auto rt = std::make_unique<RelationRuntime>();
@@ -185,12 +186,12 @@ Database::RelationRuntime* Database::GetRuntime(RelationId id) {
 }
 
 void Database::InvalidateRuntime(RelationId id) {
-  std::lock_guard<std::mutex> lock(runtime_mu_);
+  MutexLock lock(&runtime_mu_);
   runtimes_.erase(id);
 }
 
 void Database::InvalidateAttachmentRuntime(RelationId id) {
-  std::lock_guard<std::mutex> lock(runtime_mu_);
+  MutexLock lock(&runtime_mu_);
   auto it = runtimes_.find(id);
   if (it == runtimes_.end()) return;
   for (auto& state : it->second->at_state) state.reset();
@@ -293,7 +294,8 @@ Status Database::CreateRelation(Transaction* txn, const std::string& name,
   std::string sm_desc = stored->sm_desc;
   Status s = ops.create(ctx, &sm_desc);
   if (!s.ok()) {
-    catalog_.RemoveRelation(id, nullptr);
+    // Undo our own just-added entry; the create failure takes precedence.
+    (void)catalog_.RemoveRelation(id, nullptr);
     InvalidateRuntime(id);
     return s;
   }
@@ -310,10 +312,12 @@ Status Database::CreateRelation(Transaction* txn, const std::string& name,
     const SmOps& sm_ops = registry_.sm_ops(d->sm_id);
     SmContext drop_ctx;
     Status st = MakeSmContext(t, d, &drop_ctx);
-    if (st.ok() && sm_ops.drop != nullptr) sm_ops.drop(drop_ctx);
-    catalog_.RemoveRelation(id, nullptr);
+    if (st.ok() && sm_ops.drop != nullptr) st = sm_ops.drop(drop_ctx);
+    // Undoing our own add: the entry is present, so this cannot fail in a
+    // way the abort could act on.
+    (void)catalog_.RemoveRelation(id, nullptr);
     InvalidateRuntime(id);
-    return Status::OK();
+    return st;
   });
   txn->Defer(TxnEvent::kCommit,
              [this](Transaction*) { return catalog_.Save(); });
@@ -340,6 +344,9 @@ Status Database::DropRelation(Transaction* txn, const std::string& name) {
     tmp.name = "#dropping#" + std::to_string(saved.id);
     // Reuse the original id so runtime state and log records line up.
     Status st = catalog_.RestoreRelation(tmp);
+    // First release failure; surfaced through Commit's deferred-action
+    // status so a storage leak is never silent.
+    Status release = Status::OK();
     if (st.ok()) {
       const RelationDescriptor* d = catalog_.Find(saved.id);
       for (AtId at = 0; at < registry_.num_attachment_types(); ++at) {
@@ -348,20 +355,27 @@ Status Database::DropRelation(Transaction* txn, const std::string& name) {
         if (aops.release_instance != nullptr) {
           AtContext actx;
           if (MakeAtContext(t, d, at, &actx).ok()) {
-            aops.release_instance(actx, kAllInstances);
+            Status rs = aops.release_instance(actx, kAllInstances);
+            if (release.ok()) release = rs;
           }
         }
       }
       const SmOps& sops = registry_.sm_ops(d->sm_id);
       if (sops.drop != nullptr) {
         SmContext sctx;
-        if (MakeSmContext(t, d, &sctx).ok()) sops.drop(sctx);
+        if (MakeSmContext(t, d, &sctx).ok()) {
+          Status ds = sops.drop(sctx);
+          if (release.ok()) release = ds;
+        }
       }
-      catalog_.RemoveRelation(saved.id, nullptr);
+      // Removing the #dropping# descriptor we just restored cannot fail
+      // in a way the commit could act on.
+      (void)catalog_.RemoveRelation(saved.id, nullptr);
     }
     auth_.Clear(saved.id);
     InvalidateRuntime(saved.id);
-    return catalog_.Save();
+    Status save = catalog_.Save();
+    return release.ok() ? save : release;
   });
   txn->Defer(TxnEvent::kAbort, [this, saved](Transaction*) {
     return catalog_.RestoreRelation(saved);
@@ -407,14 +421,16 @@ Status Database::CreateAttachment(Transaction* txn, const std::string& rel,
                if (aops.release_instance != nullptr) {
                  AtContext actx;
                  if (MakeAtContext(t, d, static_cast<AtId>(at), &actx).ok()) {
-                   aops.release_instance(actx, inst);
+                   // Abort-path cleanup: the instance was never visible, so a
+                   // failed release only leaks its storage.
+                   (void)aops.release_instance(actx, inst);
                  }
                }
                RelationDescriptor reverted = *d;
                reverted.at_desc[at] = old_desc;
-               catalog_.UpdateRelation(reverted);
+               Status st = catalog_.UpdateRelation(reverted);
                InvalidateAttachmentRuntime(id);
-               return Status::OK();
+               return st;
              });
   txn->Defer(TxnEvent::kCommit,
              [this](Transaction*) { return catalog_.Save(); });
@@ -461,9 +477,12 @@ Status Database::DropAttachment(Transaction* txn, const std::string& rel,
                    if (MakeAtContext(t, d, static_cast<AtId>(at), &actx)
                            .ok()) {
                      // Hand the release the *pre-drop* descriptor so it can
-                     // locate the dropped instance's storage.
+                     // locate the dropped instance's storage. Dropping a
+                     // quarantined instance is a remediation path: the walk
+                     // may trip over the damage itself, and the drop must
+                     // still commit — a failed release only leaks pages.
                      actx.at_desc = Slice(old_desc);
-                     aops.release_instance(actx, instance_no);
+                     (void)aops.release_instance(actx, instance_no);
                    }
                  }
                }
@@ -474,9 +493,9 @@ Status Database::DropAttachment(Transaction* txn, const std::string& rel,
     if (d == nullptr) return Status::OK();
     RelationDescriptor reverted = *d;
     reverted.at_desc[at] = old_desc;
-    catalog_.UpdateRelation(reverted);
+    Status st = catalog_.UpdateRelation(reverted);
     InvalidateAttachmentRuntime(id);
-    return Status::OK();
+    return st;
   });
   return Status::OK();
 }
@@ -1208,13 +1227,12 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
       // catalog would say clean while the durable one still says
       // quarantined — and the quarantine would silently return on restart.
       txn->Defer(TxnEvent::kAbort, [this, id, reason](Transaction*) {
-        catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
+        return catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
           if (d.sm_quarantined) return false;
           d.sm_quarantined = true;
           d.sm_quarantine_reason = reason;
           return true;
         });
-        return Status::OK();
       });
       out->repaired.push_back("storage");
     } else {
@@ -1245,12 +1263,12 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                  [this](Transaction*) { return catalog_.Save(); });
       txn->Defer(TxnEvent::kAbort,
                  [this, id, at, inst, reason = q.reason](Transaction*) {
-                   catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
-                     if (d.IsQuarantined(at, inst)) return false;
-                     d.Quarantine(at, inst, reason);
-                     return true;
-                   });
-                   return Status::OK();
+                   return catalog_.MutateRelation(
+                       id, [&](RelationDescriptor& d) {
+                         if (d.IsQuarantined(at, inst)) return false;
+                         d.Quarantine(at, inst, reason);
+                         return true;
+                       });
                  });
       out->repaired.push_back("attachment " + std::to_string(q.at) + "#" +
                               std::to_string(inst) + " (dropped)");
@@ -1310,9 +1328,12 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                        AtContext actx;
                        if (MakeAtContext(t, d, at, &actx).ok()) {
                          // Hand the release the *pre-repair* descriptor so
-                         // it can locate the damaged storage.
+                         // it can locate the damaged storage. The walk may
+                         // trip over the very corruption being repaired;
+                         // the rebuild is already durably published, so a
+                         // failed release only leaks the damaged pages.
                          actx.at_desc = Slice(old_desc);
-                         aops.release_instance(actx, inst);
+                         (void)aops.release_instance(actx, inst);
                        }
                      }
                    }
@@ -1330,16 +1351,19 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                      AtContext actx;
                      if (MakeAtContext(t, d, at, &actx).ok()) {
                        actx.at_desc = Slice(new_desc);
-                       aops.release_instance(actx, inst);
+                       // Abort-path cleanup: the rebuilt structure was never
+                       // published, so a failed release only leaks it.
+                       (void)aops.release_instance(actx, inst);
                      }
                    }
-                   catalog_.MutateRelation(id, [&](RelationDescriptor& r) {
-                     r.at_desc[at] = old_desc;
-                     r.Quarantine(at, inst, reason);
-                     return true;
-                   });
+                   Status st =
+                       catalog_.MutateRelation(id, [&](RelationDescriptor& r) {
+                         r.at_desc[at] = old_desc;
+                         r.Quarantine(at, inst, reason);
+                         return true;
+                       });
                    InvalidateAttachmentRuntime(id);
-                   return Status::OK();
+                   return st;
                  });
     } else {
       // Purely derived in-memory state: drop the runtime and reopen (open
@@ -1361,15 +1385,16 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                    [this](Transaction*) { return catalog_.Save(); });
         txn->Defer(TxnEvent::kAbort,
                    [this, id, at, inst, reason = q.reason](Transaction*) {
-                     catalog_.MutateRelation(id, [&](RelationDescriptor& d) {
-                       if (d.IsQuarantined(at, inst)) return false;
-                       d.Quarantine(at, inst, reason);
-                       return true;
-                     });
+                     Status st = catalog_.MutateRelation(
+                         id, [&](RelationDescriptor& d) {
+                           if (d.IsQuarantined(at, inst)) return false;
+                           d.Quarantine(at, inst, reason);
+                           return true;
+                         });
                      // The re-primed runtime may reflect rolled-back
                      // data; drop it so the next open re-derives.
                      InvalidateAttachmentRuntime(id);
-                     return Status::OK();
+                     return st;
                    });
         out->repaired.push_back(component);
       } else if (!vs.ok()) {

@@ -401,8 +401,9 @@ class Database {
   std::unique_ptr<ThreadPool> thread_pool_;
   Counter* metric_parallel_partitions_ = nullptr;
 
-  std::mutex runtime_mu_;
-  std::map<RelationId, std::unique_ptr<RelationRuntime>> runtimes_;
+  Mutex runtime_mu_;
+  std::map<RelationId, std::unique_ptr<RelationRuntime>> runtimes_
+      GUARDED_BY(runtime_mu_);
   bool crash_on_close_ = false;
 };
 

@@ -11,29 +11,33 @@ ManagedScan::ManagedScan(ScanManager* mgr, Transaction* txn,
 ManagedScan::~ManagedScan() { mgr_->Deregister(txn_id_, this); }
 
 Status ManagedScan::Next(ScanItem* out) {
-  if (closed_) {
+  if (closed_.load(std::memory_order_acquire)) {
     return Status::Aborted("scan closed at transaction termination");
   }
   return inner_->Next(out);
 }
 
 Status ManagedScan::SavePosition(std::string* out) const {
-  if (closed_) return Status::Aborted("scan closed");
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Aborted("scan closed");
+  }
   return inner_->SavePosition(out);
 }
 
 Status ManagedScan::RestorePosition(const Slice& pos) {
-  if (closed_) return Status::Aborted("scan closed");
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Aborted("scan closed");
+  }
   return inner_->RestorePosition(pos);
 }
 
 void ScanManager::Register(TxnId txn, ManagedScan* scan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   open_[txn].insert(scan);
 }
 
 void ScanManager::Deregister(TxnId txn, ManagedScan* scan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = open_.find(txn);
   if (it != open_.end()) {
     it->second.erase(scan);
@@ -44,11 +48,13 @@ void ScanManager::Deregister(TxnId txn, ManagedScan* scan) {
 }
 
 void ScanManager::OnTransactionEnd(Transaction* txn, bool /*committed*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = open_.find(txn->id());
   if (it != open_.end()) {
     // Close (do not destroy: the user still owns the object).
-    for (ManagedScan* scan : it->second) scan->closed_ = true;
+    for (ManagedScan* scan : it->second) {
+      scan->closed_.store(true, std::memory_order_release);
+    }
     open_.erase(it);
   }
   // Saved positions die with the transaction.
@@ -62,7 +68,7 @@ void ScanManager::OnTransactionEnd(Transaction* txn, bool /*committed*/) {
 }
 
 void ScanManager::OnSavepoint(Transaction* txn, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& positions = saved_[{txn->id(), name}];
   positions.clear();
   auto it = open_.find(txn->id());
@@ -75,17 +81,22 @@ void ScanManager::OnSavepoint(Transaction* txn, const std::string& name) {
 
 void ScanManager::OnPartialRollback(Transaction* txn,
                                     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto sit = saved_.find({txn->id(), name});
   if (sit == saved_.end()) return;
   for (auto& [scan, pos] : sit->second) {
-    scan->inner_->RestorePosition(Slice(pos)).ok();
+    // A scan that cannot re-establish its saved position would keep
+    // serving rows relative to the rolled-back state; close it so the
+    // owner sees kAborted instead of wrong answers.
+    if (!scan->inner_->RestorePosition(Slice(pos)).ok()) {
+      scan->closed_.store(true, std::memory_order_release);
+    }
   }
   // Positions are retained: the savepoint itself survives the rollback.
 }
 
 size_t ScanManager::OpenScanCount(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = open_.find(txn);
   return it == open_.end() ? 0 : it->second.size();
 }

@@ -16,13 +16,14 @@
 #ifndef DMX_CORE_SCAN_MANAGER_H_
 #define DMX_CORE_SCAN_MANAGER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include "src/core/extension.h"
 #include "src/txn/transaction_manager.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -41,7 +42,7 @@ class ManagedScan : public Scan {
   Status SavePosition(std::string* out) const override;
   Status RestorePosition(const Slice& pos) override;
 
-  bool closed() const { return closed_; }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
  private:
   friend class ScanManager;
@@ -51,7 +52,10 @@ class ManagedScan : public Scan {
   // must not dereference the transaction.
   TxnId txn_id_;
   std::unique_ptr<Scan> inner_;
-  bool closed_ = false;
+  // Atomic, not GUARDED_BY the manager's mutex: the owning thread reads it
+  // on every Next() while the transaction manager may set it concurrently
+  // at transaction end.
+  std::atomic<bool> closed_{false};
 };
 
 class ScanManager : public TxnObserver {
@@ -70,11 +74,11 @@ class ScanManager : public TxnObserver {
   void Register(TxnId txn, ManagedScan* scan);
   void Deregister(TxnId txn, ManagedScan* scan);
 
-  mutable std::mutex mu_;
-  std::map<TxnId, std::set<ManagedScan*>> open_;
+  mutable Mutex mu_;
+  std::map<TxnId, std::set<ManagedScan*>> open_ GUARDED_BY(mu_);
   // Saved positions: (txn, savepoint) -> scan -> encoded position.
   std::map<std::pair<TxnId, std::string>, std::map<ManagedScan*, std::string>>
-      saved_;
+      saved_ GUARDED_BY(mu_);
 };
 
 }  // namespace dmx

@@ -279,14 +279,11 @@ ParallelScanSource::ParallelScanSource(Database* db, Transaction* txn,
     : db_(db), txn_(txn), plan_(plan), target_workers_(workers) {}
 
 ParallelScanSource::~ParallelScanSource() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cancel_.store(true, std::memory_order_relaxed);
-  }
-  not_full_.notify_all();
-  not_empty_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return active_ == 0; });
+  MutexLock lock(&mu_);
+  cancel_.store(true, std::memory_order_relaxed);
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
+  while (active_ != 0) not_empty_.Wait();
 }
 
 void ParallelScanSource::EnablePartialAggregate(AggKind kind, int column) {
@@ -324,7 +321,7 @@ Status ParallelScanSource::Open() {
   }
   ParallelScansCounter()->Increment();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     active_ = scans_.size();
   }
   for (size_t i = 0; i < scans_.size(); ++i) {
@@ -334,19 +331,20 @@ Status ParallelScanSource::Open() {
 }
 
 bool ParallelScanSource::PushMorsel(Morsel m) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (queue_.size() >= kMaxQueuedMorsels) {
-    const uint64_t start = MetricsNowNanos();
-    not_full_.wait(lock, [this] {
-      return cancel_.load(std::memory_order_relaxed) ||
-             queue_.size() < kMaxQueuedMorsels;
-    });
-    QueueWaitHistogram()->Record(MetricsNowNanos() - start);
+  {
+    MutexLock lock(&mu_);
+    if (queue_.size() >= kMaxQueuedMorsels) {
+      const uint64_t start = MetricsNowNanos();
+      while (!cancel_.load(std::memory_order_relaxed) &&
+             queue_.size() >= kMaxQueuedMorsels) {
+        not_full_.Wait();
+      }
+      QueueWaitHistogram()->Record(MetricsNowNanos() - start);
+    }
+    if (cancel_.load(std::memory_order_relaxed)) return false;
+    queue_.push_back(std::move(m));
   }
-  if (cancel_.load(std::memory_order_relaxed)) return false;
-  queue_.push_back(std::move(m));
-  lock.unlock();
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   ParallelMorselsCounter()->Increment();
   return true;
 }
@@ -425,7 +423,7 @@ void ParallelScanSource::RunWorker(size_t idx) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!error.ok() && error_.ok()) {
       error_ = error;
       cancel_.store(true, std::memory_order_relaxed);
@@ -435,8 +433,8 @@ void ParallelScanSource::RunWorker(size_t idx) {
     // full queue after a cancel. Notified under the mutex: once active_
     // hits zero the destructor may tear the condvars down, so the last
     // worker must not touch them outside the lock.
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 }
 
@@ -447,17 +445,18 @@ Status ParallelScanSource::Next(Row* row) {
       *row = std::move(current_[current_pos_++]);
       return Status::OK();
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] {
-      return !queue_.empty() || active_ == 0 || !error_.ok();
-    });
-    if (!error_.ok()) return error_;  // first worker failure wins
-    if (queue_.empty()) return Status::NotFound("end of parallel scan");
-    current_ = std::move(queue_.front().rows);
-    queue_.pop_front();
-    current_pos_ = 0;
-    lock.unlock();
-    not_full_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && active_ != 0 && error_.ok()) {
+        not_empty_.Wait();
+      }
+      if (!error_.ok()) return error_;  // first worker failure wins
+      if (queue_.empty()) return Status::NotFound("end of parallel scan");
+      current_ = std::move(queue_.front().rows);
+      queue_.pop_front();
+      current_pos_ = 0;
+    }
+    not_full_.NotifyOne();
   }
 }
 

@@ -8,11 +8,9 @@
 #define DMX_QUERY_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "src/query/plan_cache.h"
 
@@ -211,13 +209,13 @@ class ParallelScanSource : public RowSource {
 
   std::vector<std::unique_ptr<Scan>> scans_;  // one per partition
 
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Morsel> queue_;
-  size_t active_ = 0;  // workers not yet finished
+  Mutex mu_;
+  CondVar not_empty_{&mu_};
+  CondVar not_full_{&mu_};
+  std::deque<Morsel> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;  // workers not yet finished
   std::atomic<bool> cancel_{false};
-  Status error_;  // first worker failure, guarded by mu_
+  Status error_ GUARDED_BY(mu_);  // first worker failure wins
 
   std::vector<Row> current_;  // morsel being drained by the consumer
   size_t current_pos_ = 0;

@@ -19,7 +19,7 @@ bool PlanCache::IsValid(const BoundPlan& plan) const {
 Status PlanCache::Get(const std::string& key, const Builder& builder,
                       std::shared_ptr<const BoundPlan>* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       if (IsValid(*it->second)) {
@@ -39,7 +39,7 @@ Status PlanCache::Get(const std::string& key, const Builder& builder,
   }
   auto plan = std::make_shared<BoundPlan>();
   DMX_RETURN_IF_ERROR(builder(plan.get()));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plans_[key] = plan;
   *out = std::move(plan);
   return Status::OK();
@@ -61,7 +61,7 @@ Status PlanCache::GetAccessPlan(Transaction* txn, const std::string& relation,
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return plans_.size();
 }
 

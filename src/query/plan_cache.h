@@ -22,10 +22,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/query/planner.h"
 #include "src/util/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -78,8 +78,9 @@ class PlanCache {
   bool IsValid(const BoundPlan& plan) const;
 
   Database* db_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const BoundPlan>> plans_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const BoundPlan>> plans_
+      GUARDED_BY(mu_);
   Stats stats_;
   // Process-wide mirrors of stats_ ("plancache.*" in the registry).
   Counter* metric_hits_;

@@ -542,7 +542,8 @@ class SqlExecutor {
     Transaction* txn = db_->BeginAs(session_->user());
     Status s = fn(txn);
     if (s.ok()) return db_->Commit(txn);
-    if (txn->active()) db_->Abort(txn);
+    // The statement's own error is what the caller must see.
+    if (txn->active()) (void)db_->Abort(txn);
     return s;
   }
 
@@ -1629,7 +1630,8 @@ class SqlExecutor {
 };
 
 Session::~Session() {
-  if (txn_ != nullptr) db_->Abort(txn_);
+  // Destructor cleanup; errors are unreportable here.
+  if (txn_ != nullptr) (void)db_->Abort(txn_);
 }
 
 Status Session::Execute(const std::string& sql, QueryResult* result) {

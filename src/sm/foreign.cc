@@ -1,7 +1,6 @@
 #include "src/sm/foreign.h"
 
 #include <map>
-#include <mutex>
 
 #include "src/core/costing.h"
 #include "src/core/database.h"
@@ -11,7 +10,7 @@ namespace dmx {
 
 namespace {
 
-std::mutex g_servers_mu;
+Mutex g_servers_mu;
 std::map<std::string, Database*>& Servers() {
   static auto* servers = new std::map<std::string, Database*>();
   return *servers;
@@ -20,17 +19,17 @@ std::map<std::string, Database*>& Servers() {
 }  // namespace
 
 void RegisterForeignServer(const std::string& name, Database* db) {
-  std::lock_guard<std::mutex> lock(g_servers_mu);
+  MutexLock lock(&g_servers_mu);
   Servers()[name] = db;
 }
 
 void UnregisterForeignServer(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_servers_mu);
+  MutexLock lock(&g_servers_mu);
   Servers().erase(name);
 }
 
 Database* FindForeignServer(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_servers_mu);
+  MutexLock lock(&g_servers_mu);
   auto it = Servers().find(name);
   return it == Servers().end() ? nullptr : it->second;
 }
@@ -121,7 +120,7 @@ Status WithForeignTxn(Database* fdb, Fn&& fn) {
   Transaction* ftxn = fdb->Begin();
   Status s = fn(ftxn);
   if (s.ok()) return fdb->Commit(ftxn);
-  fdb->Abort(ftxn);
+  (void)fdb->Abort(ftxn);  // the operation's own failure takes precedence
   return s;
 }
 
@@ -198,7 +197,8 @@ class ForeignScan : public Scan {
 
   ~ForeignScan() override {
     inner_.reset();  // deregister before the foreign txn ends
-    fdb_->Commit(ftxn_).ok();
+    // Read-only foreign txn; a commit failure is unreportable here.
+    (void)fdb_->Commit(ftxn_);
   }
 
   Status Next(ScanItem* out) override { return inner_->Next(out); }
@@ -226,7 +226,7 @@ Status ForeignOpenScan(SmContext& ctx, const ScanSpec& spec,
   Status s = fdb->OpenScanOn(ftxn, fdesc, AccessPathId::StorageMethod(),
                              spec, &inner);
   if (!s.ok()) {
-    fdb->Abort(ftxn);
+    (void)fdb->Abort(ftxn);  // the open failure takes precedence
     return s;
   }
   *scan = std::make_unique<ForeignScan>(fdb, ftxn, std::move(inner));
@@ -241,8 +241,10 @@ Status ForeignCost(SmContext& ctx, const std::vector<ExprPtr>& predicates,
   DMX_RETURN_IF_ERROR(Resolve(st, &fdb, &fdesc));
   uint64_t n = 0;
   Transaction* ftxn = fdb->Begin();
-  fdb->CountRecords(ftxn, fdesc, &n).ok();
-  fdb->Commit(ftxn).ok();
+  // Best-effort: an unreachable count leaves n = 0, which only skews the
+  // cost estimate — never correctness.
+  (void)fdb->CountRecords(ftxn, fdesc, &n);
+  (void)fdb->Commit(ftxn);
   out->usable = true;
   // Remote accesses are charged a per-record messaging premium.
   out->io_cost = static_cast<double>(n) * 0.1;
@@ -262,8 +264,8 @@ Status ForeignCount(SmContext& ctx, uint64_t* records) {
   DMX_RETURN_IF_ERROR(Resolve(st, &fdb, &fdesc));
   Transaction* ftxn = fdb->Begin();
   Status s = fdb->CountRecords(ftxn, fdesc, records);
-  fdb->Commit(ftxn).ok();
-  return s;
+  Status c = fdb->Commit(ftxn);
+  return s.ok() ? c : s;
 }
 
 // Undo = compensating operation against the foreign database. Redo is a
@@ -312,6 +314,47 @@ Status ForeignUndo(SmContext& ctx, const LogRecord& rec, Lsn) {
 
 Status ForeignRedo(SmContext&, const LogRecord&, Lsn) { return Status::OK(); }
 
+// Consistency sweep: the foreign database owns its own storage, so the
+// local structure to check is the binding — server reachable, relation
+// present, schemas still in agreement — plus a scan to confirm every
+// remote record is actually readable through the link.
+Status ForeignVerify(SmContext& ctx, VerifyReport* report) {
+  ForeignState* st = StateOf(ctx);
+  Database* fdb = FindForeignServer(st->server);
+  if (fdb == nullptr) {
+    report->Problem("foreign server '" + st->server + "' unreachable");
+    return Status::OK();
+  }
+  const RelationDescriptor* fdesc;
+  Status s = fdb->FindRelation(st->relation, &fdesc);
+  if (!s.ok()) {
+    report->Problem("foreign relation '" + st->relation +
+                    "' missing on server '" + st->server + "'");
+    return Status::OK();
+  }
+  if (!(fdesc->schema == ctx.desc->schema)) {
+    report->Problem("schema drift: foreign relation '" + st->relation +
+                    "' no longer matches the local schema");
+  }
+  return WithForeignTxn(fdb, [&](Transaction* ftxn) {
+    std::unique_ptr<Scan> scan;
+    DMX_RETURN_IF_ERROR(fdb->OpenScanOn(ftxn, fdesc,
+                                        AccessPathId::StorageMethod(),
+                                        ScanSpec{}, &scan));
+    ScanItem item;
+    while (true) {
+      Status n = scan->Next(&item);
+      if (n.IsNotFound()) break;
+      if (!n.ok()) {
+        report->Problem("foreign scan failed: " + n.ToString());
+        break;
+      }
+      ++report->items;
+    }
+    return Status::OK();
+  });
+}
+
 }  // namespace
 
 const SmOps& ForeignStorageMethodOps() {
@@ -331,6 +374,7 @@ const SmOps& ForeignStorageMethodOps() {
     o.undo = ForeignUndo;
     o.redo = ForeignRedo;
     o.count = ForeignCount;
+    o.verify = ForeignVerify;
     return o;
   }();
   return ops;

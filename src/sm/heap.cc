@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 #include <set>
 
 #include "src/core/costing.h"
@@ -27,8 +26,10 @@ struct HeapState : public ExtState {
   /// concurrent writer transactions. Record X locks don't help here: two
   /// inserters lock different records yet mutate the same tail page.
   /// Readers need no lock — their relation S lock conflicts with the
-  /// writers' IX, so state reads never race a writer.
-  std::mutex mu;
+  /// writers' IX, so state reads never race a writer. GUARDED_BY would
+  /// therefore be wrong: it would force readers to take a lock they are
+  /// correct not to need.
+  Mutex mu;  // dmx-lint: allow-unguarded (reader exclusion via S lock)
 };
 
 HeapState* StateOf(SmContext& ctx) {
@@ -180,20 +181,20 @@ Status HeapEraseLocked(SmContext& ctx, const Slice& record_key,
 
 Status HeapInsert(SmContext& ctx, const Slice& record,
                   std::string* record_key) {
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   return HeapInsertLocked(ctx, record, record_key);
 }
 
 Status HeapErase(SmContext& ctx, const Slice& record_key,
                  const Slice& old_record) {
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   return HeapEraseLocked(ctx, record_key, old_record);
 }
 
 Status HeapUpdate(SmContext& ctx, const Slice& record_key,
                   const Slice& old_record, const Slice& new_record,
                   std::string* new_key) {
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   Rid rid;
   DMX_RETURN_IF_ERROR(Rid::Decode(record_key, &rid));
   {
@@ -515,7 +516,7 @@ Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
   // Transaction-time undo (abort, veto, savepoint rollback) can run while
   // other writer transactions mutate the same pages; restart recovery is
   // single-threaded and merely pays an uncontended lock.
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   HeapLogOp op;
   DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
   // Gate on the page LSN only when *redoing a CLR* (restart replaying an
@@ -531,7 +532,7 @@ Status HeapUndo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
 }
 
 Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   HeapLogOp op;
   DMX_RETURN_IF_ERROR(ParseHeapPayload(Slice(rec.payload), &op));
   return ApplyHeapOp(ctx, op, /*undo=*/false, apply_lsn,
@@ -544,7 +545,7 @@ Status HeapRedo(SmContext& ctx, const LogRecord& rec, Lsn apply_lsn) {
 // the chain itself; recount and compare against the open-state counters.
 // Unreadable (CRC-failing) pages become findings, not errors.
 Status HeapVerify(SmContext& ctx, VerifyReport* report) {
-  std::lock_guard<std::mutex> lock(StateOf(ctx)->mu);
+  MutexLock lock(&StateOf(ctx)->mu);
   HeapState* st = StateOf(ctx);
   BufferPool* bp = ctx.db->buffer_pool();
   PageId page = FirstPageOf(Slice(ctx.desc->sm_desc));

@@ -20,7 +20,7 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
 
 void PageHandle::MarkDirty() {
   if (pool_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(pool_->mu_);
+  MutexLock lock(&pool_->mu_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -42,10 +42,12 @@ BufferPool::BufferPool(PageFile* file, size_t capacity,
   metric_flushes_ = metrics->GetCounter("bufferpool.writebacks");
 }
 
-BufferPool::~BufferPool() { FlushAll().ok(); }
+BufferPool::~BufferPool() {
+  (void)FlushAll();  // best-effort write-back; errors unreportable here
+}
 
 void BufferPool::Unpin(size_t frame, PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Frame& f = frames_[frame];
   assert(f.in_use && f.pid == pid && f.pin_count > 0);
   (void)pid;
@@ -96,7 +98,7 @@ Status BufferPool::GetFreeFrame(size_t* frame) {
 }
 
 Status BufferPool::Fetch(PageId id, PageHandle* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(id);
   if (it != table_.end()) {
     Frame& f = frames_[it->second];
@@ -125,7 +127,7 @@ Status BufferPool::Fetch(PageId id, PageHandle* out) {
 
 Status BufferPool::New(PageId* id, PageHandle* out) {
   DMX_RETURN_IF_ERROR(file_->Allocate(id));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t frame;
   DMX_RETURN_IF_ERROR(GetFreeFrame(&frame));
   Frame& f = frames_[frame];
@@ -142,7 +144,7 @@ Status BufferPool::New(PageId* id, PageHandle* out) {
 
 Status BufferPool::FreePage(PageId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = table_.find(id);
     if (it != table_.end()) {
       Frame& f = frames_[it->second];
@@ -158,7 +160,7 @@ Status BufferPool::FreePage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (Frame& f : frames_) {
     if (f.in_use) DMX_RETURN_IF_ERROR(FlushFrame(f));
   }

@@ -10,7 +10,6 @@
 #define DMX_STORAGE_BUFFER_POOL_H_
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "src/util/common.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -113,24 +113,23 @@ class BufferPool {
   };
 
   void Unpin(size_t frame, PageId pid);
-  // Requires mu_ held. Finds a victim frame, writing it back if dirty.
-  Status GetFreeFrame(size_t* frame);
-  // Requires mu_ held.
-  Status FlushFrame(Frame& f);
+  // Finds a victim frame, writing it back if dirty.
+  Status GetFreeFrame(size_t* frame) REQUIRES(mu_);
+  Status FlushFrame(Frame& f) REQUIRES(mu_);
 
   PageFile* file_;
   size_t capacity_;
   std::function<Status(Lsn)> wal_flush_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> table_ GUARDED_BY(mu_);
+  size_t clock_hand_ GUARDED_BY(mu_) = 0;
+  BufferPoolStats stats_;  // atomic counters, written under mu_
   // Process-wide mirrors of stats_ ("bufferpool.*" in the registry).
   Counter* metric_hits_;
   Counter* metric_misses_;
   Counter* metric_evictions_;
   Counter* metric_flushes_;
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 }  // namespace dmx

@@ -21,10 +21,11 @@ void SetPageLsn(Page* p, Lsn lsn) {
 }
 
 PageFile::~PageFile() {
-  if (file_) Close();
+  (void)Close();  // best-effort header write; errors unreportable here
 }
 
 Status PageFile::Open(const std::string& path, bool create, Env* env) {
+  MutexLock lock(&mu_);
   env_ = env != nullptr ? env : Env::Default();
   const bool existed = env_->FileExists(path).ok();
   DMX_RETURN_IF_ERROR(env_->NewRandomAccessFile(path, create, &file_));
@@ -43,13 +44,14 @@ Status PageFile::Open(const std::string& path, bool create, Env* env) {
     s = ReadHeader();
   }
   if (!s.ok()) {
-    file_->Close();
+    (void)file_->Close();  // the open failure takes precedence
     file_.reset();
   }
   return s;
 }
 
 Status PageFile::Close() {
+  MutexLock lock(&mu_);
   if (!file_) return Status::OK();
   Status s = WriteHeader();
   Status c = file_->Close();
@@ -112,7 +114,7 @@ Status PageFile::WriteHeader() {
 }
 
 Status PageFile::Allocate(PageId* id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freelist_head_ != kInvalidPageId) {
     PageId reused = freelist_head_;
     char buf[kPageSize];
@@ -140,7 +142,7 @@ Status PageFile::Allocate(PageId* id) {
 }
 
 Status PageFile::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("free of invalid page " +
                                    std::to_string(id));

@@ -16,13 +16,14 @@
 #ifndef DMX_STORAGE_PAGE_FILE_H_
 #define DMX_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/util/common.h"
 #include "src/util/env.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -72,23 +73,30 @@ class PageFile {
   Status Write(PageId id, const Page& page);
 
   /// Total pages including header and free pages.
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   /// fsync the file.
   Status Sync();
 
  private:
-  Status ReadHeader();
-  Status WriteHeader();
+  Status ReadHeader() REQUIRES(mu_);
+  Status WriteHeader() REQUIRES(mu_);
   Status ReadRaw(PageId id, char* buf);
   Status WriteRaw(PageId id, const char* buf);
 
+  // env_/file_/path_ are set at Open and cleared at Close — both quiesced
+  // (no concurrent page I/O) — and are otherwise read-only; the pread/
+  // pwrite-style RandomAccessFile calls are themselves thread-safe.
   Env* env_ = nullptr;
   std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
-  uint32_t page_count_ = 0;
-  PageId freelist_head_ = kInvalidPageId;
-  std::mutex mu_;  // guards allocation metadata
+  // Written only under mu_ (allocation), read lock-free by page_count()
+  // and the Read/Write bounds checks.
+  std::atomic<uint32_t> page_count_{0};
+  PageId freelist_head_ GUARDED_BY(mu_) = kInvalidPageId;
+  mutable Mutex mu_;  // guards allocation metadata
 };
 
 }  // namespace dmx

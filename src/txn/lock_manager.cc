@@ -107,7 +107,7 @@ TxnId LockManager::ChooseVictim(const std::set<TxnId>& cycle) const {
 
 Status LockManager::Lock(TxnId txn, const std::string& resource,
                          LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& e = table_[resource];
   auto mine = e.granted.find(txn);
   LockMode needed = mode;
@@ -132,7 +132,7 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
       if (victims_.insert(victim).second) {
         metric_deadlocks_->Increment();
         metric_deadlock_victims_->Increment();
-        cv_.notify_all();
+        cv_.NotifyAll();
       }
     }
     if (wait_start == 0) {
@@ -140,14 +140,14 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
       wait_start = MetricsNowNanos();
     }
     e.waiting[txn] = needed;
-    auto result = cv_.wait_until(lock, deadline);
+    const bool notified = cv_.WaitUntil(deadline);
     e.waiting.erase(txn);
     if (victims_.erase(txn) > 0) {
       metric_wait_ns_->Record(MetricsNowNanos() - wait_start);
       return Status::Deadlock("lock '" + resource +
                               "' (chosen as deadlock victim)");
     }
-    if (result == std::cv_status::timeout) {
+    if (!notified) {
       TxnId blocker = kInvalidTxnId;
       for (const auto& [holder, held] : e.granted) {
         if (holder != txn && !LockCompatible(held, needed)) {
@@ -175,7 +175,7 @@ Status LockManager::Lock(TxnId txn, const std::string& resource,
 
 Status LockManager::TryLock(TxnId txn, const std::string& resource,
                             LockMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& e = table_[resource];
   auto mine = e.granted.find(txn);
   LockMode needed = mode;
@@ -193,7 +193,7 @@ Status LockManager::TryLock(TxnId txn, const std::string& resource,
 }
 
 void LockManager::UnlockAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_txn_.find(txn);
   if (it == by_txn_.end()) return;
   for (const std::string& res : it->second) {
@@ -205,12 +205,12 @@ void LockManager::UnlockAll(TxnId txn) {
     }
   }
   by_txn_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, const std::string& resource,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = table_.find(resource);
   if (it == table_.end()) return false;
   auto g = it->second.granted.find(txn);
@@ -219,7 +219,7 @@ bool LockManager::Holds(TxnId txn, const std::string& resource,
 }
 
 size_t LockManager::LockedResourceCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return table_.size();
 }
 

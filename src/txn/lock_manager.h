@@ -17,9 +17,7 @@
 #define DMX_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +26,7 @@
 #include "src/util/metrics.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -72,7 +71,10 @@ class LockManager {
 
   /// How long to wait before declaring Busy (deadlocks are detected
   /// eagerly; the timeout is a safety net).
-  void set_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+  void set_timeout(std::chrono::milliseconds t) {
+    MutexLock lock(&mu_);
+    timeout_ = t;
+  }
 
  private:
   struct Entry {
@@ -81,22 +83,23 @@ class LockManager {
     std::map<TxnId, LockMode> waiting;
   };
 
-  // All require mu_ held:
-  bool CanGrant(const Entry& e, TxnId txn, LockMode mode) const;
+  bool CanGrant(const Entry& e, TxnId txn, LockMode mode) const
+      REQUIRES(mu_);
   // True if waiting would close a cycle; fills `cycle` with its members.
   bool FindDeadlockCycle(TxnId waiter, const std::string& resource,
-                         LockMode mode, std::set<TxnId>* cycle) const;
+                         LockMode mode, std::set<TxnId>* cycle) const
+      REQUIRES(mu_);
   // Cycle member holding the fewest locks; ties go to the youngest txn.
-  TxnId ChooseVictim(const std::set<TxnId>& cycle) const;
+  TxnId ChooseVictim(const std::set<TxnId>& cycle) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, Entry> table_;
-  std::map<TxnId, std::set<std::string>> by_txn_;
+  mutable Mutex mu_;
+  CondVar cv_{&mu_};
+  std::map<std::string, Entry> table_ GUARDED_BY(mu_);
+  std::map<TxnId, std::set<std::string>> by_txn_ GUARDED_BY(mu_);
   // Waiters condemned by another request's deadlock detection; each returns
   // Deadlock from its own Lock() call on next wake.
-  std::set<TxnId> victims_;
-  std::chrono::milliseconds timeout_{2000};
+  std::set<TxnId> victims_ GUARDED_BY(mu_);
+  std::chrono::milliseconds timeout_ GUARDED_BY(mu_){2000};
   // Registry metrics ("lock.*"), resolved once at construction. Waits are
   // counted and timed only when a request actually blocks, so the
   // uncontended fast path pays one counter increment.

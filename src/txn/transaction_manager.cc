@@ -20,10 +20,12 @@ Transaction* TransactionManager::Begin() {
   rec.type = LogRecType::kBegin;
   rec.txn = id;
   rec.prev_lsn = kInvalidLsn;
-  log_->Append(&rec);
+  // Begin cannot report a Status. A failed append poisons the log, so the
+  // transaction's commit (which must append and flush) fails instead.
+  (void)log_->Append(&rec);
   txn->set_last_lsn(rec.lsn);
   Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   live_[id] = std::move(txn);
   return raw;
 }
@@ -39,7 +41,7 @@ Status TransactionManager::FinishTxn(Transaction* txn, bool committed) {
   end.prev_lsn = txn->last_lsn();
   DMX_RETURN_IF_ERROR(log_->Append(&end));
   txn->set_last_lsn(end.lsn);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   live_.erase(txn->id());  // frees the Transaction
   return Status::OK();
 }
@@ -92,7 +94,9 @@ Status TransactionManager::Abort(Transaction* txn) {
   DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), kInvalidLsn, &last));
   txn->set_last_lsn(last);
 
-  txn->RunDeferred(TxnEvent::kAbort, /*stop_on_error=*/false);
+  // Abort-time deferred actions are best-effort: a failure cannot change
+  // the outcome — the transaction is rolling back regardless.
+  (void)txn->RunDeferred(TxnEvent::kAbort, /*stop_on_error=*/false);
   txn->state_ = TxnState::kAborted;
   return FinishTxn(txn, /*committed=*/false);
 }

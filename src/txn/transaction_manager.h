@@ -8,12 +8,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/txn/lock_manager.h"
 #include "src/txn/transaction.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/recovery.h"
 
 namespace dmx {
@@ -84,7 +84,7 @@ class TransactionManager {
 
   /// Transactions currently live (quiesced-checkpoint precondition).
   size_t ActiveTransactionCount() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return live_.size();
   }
 
@@ -103,10 +103,13 @@ class TransactionManager {
   LogManager* log_;
   LockManager* locks_;
   std::unique_ptr<RecoveryDriver> driver_;
+  // Installed at startup before transactions run, then read-only on the
+  // commit/abort paths — not guarded (AddObserver is not thread-safe).
   std::vector<TxnObserver*> observers_;
   std::atomic<TxnId> next_txn_id_{1};
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_;
-  std::mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_
+      GUARDED_BY(mu_);
+  Mutex mu_;
   // Registry metrics ("txn.*"), resolved once at construction. Commit
   // latency includes the log force and deferred actions; abort latency
   // includes the log-driven rollback.

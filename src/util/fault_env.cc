@@ -15,7 +15,7 @@ class FaultFile : public RandomAccessFile {
   Status Read(uint64_t offset, size_t n, char* scratch,
               size_t* out_n) override {
     {
-      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      MutexLock lock(&env_->state_.mu);
       if (env_->ShouldFailReadLocked()) {
         return Status::IOError("injected read fault on '" + path_ + "'");
       }
@@ -26,7 +26,7 @@ class FaultFile : public RandomAccessFile {
   Status Write(uint64_t offset, const char* data, size_t n) override {
     FaultInjectionEnv::CorruptMode corrupt;
     {
-      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      MutexLock lock(&env_->state_.mu);
       if (env_->ShouldFailWriteLocked()) {
         return Status::IOError("injected write fault on '" + path_ + "'");
       }
@@ -42,7 +42,7 @@ class FaultFile : public RandomAccessFile {
         if (n > 0) {
           uint64_t bit;
           {
-            std::lock_guard<std::mutex> lock(env_->state_.mu);
+            MutexLock lock(&env_->state_.mu);
             bit = env_->state_.rng() % (n * 8);
           }
           copy[bit / 8] = static_cast<char>(copy[bit / 8] ^ (1u << (bit % 8)));
@@ -59,7 +59,7 @@ class FaultFile : public RandomAccessFile {
 
   Status Truncate(uint64_t size) override {
     {
-      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      MutexLock lock(&env_->state_.mu);
       if (env_->ShouldFailWriteLocked()) {
         return Status::IOError("injected truncate fault on '" + path_ + "'");
       }
@@ -70,7 +70,7 @@ class FaultFile : public RandomAccessFile {
 
   Status Sync(bool data_only) override {
     {
-      std::lock_guard<std::mutex> lock(env_->state_.mu);
+      MutexLock lock(&env_->state_.mu);
       if (env_->ShouldFailSyncLocked()) {
         return Status::IOError("injected sync fault on '" + path_ + "'");
       }
@@ -94,42 +94,42 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
 void FaultInjectionEnv::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.rng.seed(seed);
 }
 
 void FaultInjectionEnv::SetWriteFailAfter(int64_t n) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.write_fail_after = n;
 }
 
 void FaultInjectionEnv::SetSyncFailAfter(int64_t n) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.sync_fail_after = n;
 }
 
 void FaultInjectionEnv::SetReadErrorProb(double p) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.read_error_prob = p;
 }
 
 void FaultInjectionEnv::SetWriteErrorProb(double p) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.write_error_prob = p;
 }
 
 void FaultInjectionEnv::SetSyncErrorProb(double p) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.sync_error_prob = p;
 }
 
 void FaultInjectionEnv::SetCorruptNextWrite(CorruptMode mode) {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.corrupt_next = mode;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.dead = false;
   state_.write_fail_after = -1;
   state_.sync_fail_after = -1;
@@ -140,22 +140,22 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 bool FaultInjectionEnv::dead_disk() const {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   return state_.dead;
 }
 
 uint64_t FaultInjectionEnv::writes() const {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   return state_.writes;
 }
 
 uint64_t FaultInjectionEnv::syncs() const {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   return state_.syncs;
 }
 
 uint64_t FaultInjectionEnv::injected_faults() const {
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   return state_.injected;
 }
 
@@ -211,7 +211,7 @@ bool FaultInjectionEnv::ShouldFailReadLocked() {
 void FaultInjectionEnv::SnapshotSynced(const std::string& path) {
   std::string content;
   if (!base_->ReadFileToString(path, &content).ok()) return;
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   state_.files[path].synced_content = std::move(content);
 }
 
@@ -224,7 +224,7 @@ Status FaultInjectionEnv::NewRandomAccessFile(
   std::unique_ptr<RandomAccessFile> base_file;
   DMX_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, create, &base_file));
   {
-    std::lock_guard<std::mutex> lock(state_.mu);
+    MutexLock lock(&state_.mu);
     if (state_.files.find(path) == state_.files.end()) {
       FileState fs;
       if (existed) {
@@ -250,7 +250,7 @@ Status FaultInjectionEnv::GetFileSize(const std::string& path, uint64_t* out) {
 Status FaultInjectionEnv::DeleteFile(const std::string& path) {
   Status s = base_->DeleteFile(path);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(state_.mu);
+    MutexLock lock(&state_.mu);
     state_.files.erase(path);
   }
   return s;
@@ -259,7 +259,7 @@ Status FaultInjectionEnv::DeleteFile(const std::string& path) {
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   DMX_RETURN_IF_ERROR(base_->RenameFile(from, to));
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   auto it = state_.files.find(from);
   FileState moved;
   if (it != state_.files.end()) {
@@ -279,14 +279,14 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
 
 Status FaultInjectionEnv::SyncDir(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(state_.mu);
+    MutexLock lock(&state_.mu);
     if (ShouldFailSyncLocked()) {
       return Status::IOError("injected dir-sync fault on '" + path + "'");
     }
     ++state_.syncs;
   }
   DMX_RETURN_IF_ERROR(base_->SyncDir(path));
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   for (auto& [file_path, fs] : state_.files) {
     if (DirnameOf(file_path) == path) fs.created_durable = true;
   }
@@ -296,7 +296,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& path) {
 Status FaultInjectionEnv::WriteFileAtomic(const std::string& path,
                                           const Slice& data) {
   {
-    std::lock_guard<std::mutex> lock(state_.mu);
+    MutexLock lock(&state_.mu);
     if (ShouldFailWriteLocked() || ShouldFailSyncLocked()) {
       return Status::IOError("injected atomic-write fault on '" + path + "'");
     }
@@ -304,7 +304,7 @@ Status FaultInjectionEnv::WriteFileAtomic(const std::string& path,
     ++state_.syncs;
   }
   DMX_RETURN_IF_ERROR(base_->WriteFileAtomic(path, data));
-  std::lock_guard<std::mutex> lock(state_.mu);
+  MutexLock lock(&state_.mu);
   FileState& fs = state_.files[path];
   fs.synced_content.assign(data.data(), data.size());
   fs.created_durable = true;
@@ -316,7 +316,7 @@ Status FaultInjectionEnv::DropUnsyncedWrites() {
   std::vector<std::pair<std::string, FileState>> keep;
   std::vector<std::string> doomed;
   {
-    std::lock_guard<std::mutex> lock(state_.mu);
+    MutexLock lock(&state_.mu);
     for (auto& [path, fs] : state_.files) {
       if (fs.created_durable) {
         keep.emplace_back(path, fs);

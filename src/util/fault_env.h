@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <random>
 #include <string>
 
 #include "src/util/env.h"
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -90,26 +90,26 @@ class FaultInjectionEnv : public Env {
   };
 
   struct State {
-    mutable std::mutex mu;
-    std::mt19937_64 rng{0xD3F4A17u};
-    bool dead = false;
-    int64_t write_fail_after = -1;
-    int64_t sync_fail_after = -1;
-    double read_error_prob = 0;
-    double write_error_prob = 0;
-    double sync_error_prob = 0;
-    CorruptMode corrupt_next = CorruptMode::kNone;
-    uint64_t writes = 0;
-    uint64_t syncs = 0;
-    uint64_t injected = 0;
-    std::map<std::string, FileState> files;
+    mutable Mutex mu;
+    std::mt19937_64 rng GUARDED_BY(mu){0xD3F4A17u};
+    bool dead GUARDED_BY(mu) = false;
+    int64_t write_fail_after GUARDED_BY(mu) = -1;
+    int64_t sync_fail_after GUARDED_BY(mu) = -1;
+    double read_error_prob GUARDED_BY(mu) = 0;
+    double write_error_prob GUARDED_BY(mu) = 0;
+    double sync_error_prob GUARDED_BY(mu) = 0;
+    CorruptMode corrupt_next GUARDED_BY(mu) = CorruptMode::kNone;
+    uint64_t writes GUARDED_BY(mu) = 0;
+    uint64_t syncs GUARDED_BY(mu) = 0;
+    uint64_t injected GUARDED_BY(mu) = 0;
+    std::map<std::string, FileState> files GUARDED_BY(mu);
   };
 
   // All return true when the operation must fail (mu held by caller).
-  bool ShouldFailWriteLocked();
-  bool ShouldFailSyncLocked();
-  bool ShouldFailReadLocked();
-  bool CoinLocked(double p);
+  bool ShouldFailWriteLocked() REQUIRES(state_.mu);
+  bool ShouldFailSyncLocked() REQUIRES(state_.mu);
+  bool ShouldFailReadLocked() REQUIRES(state_.mu);
+  bool CoinLocked(double p) REQUIRES(state_.mu);
 
   // Record the real file's current content as the synced snapshot.
   void SnapshotSynced(const std::string& path);

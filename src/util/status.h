@@ -19,7 +19,11 @@ namespace dmx {
 /// reject a relation modification (the paper: "any attachment can veto the
 /// entire record modification operation"); the data manager converts a veto
 /// into a partial rollback of the already-executed effects.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure. Callers that
+/// genuinely cannot act on an error (destructors, best-effort cleanup)
+/// must say so with `(void)Call();` and a comment giving the reason.
+class [[nodiscard]] Status {
  public:
   enum class Code : uint8_t {
     kOk = 0,

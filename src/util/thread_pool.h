@@ -12,12 +12,12 @@
 #ifndef DMX_UTIL_THREAD_POOL_H_
 #define DMX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace dmx {
 
@@ -41,10 +41,10 @@ class ThreadPool {
   void Loop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_{&mu_};
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dmx

@@ -33,10 +33,11 @@ LogManager::LogManager() {
 }
 
 LogManager::~LogManager() {
-  if (file_) Close();
+  (void)Close();  // best-effort final flush; errors unreportable here
 }
 
 Status LogManager::Open(const std::string& path, bool create, Env* env) {
+  MutexLock lock(&mu_);
   env_ = env != nullptr ? env : Env::Default();
   const bool existed = env_->FileExists(path).ok();
   DMX_RETURN_IF_ERROR(env_->NewRandomAccessFile(path, create, &file_));
@@ -71,13 +72,14 @@ Status LogManager::Open(const std::string& path, bool create, Env* env) {
     }
   }
   if (!s.ok()) {
-    file_->Close();
+    (void)file_->Close();  // the open failure takes precedence
     file_.reset();
     return s;
   }
-  next_lsn_ = base_lsn_ + static_cast<Lsn>(size) - kLogHeaderSize + 1;
-  flushed_lsn_ = next_lsn_ - 1;
-  buffer_start_ = next_lsn_;
+  const Lsn next = base_lsn_ + static_cast<Lsn>(size) - kLogHeaderSize + 1;
+  next_lsn_.store(next, std::memory_order_release);
+  flushed_lsn_.store(next - 1, std::memory_order_release);
+  buffer_start_ = next;
   return Status::OK();
 }
 
@@ -92,18 +94,20 @@ Status LogManager::WriteHeaderLocked() {
 }
 
 Status LogManager::Close() {
+  MutexLock lock(&mu_);
   if (!file_) return Status::OK();
-  Status s = FlushAll();
+  Status s =
+      FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
   Status c = file_->Close();
   file_.reset();
   return s.ok() ? c : s;
 }
 
 Status LogManager::Append(LogRecord* rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ScopedTimer timer((append_tick_++ & 63) == 0 ? metric_append_ns_ : nullptr);
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
-  rec->lsn = next_lsn_;
+  rec->lsn = next_lsn_.load(std::memory_order_relaxed);
   std::string body;
   rec->EncodeTo(&body);
   std::string framed;
@@ -111,16 +115,22 @@ Status LogManager::Append(LogRecord* rec) {
   PutFixed32(&framed, FrameCrc(gen_, body.data(), body.size()));
   framed += body;
   buffer_ += framed;
-  next_lsn_ += framed.size();
+  next_lsn_.store(rec->lsn + framed.size(), std::memory_order_release);
   records_appended_.Increment();
   metric_appends_->Increment();
   return Status::OK();
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
+  return FlushToLocked(lsn);
+}
+
+Status LogManager::FlushToLocked(Lsn lsn) {
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
-  if (lsn <= flushed_lsn_) return Status::OK();
+  if (lsn <= flushed_lsn_.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
   if (buffer_.empty()) return Status::OK();
   ScopedTimer timer(metric_sync_ns_);
   metric_syncs_->Increment();
@@ -129,19 +139,20 @@ Status LogManager::FlushTo(Lsn lsn) {
       buffer_.size()));
   DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
   buffer_start_ += buffer_.size();
-  flushed_lsn_ = buffer_start_ - 1;
+  flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
   buffer_.clear();
   return Status::OK();
 }
 
 Status LogManager::FlushAll() {
+  MutexLock lock(&mu_);
   if (!file_) return Status::OK();
-  return FlushTo(next_lsn_ - 1);
+  return FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
 }
 
 Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   DMX_RETURN_IF_ERROR(FlushAll());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t size = 0;
   DMX_RETURN_IF_ERROR(file_->Size(&size));
   if (size <= kLogHeaderSize) return Status::OK();
@@ -190,17 +201,19 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
     // tail in place risks replaying garbage after the next crash.
     DMX_RETURN_IF_ERROR(file_->Truncate(kLogHeaderSize + pos));
     DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
-    next_lsn_ = base_lsn_ + static_cast<Lsn>(pos) + 1;
-    flushed_lsn_ = next_lsn_ - 1;
-    buffer_start_ = next_lsn_;
+    const Lsn next = base_lsn_ + static_cast<Lsn>(pos) + 1;
+    next_lsn_.store(next, std::memory_order_release);
+    flushed_lsn_.store(next - 1, std::memory_order_release);
+    buffer_start_ = next;
   }
   return Status::OK();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
-  if (lsn == kInvalidLsn || lsn <= base_lsn_ || lsn >= next_lsn_) {
+  if (lsn == kInvalidLsn || lsn <= base_lsn_ ||
+      lsn >= next_lsn_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
   }
   // Serve from the in-memory buffer if not yet flushed.
@@ -240,14 +253,14 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 }
 
 Status LogManager::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (poisoned_) return Status::IOError("log poisoned by failed truncation");
   if (!buffer_.empty()) {
     return Status::Busy("flush the log before truncating");
   }
   const Lsn old_base = base_lsn_;
   const uint32_t old_gen = gen_;
-  base_lsn_ = next_lsn_ - 1;
+  base_lsn_ = next_lsn_.load(std::memory_order_relaxed) - 1;
   gen_ += 1;
   // Header first: once the new header (advanced base, bumped generation) is
   // durable, any frames still in the file belong to the old generation and
@@ -271,8 +284,8 @@ Status LogManager::Truncate() {
     poisoned_ = true;
     return s;
   }
-  buffer_start_ = next_lsn_;
-  flushed_lsn_ = next_lsn_ - 1;
+  buffer_start_ = next_lsn_.load(std::memory_order_relaxed);
+  flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
   return Status::OK();
 }
 

@@ -38,7 +38,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +45,7 @@
 #include "src/util/env.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/log_record.h"
 
 namespace dmx {
@@ -72,8 +72,10 @@ class LogManager {
   /// Flush everything appended so far.
   Status FlushAll();
 
-  Lsn flushed_lsn() const { return flushed_lsn_; }
-  Lsn next_lsn() const { return next_lsn_; }
+  Lsn flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
+  Lsn next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
 
   /// Read the entire log (for restart recovery). A torn final record or a
   /// stale post-truncation tail is tolerated: replay stops before it and
@@ -94,19 +96,24 @@ class LogManager {
   uint64_t records_appended() const { return records_appended_; }
 
  private:
-  Status WriteHeaderLocked();
+  Status WriteHeaderLocked() REQUIRES(mu_);
+  Status FlushToLocked(Lsn lsn) REQUIRES(mu_);
 
-  Env* env_ = nullptr;
-  std::unique_ptr<RandomAccessFile> file_;
-  std::string path_;
-  Lsn base_lsn_ = 0;     // LSNs below this were truncated away
-  uint32_t gen_ = 1;     // bumped on every truncation
-  Lsn next_lsn_ = 1;
-  Lsn flushed_lsn_ = 0;  // highest durable LSN
-  std::string buffer_;   // unflushed bytes
-  Lsn buffer_start_ = 1; // LSN of buffer_[0]
+  Env* env_ GUARDED_BY(mu_) = nullptr;
+  std::unique_ptr<RandomAccessFile> file_ GUARDED_BY(mu_);
+  std::string path_ GUARDED_BY(mu_);
+  Lsn base_lsn_ GUARDED_BY(mu_) = 0;  // LSNs below this were truncated away
+  uint32_t gen_ GUARDED_BY(mu_) = 1;  // bumped on every truncation
+  // next_lsn_ / flushed_lsn_ are written only under mu_ but read lock-free
+  // by the public accessors (stats, tests) while appenders run, so they are
+  // atomics, not GUARDED_BY members.
+  std::atomic<Lsn> next_lsn_{1};
+  std::atomic<Lsn> flushed_lsn_{0};  // highest durable LSN
+  std::string buffer_ GUARDED_BY(mu_);    // unflushed bytes
+  Lsn buffer_start_ GUARDED_BY(mu_) = 1;  // LSN of buffer_[0]
   Counter records_appended_;  // atomic: read by stats while writers append
-  bool poisoned_ = false;  // set on unrecoverable Truncate failure
+  // Set on unrecoverable Truncate failure.
+  bool poisoned_ GUARDED_BY(mu_) = false;
   // Registry metrics ("wal.*"), resolved once at construction. Appends are
   // a few hundred ns, so their latency is sampled 1-in-64; fsyncs are µs+
   // and every one is timed. The sampling tick is guarded by mu_ like the
@@ -115,8 +122,8 @@ class LogManager {
   Histogram* metric_append_ns_;
   Counter* metric_syncs_;
   Histogram* metric_sync_ns_;
-  uint64_t append_tick_ = 0;
-  mutable std::mutex mu_;
+  uint64_t append_tick_ GUARDED_BY(mu_) = 0;
+  mutable Mutex mu_;
 };
 
 }  // namespace dmx

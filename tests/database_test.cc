@@ -82,7 +82,7 @@ class DatabaseTest : public ::testing::Test {
     ScanItem item;
     while (scan->Next(&item).ok()) ids.push_back(item.view.GetInt(0));
     scan.reset();
-    db_->Commit(txn);
+    EXPECT_TRUE(db_->Commit(txn).ok());
     return ids;
   }
 
@@ -147,7 +147,7 @@ TEST_F(DatabaseTest, UpdateChangesFieldsAndPossiblyKey) {
   ASSERT_TRUE(db_->Fetch(txn, "employee", Slice(key), &rec).ok());
   Schema schema = EmployeeSchema();
   EXPECT_EQ(rec.View(&schema).GetDouble(2), 75.0);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(DatabaseTest, ScanWithFilterPushdown) {
@@ -211,7 +211,7 @@ TEST_F(DatabaseTest, Figure1Configuration) {
   ASSERT_TRUE(db_->Fetch(txn, "employee", Slice(keys[0]), &rec).ok());
   Schema schema = EmployeeSchema();
   EXPECT_EQ(rec.View(&schema).GetInt(0), 2);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 // -- veto + partial rollback ----------------------------------------------------
@@ -247,7 +247,7 @@ TEST_F(DatabaseTest, CheckConstraintVetoRollsBackStorageAndIndexes) {
                           Slice(probe), &keys)
                   .ok());
   EXPECT_TRUE(keys.empty());
-  db_->Commit(t2);
+  ASSERT_TRUE(db_->Commit(t2).ok());
   EXPECT_GE(db_->stats().vetoes, 1u);
   EXPECT_GE(db_->stats().partial_rollbacks, 1u);
 }
@@ -422,7 +422,7 @@ TEST_F(DatabaseTest, IndexBulkLoadsExistingData) {
                           Slice(probe), &keys)
                   .ok());
   EXPECT_EQ(keys.size(), 1u);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 // -- triggers and cascades --------------------------------------------------------
@@ -489,7 +489,7 @@ TEST_F(DatabaseTest, ReferentialIntegrityCascadeAndRestrict) {
                            {Value::Int(3), Value::String("orphan"),
                             Value::Double(3.0), Value::String("nodept")});
     EXPECT_TRUE(s.IsConstraint()) << s.ToString();
-    db_->Commit(txn);
+    ASSERT_TRUE(db_->Commit(txn).ok());
   }
   // Cascade: deleting the department deletes its employees.
   MustCommit([&](Transaction* txn) {
@@ -532,7 +532,7 @@ TEST_F(DatabaseTest, StatsMaintainedIncrementally) {
   ASSERT_TRUE(ReadStats(db_.get(), t3, "employee", inst, &snap).ok());
   EXPECT_EQ(snap.count, 1u);
   EXPECT_EQ(snap.sum, 200.0);
-  db_->Commit(t3);
+  ASSERT_TRUE(db_->Commit(t3).ok());
 }
 
 TEST_F(DatabaseTest, DeferredCheckEvaluatedAtCommit) {
@@ -633,7 +633,7 @@ TEST_F(DatabaseTest, IndexesRebuiltConsistentlyAfterReopen) {
                           Slice(hprobe), &keys)
                   .ok());
   EXPECT_EQ(keys.size(), 1u);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 // -- alternative storage methods ---------------------------------------------------
@@ -662,7 +662,7 @@ TEST_P(StorageMethodSuite, BasicCrudAndScan) {
   ASSERT_TRUE(db_->Fetch(txn, "employee", Slice(key), &rec).ok());
   Schema schema = EmployeeSchema();
   EXPECT_EQ(rec.View(&schema).GetInt(0), 1);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(StorageMethods, StorageMethodSuite,
@@ -703,7 +703,7 @@ TEST_F(DatabaseTest, AppendOnlyRejectsUpdateAndDelete) {
                           {Value::Int(1), Value::String("edit"),
                            Value::Double(2.0), Value::Null()})
                   .IsNotSupported());
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
   EXPECT_EQ(ScanIds("employee").size(), 1u);
 }
 
@@ -722,7 +722,7 @@ TEST_F(DatabaseTest, BTreeStorageEnforcesUniqueKeyAndOrdersScans) {
                          {Value::Int(3), Value::String("dupe"),
                           Value::Double(0.0), Value::Null()});
   EXPECT_TRUE(s.IsConstraint());
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(DatabaseTest, ForeignStorageMethodProxiesToOtherDatabase) {
@@ -757,7 +757,7 @@ TEST_F(DatabaseTest, ForeignStorageMethodProxiesToOtherDatabase) {
     Transaction* rtxn = remote->Begin();
     Record rec;
     ASSERT_TRUE(remote->Fetch(rtxn, "emp_remote", Slice(key), &rec).ok());
-    remote->Commit(rtxn);
+    ASSERT_TRUE(remote->Commit(rtxn).ok());
   }
   // Local abort compensates on the remote.
   Transaction* txn = db_->Begin();
@@ -773,7 +773,7 @@ TEST_F(DatabaseTest, ForeignStorageMethodProxiesToOtherDatabase) {
     Record rec;
     EXPECT_TRUE(
         remote->Fetch(rtxn, "emp_remote", Slice(key2), &rec).IsNotFound());
-    remote->Commit(rtxn);
+    ASSERT_TRUE(remote->Commit(rtxn).ok());
   }
   EXPECT_EQ(ScanIds("employee").size(), 1u);
   UnregisterForeignServer("hq");
@@ -822,7 +822,7 @@ TEST_F(DatabaseTest, JoinIndexMaintainsPairsAcrossBothRelations) {
                   .ok());
   ASSERT_EQ(keys.size(), 1u);
   EXPECT_EQ(keys[0], dept_key);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 

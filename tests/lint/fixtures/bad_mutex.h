@@ -1,0 +1,34 @@
+// dmx-lint fixture: mutex-discipline violations. Never compiled.
+
+#ifndef DMX_TESTS_LINT_FIXTURES_BAD_MUTEX_H_
+#define DMX_TESTS_LINT_FIXTURES_BAD_MUTEX_H_
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace dmx {
+
+// raw-mutex: std::mutex is invisible to thread-safety analysis.
+class RawMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+// unguarded-mutex: an annotated Mutex that guards nothing.
+class UnguardedMutexHolder {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TESTS_LINT_FIXTURES_BAD_MUTEX_H_

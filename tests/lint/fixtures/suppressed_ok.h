@@ -1,0 +1,19 @@
+// dmx-lint fixture: a finding silenced by an inline suppression — lints
+// clean on its own. Never compiled.
+
+#ifndef DMX_TESTS_LINT_FIXTURES_SUPPRESSED_OK_H_
+#define DMX_TESTS_LINT_FIXTURES_SUPPRESSED_OK_H_
+
+#include "src/util/thread_annotations.h"
+
+namespace dmx {
+
+class ExternallySynchronized {
+ private:
+  Mutex mu_;  // dmx-lint: allow-unguarded (members guarded by caller)
+  int count_ = 0;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_TESTS_LINT_FIXTURES_SUPPRESSED_OK_H_

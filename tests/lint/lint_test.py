@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CTest driver for tools/dmx_lint.py.
+
+Usage: lint_test.py <repo-root>
+
+Asserts three things:
+  1. the real src/ tree lints clean (exit 0);
+  2. the deliberately broken fixtures are flagged (exit 1) and every
+     expected rule fires at least once;
+  3. an inline `dmx-lint: allow-*` suppression silences its finding.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_lint(lint, *paths):
+    proc = subprocess.run(
+        [sys.executable, str(lint)] + [str(p) for p in paths],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1]).resolve()
+    lint = root / "tools" / "dmx_lint.py"
+    fixtures = root / "tests" / "lint" / "fixtures"
+    failures = []
+
+    # 1. Real tree is clean.
+    rc, out = run_lint(lint, root / "src")
+    if rc != 0:
+        failures.append(f"src/ tree should lint clean, got rc={rc}:\n{out}")
+
+    # 2. Broken fixtures are flagged, each rule at least once.
+    rc, out = run_lint(lint, fixtures / "bad_smops.cc",
+                       fixtures / "bad_mutex.h")
+    if rc == 0:
+        failures.append("broken fixtures should fail the lint, got rc=0")
+    for rule in ("sm-incomplete", "at-incomplete", "undo-redo-pair",
+                 "lookup-needs-list", "direct-dispatch", "raw-mutex",
+                 "unguarded-mutex"):
+        if f"[{rule}]" not in out:
+            failures.append(f"expected a [{rule}] finding, output:\n{out}")
+    # The specific defects, not just the rule classes:
+    if "erase" not in out or "verify" not in out:
+        failures.append(f"sm-incomplete should name the missing entry "
+                        f"points, output:\n{out}")
+
+    # 3. Suppression comments work.
+    rc, out = run_lint(lint, fixtures / "suppressed_ok.h")
+    if rc != 0:
+        failures.append(f"suppressed fixture should lint clean, got "
+                        f"rc={rc}:\n{out}")
+
+    if failures:
+        print("lint_test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(" * " + f, file=sys.stderr)
+        return 1
+    print("lint_test OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -279,7 +279,7 @@ TEST(ParallelScanTest, PartitionScanFallbacks) {
   EXPECT_EQ(keys.size(), static_cast<size_t>(kRows));
   EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end())
       << "partitions overlapped";
-  p.db->Commit(txn);
+  ASSERT_TRUE(p.db->Commit(txn).ok());
 }
 
 }  // namespace

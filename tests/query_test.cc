@@ -67,7 +67,7 @@ TEST_F(QueryTest, PlannerPicksStorageMethodWithoutIndexes) {
   ASSERT_TRUE(PlanAccess(db_.get(), txn, Desc(), pred, &plan).ok());
   EXPECT_TRUE(plan.path.is_storage_method());
   EXPECT_FALSE(plan.needs_fetch);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, PlannerPicksBTreeForKeyPredicate) {
@@ -86,7 +86,7 @@ TEST_F(QueryTest, PlannerPicksBTreeForKeyPredicate) {
   auto pred2 = Expr::Cmp(ExprOp::kEq, 2, Value::Double(1.0));
   ASSERT_TRUE(PlanAccess(db_.get(), txn, Desc(), pred2, &plan2).ok());
   EXPECT_TRUE(plan2.path.is_storage_method());
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, PlannerPicksHashOverBTreeForEquality) {
@@ -105,7 +105,7 @@ TEST_F(QueryTest, PlannerPicksHashOverBTreeForEquality) {
   auto pred2 = Expr::Cmp(ExprOp::kLt, 0, Value::Int(10));
   ASSERT_TRUE(PlanAccess(db_.get(), txn, Desc(), pred2, &plan2).ok());
   EXPECT_EQ(plan2.DebugString(db_->registry()), "storage-method scan");
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, EnumerateAccessPathsReportsAllCandidates) {
@@ -121,7 +121,7 @@ TEST_F(QueryTest, EnumerateAccessPathsReportsAllCandidates) {
                   .ok());
   // Storage method + btree + hash all usable for this conjunction.
   EXPECT_EQ(candidates.size(), 3u);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, ExecutorAgreesAcrossAccessPaths) {
@@ -160,7 +160,7 @@ TEST_F(QueryTest, ExecutorAgreesAcrossAccessPaths) {
     EXPECT_EQ(via_index[i].values[0].int_value(),
               via_scan[i].values[0].int_value());
   }
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, PlanCacheHitsAndInvalidation) {
@@ -174,7 +174,7 @@ TEST_F(QueryTest, PlanCacheHitsAndInvalidation) {
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(p1.get(), p2.get());  // same bound plan object
   EXPECT_TRUE(p1->access.path.is_storage_method());
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 
   // DDL on the relation invalidates: next Get re-translates and now picks
   // the fresh index ("invalidated execution plans are automatically
@@ -185,7 +185,7 @@ TEST_F(QueryTest, PlanCacheHitsAndInvalidation) {
   ASSERT_TRUE(cache.GetAccessPlan(t2, "points", pred, "q1", &p3).ok());
   EXPECT_EQ(cache.stats().retranslations, 1u);
   EXPECT_FALSE(p3->access.path.is_storage_method());
-  db_->Commit(t2);
+  ASSERT_TRUE(db_->Commit(t2).ok());
 }
 
 TEST_F(QueryTest, PlanCacheInvalidatedByDrop) {
@@ -193,7 +193,7 @@ TEST_F(QueryTest, PlanCacheInvalidatedByDrop) {
   Transaction* txn = db_->Begin();
   std::shared_ptr<const BoundPlan> p;
   ASSERT_TRUE(cache.GetAccessPlan(txn, "points", nullptr, "q", &p).ok());
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
   // Drop the relation: the plan must not validate.
   Transaction* t2 = db_->Begin();
   ASSERT_TRUE(db_->DropRelation(t2, "points").ok());
@@ -203,7 +203,7 @@ TEST_F(QueryTest, PlanCacheInvalidatedByDrop) {
   Status s = cache.GetAccessPlan(t3, "points", nullptr, "q", &p2);
   EXPECT_FALSE(s.ok());  // re-translation fails: relation is gone
   EXPECT_EQ(cache.stats().retranslations, 1u);
-  db_->Commit(t3);
+  ASSERT_TRUE(db_->Commit(t3).ok());
 }
 
 TEST_F(QueryTest, NestedLoopJoinProducesAllPairs) {
@@ -230,7 +230,7 @@ TEST_F(QueryTest, NestedLoopJoinProducesAllPairs) {
   for (const Row& row : rows) {
     EXPECT_EQ(row.values[0].int_value(), row.values[3].int_value());
   }
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, AggregateSource) {
@@ -253,7 +253,7 @@ TEST_F(QueryTest, AggregateSource) {
     ASSERT_TRUE(agg.Next(&row).ok());
     EXPECT_EQ(row.values[0].AsDouble(), 99.5);
   }
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 
@@ -284,7 +284,7 @@ TEST_F(QueryTest, MultiFieldPrefixKeyRange) {
     EXPECT_GE(row.values[0].int_value(), 100);
     EXPECT_LT(row.values[0].int_value(), 120);
   }
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, IndexOnlyPlanSkipsRecordFetches) {
@@ -322,7 +322,7 @@ TEST_F(QueryTest, IndexOnlyPlanSkipsRecordFetches) {
   ASSERT_TRUE(
       PlanAccess(db_.get(), txn, Desc(), pred, &plan2, &needs_score).ok());
   EXPECT_FALSE(plan2.index_only);
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 TEST_F(QueryTest, KeyCodecDecodeRoundTrip) {

@@ -65,7 +65,7 @@ class RecoveryIntegrationTest : public ::testing::Test {
     ScanItem item;
     while (scan->Next(&item).ok()) out.push_back(item.view.GetInt(0));
     scan.reset();
-    db_->Commit(txn);
+    EXPECT_TRUE(db_->Commit(txn).ok());
     std::sort(out.begin(), out.end());
     return out;
   }
@@ -157,7 +157,7 @@ TEST_F(RecoveryIntegrationTest, UpdatesAndDeletesRecover) {
     if (v == "orig") ++orig;
   }
   scan.reset();
-  db_->Commit(check);
+  ASSERT_TRUE(db_->Commit(check).ok());
   EXPECT_EQ(total, 20);
   EXPECT_EQ(updated, 10);
   EXPECT_EQ(orig, 10);
@@ -268,13 +268,13 @@ TEST_F(RecoveryIntegrationTest, SecondaryStructuresConsistentAfterCrash) {
                   Slice(hprobe), &loser_keys)
           .ok());
   EXPECT_EQ(loser_keys.size(), 1u);
-  db_->Commit(check);
+  ASSERT_TRUE(db_->Commit(check).ok());
 
   // Unique constraint still enforces (its table was rebuilt).
   Transaction* dup = db_->Begin();
   EXPECT_TRUE(db_->Insert(dup, "t", {Value::Int(17), Value::String("dup")})
                   .IsConstraint());
-  db_->Commit(dup);
+  ASSERT_TRUE(db_->Commit(dup).ok());
 }
 
 TEST_F(RecoveryIntegrationTest, DdlCrashBeforeCommitLeavesNoRelation) {
@@ -345,7 +345,7 @@ TEST_F(RecoveryIntegrationTest, RandomizedCrashRecoveryProperty) {
       record_keys[item.view.GetInt(0)] = item.record_key;
     }
     scan.reset();
-    db_->Commit(check);
+    ASSERT_TRUE(db_->Commit(check).ok());
     ASSERT_EQ(found, expected) << "after round " << round;
   }
 }
@@ -403,7 +403,9 @@ TEST_F(RecoveryIntegrationTest, RepeatedCheckpointCrashCycles) {
     }
     ASSERT_TRUE(db_->Commit(txn).ok());
     expected += 10;
-    if (round % 2 == 0) ASSERT_TRUE(db_->Checkpoint().ok());
+    if (round % 2 == 0) {
+      ASSERT_TRUE(db_->Checkpoint().ok());
+    }
     Crash();
     ASSERT_EQ(Keys("m").size(), expected) << "round " << round;
   }
@@ -441,7 +443,7 @@ TEST_F(RecoveryIntegrationTest, LsnsKeepIncreasingAcrossTruncation) {
   ASSERT_TRUE(db_->Fetch(txn, "t", Slice(key), &rec).ok());
   Schema schema = KvSchema();
   EXPECT_EQ(rec.View(&schema).GetStringSlice(1).ToString(), "updated");
-  db_->Commit(txn);
+  ASSERT_TRUE(db_->Commit(txn).ok());
 }
 
 // Power loss (not just a process crash): every write since the last fsync
@@ -481,7 +483,7 @@ TEST(PowerLossRecoveryTest, CommittedWorkSurvivesDroppedUnsyncedWrites) {
   std::vector<int64_t> keys;
   while (scan->Next(&item).ok()) keys.push_back(item.view.GetInt(0));
   scan.reset();
-  db->Commit(check);
+  ASSERT_TRUE(db->Commit(check).ok());
   EXPECT_EQ(keys.size(), 25u);
   for (int64_t k : keys) EXPECT_LT(k, 25);
 }

@@ -131,6 +131,42 @@ TEST(ScanManagerTest, CountsAndClosesPerTransaction) {
   ASSERT_TRUE(db->Commit(b).ok());
 }
 
+// A scan whose saved position cannot be re-established after a partial
+// rollback must be closed (kAborted on the next access), not left serving
+// rows relative to the rolled-back state.
+class UnrestorableScan : public Scan {
+ public:
+  Status Next(ScanItem*) override {
+    return Status::NotFound("end of scan");
+  }
+  Status SavePosition(std::string* out) const override {
+    out->clear();
+    return Status::OK();
+  }
+  Status RestorePosition(const Slice&) override {
+    return Status::Internal("position lost");
+  }
+};
+
+TEST(ScanManagerTest, ClosesScanWhenRestoreFailsAfterPartialRollback) {
+  TempDir dir("scanmgr_restore");
+  DatabaseOptions options;
+  options.dir = dir.path();
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+
+  Transaction* txn = db->Begin();
+  ManagedScan scan(db->scan_manager(), txn,
+                   std::make_unique<UnrestorableScan>());
+  ASSERT_TRUE(db->Savepoint(txn, "sp").ok());
+  EXPECT_FALSE(scan.closed());
+  ASSERT_TRUE(db->RollbackToSavepoint(txn, "sp").ok());
+  EXPECT_TRUE(scan.closed());
+  ScanItem item;
+  EXPECT_TRUE(scan.Next(&item).IsAborted());
+  ASSERT_TRUE(db->Commit(txn).ok());
+}
+
 // -- SlottedPage::InsertAt ------------------------------------------------------
 
 TEST(SlottedPageInsertAtTest, RevivesTombstoneAndExtendsArray) {

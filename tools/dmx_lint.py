@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""dmx-lint: paper-specific invariant checks the C++ compiler can't see.
+
+The extension architecture hangs off two contracts that are easy to break
+silently: (1) every storage method / attachment type must register a
+complete procedure vector — a missing entry point is a nullptr call at
+dispatch time, possibly months later; (2) all cross-extension work must go
+through a registered vector, never by calling into a sibling extension
+directly. On top of that the concurrency hardening pass requires (3) no
+naked std::mutex (use dmx::Mutex so Clang Thread Safety Analysis sees the
+lock) and every member Mutex must guard something via GUARDED_BY/REQUIRES.
+
+Rules (findings print as `path:line: [rule] message`, exit 1 if any):
+
+  sm-incomplete      an SmOps registration misses a required entry point
+  at-incomplete      an AtOps registration misses a required entry point
+  undo-redo-pair     a vector registers undo without redo or vice versa
+  lookup-needs-list  an AtOps with lookup/open_scan lacks list_instances
+                     (REPAIR and the planner enumerate instances)
+  repair-needs-release  repair_instance without release_instance (REPAIR
+                     must drop the cached state it rebuilds)
+  guard-needs-verify guards_integrity without a verify entry point (the
+                     quarantine path has nothing to re-check)
+  direct-dispatch    invoking a sibling vector's entry point through its
+                     accessor (`HeapStorageMethodOps().insert(...)`);
+                     copying a vector to inherit from it is fine
+  raw-mutex          std::mutex / std::condition_variable / lock_guard /
+                     unique_lock outside src/util/thread_annotations.h
+  unguarded-mutex    a member `Mutex m;` with no GUARDED_BY(m)/REQUIRES(m)
+                     in the same file
+
+Suppress a finding on its line with `// dmx-lint: allow-<rule-suffix>`,
+e.g. `Mutex mu;  // dmx-lint: allow-unguarded (reason)`.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Entry points every storage method must provide. partition_scan and
+# checkpoint are genuinely optional (the kernel probes for nullptr).
+SM_REQUIRED = {
+    "name", "validate", "create", "drop", "open", "insert", "update",
+    "erase", "fetch", "open_scan", "cost", "undo", "redo", "count",
+    "verify",
+}
+
+# Entry points every attachment type must provide. on_delete is optional
+# (pure-validation attachments have nothing to maintain on delete);
+# lookup/open_scan/cost are what makes an attachment an access path.
+AT_REQUIRED = {
+    "name", "create_instance", "drop_instance", "open", "instance_count",
+    "on_insert", "on_update",
+}
+
+SUPPRESS_RE = re.compile(r"//\s*dmx-lint:\s*allow-([\w-]+)")
+
+findings = []
+
+
+def report(path, lineno, rule, message, line=""):
+    m = SUPPRESS_RE.search(line)
+    if m and m.group(1) in rule:
+        return
+    findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+
+# -- procedure-vector completeness --------------------------------------------
+
+REG_RE = re.compile(
+    r"\b(SmOps|AtOps)\s+(\w+)\s*(?:=\s*(\w+)\s*\(\s*\)\s*)?;")
+
+
+def check_vectors(path, text):
+    lines = text.splitlines()
+    for m in REG_RE.finditer(text):
+        kind, var, base = m.group(1), m.group(2), m.group(3)
+        start_line = text.count("\n", 0, m.start()) + 1
+        # Collect `var.field = ...` assignments up to `return var;`.
+        tail = text[m.end():]
+        end = re.search(r"\breturn\s+%s\s*;" % re.escape(var), tail)
+        if end is None:
+            continue  # a declaration that is not a registration body
+        body = tail[: end.start()]
+        fields = set(re.findall(r"\b%s\s*\.\s*(\w+)\s*=" % re.escape(var),
+                                body))
+        inherited = base is not None
+        required = SM_REQUIRED if kind == "SmOps" else AT_REQUIRED
+        rule = "sm-incomplete" if kind == "SmOps" else "at-incomplete"
+        if not inherited:
+            missing = sorted(required - fields)
+            if missing:
+                report(path, start_line, rule,
+                       f"{kind} registration leaves required entry points "
+                       f"unset: {', '.join(missing)}",
+                       lines[start_line - 1])
+        # Pair/conditional rules (on an inherited vector only the
+        # overridden fields are visible; the base already passed).
+        if not inherited and ("undo" in fields) != ("redo" in fields):
+            report(path, start_line, "undo-redo-pair",
+                   f"{kind} registers "
+                   f"{'undo without redo' if 'undo' in fields else 'redo without undo'}"
+                   " — recovery needs both directions",
+                   lines[start_line - 1])
+        if kind == "AtOps" and not inherited:
+            if ("lookup" in fields or "open_scan" in fields) \
+                    and "list_instances" not in fields:
+                report(path, start_line, "lookup-needs-list",
+                       "access-path AtOps (lookup/open_scan) must provide "
+                       "list_instances", lines[start_line - 1])
+            if "repair_instance" in fields \
+                    and "release_instance" not in fields:
+                report(path, start_line, "repair-needs-release",
+                       "repair_instance without release_instance: REPAIR "
+                       "cannot drop the stale cached state",
+                       lines[start_line - 1])
+            if "guards_integrity" in fields and "verify" not in fields:
+                report(path, start_line, "guard-needs-verify",
+                       "guards_integrity without verify: quarantine has "
+                       "nothing to re-check", lines[start_line - 1])
+
+
+# -- dispatch discipline ------------------------------------------------------
+
+DIRECT_RE = re.compile(
+    r"\b\w+(?:StorageMethod|Attachment(?:Type)?)Ops\(\)\s*\.\s*\w+\s*\(")
+
+
+def check_dispatch(path, text):
+    for i, line in enumerate(text.splitlines(), 1):
+        if DIRECT_RE.search(line):
+            report(path, i, "direct-dispatch",
+                   "entry points must be dispatched through the registered "
+                   "vector (registry->sm_ops/at_ops), not by calling a "
+                   "sibling's accessor directly", line)
+
+
+# -- mutex discipline ---------------------------------------------------------
+
+RAW_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock)\b")
+# Indented (= member) declaration of an annotated Mutex. File-scope
+# mutexes guarding function-local statics can't carry GUARDED_BY.
+MEMBER_MUTEX_RE = re.compile(r"^\s+(?:mutable\s+)?Mutex\s+(\w+)\s*[;{]")
+
+
+def check_mutexes(path, text, exempt):
+    lines = text.splitlines()
+    for i, line in enumerate(lines, 1):
+        if exempt:
+            break
+        m = RAW_RE.search(line)
+        if m:
+            report(path, i, "raw-mutex",
+                   f"std::{m.group(1)} is invisible to thread-safety "
+                   "analysis; use dmx::Mutex / MutexLock / CondVar from "
+                   "src/util/thread_annotations.h", line)
+    for i, line in enumerate(lines, 1):
+        m = MEMBER_MUTEX_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        guarded = re.search(
+            r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+            r"EXCLUSIVE_LOCKS_REQUIRED|ACQUIRE|RELEASE)\(\s*(?:\w+(?:\.|->))?"
+            + re.escape(name) + r"\s*\)", text)
+        if not guarded:
+            report(path, i, "unguarded-mutex",
+                   f"member Mutex '{name}' guards nothing: annotate the "
+                   "protected members with GUARDED_BY or the helper methods "
+                   f"with REQUIRES({name})", line)
+
+
+def lint_file(path):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    exempt = path.name == "thread_annotations.h"
+    check_vectors(path, text)
+    check_dispatch(path, text)
+    check_mutexes(path, text, exempt)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: the src/ "
+                         "tree next to this script's repo root)")
+    args = ap.parse_args()
+
+    roots = [Path(p) for p in args.paths]
+    if not roots:
+        roots = [Path(__file__).resolve().parent.parent / "src"]
+
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files += sorted(root.rglob("*.h")) + sorted(root.rglob("*.cc"))
+        else:
+            files.append(root)
+
+    if not files:
+        print("dmx-lint: no input files", file=sys.stderr)
+        return 2
+    for f in files:
+        lint_file(f)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"dmx-lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"dmx-lint: OK ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
