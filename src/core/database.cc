@@ -24,7 +24,16 @@ Status Database::Open(const DatabaseOptions& options,
                             ? options.worker_threads
                             : std::thread::hardware_concurrency();
   if (db->worker_threads_ == 0) db->worker_threads_ = 1;
-  db->env_ = options.env != nullptr ? options.env : Env::Default();
+  // All durable I/O goes through the retry wrapper: short transient bursts
+  // (EINTR, ENOSPC, injected transient faults) are absorbed here and never
+  // surface as operation failures.
+  RetryPolicy retry_policy;
+  retry_policy.max_attempts = options.io_retry_attempts > 0
+                                  ? options.io_retry_attempts
+                                  : 1;
+  db->retry_env_ = std::make_unique<RetryingEnv>(
+      options.env != nullptr ? options.env : Env::Default(), retry_policy);
+  db->env_ = db->retry_env_.get();
   db->lock_mgr_.set_timeout(
       std::chrono::milliseconds(options.lock_timeout_ms));
   DMX_RETURN_IF_ERROR(db->env_->CreateDir(options.dir));
@@ -44,6 +53,19 @@ Status Database::Open(const DatabaseOptions& options,
         return raw->ApplyLogRecord(rec, undo, apply_lsn);
       });
   db->txn_mgr_->AddObserver(&db->scan_mgr_);
+
+  // Graceful degradation: transient write-path outages flip the database
+  // into read-only degraded mode; the background thread probes the fault
+  // and restores full service in place.
+  ErrorHandler::Options eh_opts;
+  eh_opts.initial_backoff_ms = options.recovery_initial_backoff_ms;
+  eh_opts.max_backoff_ms = options.recovery_max_backoff_ms;
+  db->error_handler_ = std::make_unique<ErrorHandler>(eh_opts);
+  db->error_handler_->SetRecoverFn([raw] { return raw->RecoverWritePath(); });
+  db->txn_mgr_->set_wal_failure_handler(
+      [raw](const std::string& where, const Status& cause) {
+        raw->error_handler_->ReportWriteFailure(where, cause);
+      });
 
   // "At the factory": install procedure vectors before any dispatch.
   RegisterBuiltinExtensions(&db->registry_);
@@ -72,6 +94,8 @@ Status Database::Open(const DatabaseOptions& options,
     }
   }
 
+  if (options.auto_recovery) db->error_handler_->Start();
+
   *out = std::move(db);
   return Status::OK();
 }
@@ -79,6 +103,9 @@ Status Database::Open(const DatabaseOptions& options,
 Database::Database() : txn_mgr_(nullptr) {}
 
 Database::~Database() {
+  // Stop the recovery thread before tearing anything down: its callback
+  // touches the log manager.
+  if (error_handler_) error_handler_->Stop();
   // Best-effort write-back; errors are unreportable in a destructor.
   if (!crash_on_close_) (void)Flush();
 }
@@ -148,6 +175,17 @@ Status Database::Checkpoint() {
   if (txn_mgr_->ActiveTransactionCount() > 0) {
     return Status::Busy("active transactions block the checkpoint");
   }
+  // A checkpoint while degraded would re-drive the failing write path (and
+  // Truncate a log the recovery thread is mid-repair on).
+  DMX_RETURN_IF_ERROR(error_handler_->CheckWritable());
+  Status s = DoCheckpoint();
+  // A checkpoint's own write failure is a write-path outage like any
+  // other: degrade instead of leaving the next caller to trip over it.
+  if (!s.ok()) error_handler_->ReportWriteFailure("checkpoint", s);
+  return s;
+}
+
+Status Database::DoCheckpoint() {
   DMX_RETURN_IF_ERROR(log_.FlushAll());
   DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
   DMX_RETURN_IF_ERROR(catalog_.Save());
@@ -264,6 +302,7 @@ Status Database::CreateRelation(Transaction* txn, const std::string& name,
                                 const Schema& schema,
                                 const std::string& sm_name,
                                 const AttrList& attrs) {
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   int sm = registry_.FindStorageMethod(sm_name);
   if (sm < 0) {
     return Status::InvalidArgument("no storage method '" + sm_name + "'");
@@ -325,6 +364,7 @@ Status Database::CreateRelation(Transaction* txn, const std::string& name,
 }
 
 Status Database::DropRelation(Transaction* txn, const std::string& name) {
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   const RelationDescriptor* desc;
   DMX_RETURN_IF_ERROR(FindRelation(name, &desc));
   RelationId id = desc->id;
@@ -388,6 +428,7 @@ Status Database::CreateAttachment(Transaction* txn, const std::string& rel,
                                   const std::string& at_name,
                                   const AttrList& attrs,
                                   uint32_t* instance_no) {
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   const RelationDescriptor* desc;
   DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
   int at = registry_.FindAttachmentType(at_name);
@@ -440,6 +481,7 @@ Status Database::CreateAttachment(Transaction* txn, const std::string& rel,
 Status Database::DropAttachment(Transaction* txn, const std::string& rel,
                                 const std::string& at_name,
                                 uint32_t instance_no) {
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   const RelationDescriptor* desc;
   DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
   int at = registry_.FindAttachmentType(at_name);
@@ -558,6 +600,7 @@ Status Database::InsertRecord(Transaction* txn,
                               const RelationDescriptor* desc,
                               const Slice& record, std::string* record_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kInsert));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
@@ -595,6 +638,7 @@ Status Database::InsertRecord(Transaction* txn,
     }
     stats_.partial_rollbacks.Increment();
     metric_partial_rollbacks_->Increment();
+    MaybeReportWriteFailure("relation insert", s);
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -619,6 +663,7 @@ Status Database::UpdateRecord(Transaction* txn,
                               const Slice& record_key,
                               const Slice& new_record, std::string* new_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kUpdate));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
@@ -666,6 +711,7 @@ Status Database::UpdateRecord(Transaction* txn,
     }
     stats_.partial_rollbacks.Increment();
     metric_partial_rollbacks_->Increment();
+    MaybeReportWriteFailure("relation update", s);
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -685,6 +731,7 @@ Status Database::DeleteRecord(Transaction* txn,
                               const RelationDescriptor* desc,
                               const Slice& record_key) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   DMX_RETURN_IF_ERROR(CheckWritable(desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kDelete));
   DMX_RETURN_IF_ERROR(lock_mgr_.Lock(txn->id(),
@@ -725,6 +772,7 @@ Status Database::DeleteRecord(Transaction* txn,
     }
     stats_.partial_rollbacks.Increment();
     metric_partial_rollbacks_->Increment();
+    MaybeReportWriteFailure("relation delete", s);
     Status rb = txn_mgr_->RollbackTo(txn, before);
     if (!rb.ok()) return rb;
     return s;
@@ -992,6 +1040,35 @@ Status Database::CheckWritable(const RelationDescriptor* desc) {
   return Status::OK();
 }
 
+// -- graceful degradation --------------------------------------------------------
+
+Status Database::CheckTxnWritable(Transaction* txn) const {
+  // A transaction that began while the log was refusing appends carries a
+  // deferred error; surface it on its first write, with the original
+  // cause — more specific than the generic degraded-mode Busy below.
+  if (txn != nullptr && !txn->log_error().ok()) return txn->log_error();
+  // Degraded read-only mode: new write work is refused with Busy while
+  // reads keep serving.
+  return error_handler_->CheckWritable();
+}
+
+void Database::MaybeReportWriteFailure(const char* where, const Status& s) {
+  // Only a retry-exhausted transient fault proves the *local* environment
+  // is the problem. A plain IOError may come from anywhere — notably a
+  // foreign server attachment — and must stay scoped to the operation.
+  if (s.IsIOError() && s.IsRetryable()) {
+    error_handler_->ReportWriteFailure(where, s);
+  }
+}
+
+Status Database::RecoverWritePath() {
+  // Un-poison / probe the log in place (header rewrite or stale-tail
+  // truncation as needed), then prove the write path works end to end by
+  // forcing out everything still buffered.
+  DMX_RETURN_IF_ERROR(log_.Resume());
+  return log_.FlushAll();
+}
+
 Status Database::PersistQuarantineRecord() {
   Status save = catalog_.Save();
   if (save.ok()) {
@@ -1192,6 +1269,7 @@ Status Database::CheckRelation(Transaction* txn, const std::string& rel,
 
 Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                                 RepairResult* out) {
+  DMX_RETURN_IF_ERROR(CheckTxnWritable(txn));
   const RelationDescriptor* desc;
   DMX_RETURN_IF_ERROR(FindRelation(rel, &desc));
   DMX_RETURN_IF_ERROR(auth_.Check(txn->user(), desc->id, Privilege::kUpdate));

@@ -24,12 +24,14 @@
 
 #include "src/catalog/catalog.h"
 #include "src/core/authorization.h"
+#include "src/core/error_handler.h"
 #include "src/core/extension.h"
 #include "src/core/registry.h"
 #include "src/core/scan_manager.h"
 #include "src/expr/evaluator.h"
 #include "src/storage/buffer_pool.h"
 #include "src/txn/transaction_manager.h"
+#include "src/util/env_retry.h"
 #include "src/wal/log_manager.h"
 
 namespace dmx {
@@ -54,6 +56,19 @@ struct DatabaseOptions {
   /// built-ins are registered and before restart recovery, so recovery can
   /// dispatch into them.
   std::function<void(ExtensionRegistry*)> register_extensions;
+  /// Bounded retry for transient I/O failures (ENOSPC bursts, injected
+  /// transient faults) at the Env layer; options.env is wrapped in a
+  /// RetryingEnv with this many total attempts. 1 disables retrying.
+  int io_retry_attempts = 4;
+  /// Backoff schedule of the background auto-recovery thread while the
+  /// database is degraded (doubles per failed attempt). Tests shrink these
+  /// to keep the degrade → recover cycle fast.
+  uint64_t recovery_initial_backoff_ms = 10;
+  uint64_t recovery_max_backoff_ms = 1000;
+  /// When false, no background recovery thread is started: the database
+  /// stays degraded until reopened. Benches and unit tests use this to
+  /// hold the degraded state steady.
+  bool auto_recovery = true;
 };
 
 /// Identifies an access path for data access operations. "Access path
@@ -261,7 +276,13 @@ class Database {
   AuthorizationManager* authorization() { return &auth_; }
   /// The environment all durable state goes through (never null once open).
   /// Extensions writing snapshots must use this instead of raw file APIs.
+  /// It is the RetryingEnv wrapper, so extension I/O shares the transient
+  /// retry budget.
   Env* env() { return env_; }
+  /// The fault taxonomy / degraded-mode / auto-recovery subsystem.
+  ErrorHandler* error_handler() { return error_handler_.get(); }
+  /// True while the database is in degraded read-only mode.
+  bool degraded() const { return error_handler_->degraded(); }
   /// Size of the intra-query worker pool (resolved from
   /// DatabaseOptions::worker_threads at open; >= 1).
   size_t worker_threads() const { return worker_threads_; }
@@ -342,6 +363,25 @@ class Database {
   /// would be skipped, silently breaking the guarantee it enforces).
   Status CheckWritable(const RelationDescriptor* desc);
 
+  /// Gate every write and DDL path: Busy while the database is degraded,
+  /// and the transaction's deferred begin-append error (if its begin hit a
+  /// poisoned log) surfaces here — on the first write — instead of at
+  /// commit.
+  Status CheckTxnWritable(Transaction* txn) const;
+
+  /// Route a failed relation-modification Status to the ErrorHandler when
+  /// it shows the local environment failing (a retry-exhausted transient
+  /// IOError). Plain IOErrors stay with the operation — e.g. an
+  /// unreachable foreign server must not degrade the local database.
+  void MaybeReportWriteFailure(const char* where, const Status& s);
+
+  /// The ErrorHandler's recovery callback: repair/probe the WAL in place
+  /// (LogManager::Resume), then push out everything still buffered.
+  Status RecoverWritePath();
+
+  /// Checkpoint body, after the degraded-mode gate.
+  Status DoCheckpoint();
+
   /// Persist a quarantine for (at, instance) after kCorruption surfaced
   /// during normal access — the planner skips the path from now on.
   void QuarantineOnAccess(const RelationDescriptor* desc, AtId at,
@@ -370,7 +410,9 @@ class Database {
   void ResolveDispatchMetrics();
 
   std::string dir_;
-  Env* env_ = nullptr;
+  Env* env_ = nullptr;  // == retry_env_.get() once open
+  std::unique_ptr<RetryingEnv> retry_env_;
+  std::unique_ptr<ErrorHandler> error_handler_;
   PageFile page_file_;
   LogManager log_;
   std::unique_ptr<BufferPool> buffer_pool_;

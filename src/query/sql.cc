@@ -541,8 +541,13 @@ class SqlExecutor {
     if (session_->txn_ != nullptr) return fn(session_->txn_);
     Transaction* txn = db_->BeginAs(session_->user());
     Status s = fn(txn);
-    if (s.ok()) return db_->Commit(txn);
-    // The statement's own error is what the caller must see.
+    if (s.ok()) {
+      s = db_->Commit(txn);
+      if (s.ok()) return s;
+      // A failed commit (e.g. WAL I/O failure degrading the database) leaves
+      // the transaction active and holding locks; release them — the commit
+      // error is what the caller must see, and the txn cannot be retried.
+    }
     if (txn->active()) (void)db_->Abort(txn);
     return s;
   }
@@ -562,7 +567,13 @@ class SqlExecutor {
     }
     Transaction* txn = session_->txn_;
     session_->txn_ = nullptr;
-    DMX_RETURN_IF_ERROR(db_->Commit(txn));
+    Status s = db_->Commit(txn);
+    if (!s.ok()) {
+      // The session has already detached the txn and a failed commit cannot
+      // be retried; abort so its locks don't outlive the statement.
+      if (txn->active()) (void)db_->Abort(txn);
+      return s;
+    }
     result->message = "COMMIT";
     return Status::OK();
   }
@@ -777,6 +788,11 @@ class SqlExecutor {
       add("quarantine",
           std::string(db_->registry()->at_ops(q.at).name) + "#" +
               std::to_string(q.instance) + ": " + q.reason);
+    }
+    if (db_->degraded()) {
+      add("db.degraded",
+          "read-only (" + db_->error_handler()->degraded_reason() +
+              "); background recovery in progress");
     }
     return Status::OK();
   }

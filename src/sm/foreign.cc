@@ -62,8 +62,11 @@ Status Resolve(ForeignState* st, Database** fdb,
                const RelationDescriptor** fdesc) {
   *fdb = FindForeignServer(st->server);
   if (*fdb == nullptr) {
-    return Status::IOError("foreign server '" + st->server +
-                           "' unreachable");
+    // An unreachable foreign server is transient-fatal-to-op: the local
+    // environment is healthy, so this IOError is deliberately
+    // non-retryable and never trips degraded mode.
+    return Status::IOError(  // dmx-lint: allow-raw-ioerror (no Env beneath)
+        "foreign server '" + st->server + "' unreachable");
   }
   return (*fdb)->FindRelation(st->relation, fdesc);
 }

@@ -20,10 +20,16 @@ Transaction* TransactionManager::Begin() {
   rec.type = LogRecType::kBegin;
   rec.txn = id;
   rec.prev_lsn = kInvalidLsn;
-  // Begin cannot report a Status. A failed append poisons the log, so the
-  // transaction's commit (which must append and flush) fails instead.
-  (void)log_->Append(&rec);
-  txn->set_last_lsn(rec.lsn);
+  // Begin cannot report a Status. A failed append (poisoned log) is
+  // deferred on the transaction instead: reads proceed, and the Database
+  // returns this Status on the transaction's first write attempt.
+  Status s = log_->Append(&rec);
+  if (s.ok()) {
+    txn->set_last_lsn(rec.lsn);
+    txn->begin_lsn_ = rec.lsn;
+  } else {
+    txn->log_error_ = s;
+  }
   Transaction* raw = txn.get();
   MutexLock lock(&mu_);
   live_[id] = std::move(txn);
@@ -35,12 +41,18 @@ Status TransactionManager::FinishTxn(Transaction* txn, bool committed) {
     obs->OnTransactionEnd(txn, committed);
   }
   locks_->UnlockAll(txn->id());
-  LogRecord end;
-  end.type = LogRecType::kEnd;
-  end.txn = txn->id();
-  end.prev_lsn = txn->last_lsn();
-  DMX_RETURN_IF_ERROR(log_->Append(&end));
-  txn->set_last_lsn(end.lsn);
+  // A transaction that logged no effects needs no end record: recovery
+  // treats its lone begin as a loser with nothing to undo. Skipping keeps
+  // read-only transactions entirely off the disk — which is also what
+  // lets them finish while the database is degraded.
+  if (txn->last_lsn() != txn->begin_lsn()) {
+    LogRecord end;
+    end.type = LogRecType::kEnd;
+    end.txn = txn->id();
+    end.prev_lsn = txn->last_lsn();
+    DMX_RETURN_IF_ERROR(log_->Append(&end));
+    txn->set_last_lsn(end.lsn);
+  }
   MutexLock lock(&mu_);
   live_.erase(txn->id());  // frees the Transaction
   return Status::OK();
@@ -59,13 +71,26 @@ Status TransactionManager::Commit(Transaction* txn) {
     return pre;
   }
 
-  LogRecord commit;
-  commit.type = LogRecType::kCommit;
-  commit.txn = txn->id();
-  commit.prev_lsn = txn->last_lsn();
-  DMX_RETURN_IF_ERROR(log_->Append(&commit));
-  txn->set_last_lsn(commit.lsn);
-  DMX_RETURN_IF_ERROR(log_->FlushTo(commit.lsn));  // force at commit
+  // Read-only transactions (nothing logged past the begin record) commit
+  // without touching the log: no commit record, no force. This keeps reads
+  // serving while the database is degraded.
+  if (txn->last_lsn() != txn->begin_lsn()) {
+    LogRecord commit;
+    commit.type = LogRecType::kCommit;
+    commit.txn = txn->id();
+    commit.prev_lsn = txn->last_lsn();
+    // Append + force as one unit: on failure the commit record is removed
+    // from the buffer again, so the transaction is still cleanly abortable
+    // (its rollback chain never crosses the dead commit record). The
+    // caller decides between retrying and Abort; we only report the
+    // outage so the ErrorHandler can degrade and start recovery.
+    Status forced = log_->AppendAndFlush(&commit);
+    if (!forced.ok()) {
+      if (wal_failure_) wal_failure_("wal commit force", forced);
+      return forced;
+    }
+    txn->set_last_lsn(commit.lsn);
+  }
   txn->state_ = TxnState::kCommitted;
 
   // Complete deferred work (e.g. release storage of dropped relations).
@@ -83,16 +108,22 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   ScopedTimer timer(metric_abort_ns_);
   metric_aborts_->Increment();
-  LogRecord abort_rec;
-  abort_rec.type = LogRecType::kAbort;
-  abort_rec.txn = txn->id();
-  abort_rec.prev_lsn = txn->last_lsn();
-  DMX_RETURN_IF_ERROR(log_->Append(&abort_rec));
-  txn->set_last_lsn(abort_rec.lsn);
+  // Nothing logged: nothing to undo, and no abort record needed (the
+  // matching FinishTxn skips the end record too). This is what makes the
+  // abort of an in-flight writer whose commit force failed — and of any
+  // read-only transaction — safe while the log is refusing writes.
+  if (txn->last_lsn() != txn->begin_lsn()) {
+    LogRecord abort_rec;
+    abort_rec.type = LogRecType::kAbort;
+    abort_rec.txn = txn->id();
+    abort_rec.prev_lsn = txn->last_lsn();
+    DMX_RETURN_IF_ERROR(log_->Append(&abort_rec));
+    txn->set_last_lsn(abort_rec.lsn);
 
-  Lsn last = txn->last_lsn();
-  DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), kInvalidLsn, &last));
-  txn->set_last_lsn(last);
+    Lsn last = txn->last_lsn();
+    DMX_RETURN_IF_ERROR(driver_->Rollback(txn->id(), kInvalidLsn, &last));
+    txn->set_last_lsn(last);
+  }
 
   // Abort-time deferred actions are best-effort: a failure cannot change
   // the outcome — the transaction is rolling back regardless.

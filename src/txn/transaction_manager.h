@@ -52,6 +52,14 @@ class TransactionManager {
 
   void AddObserver(TxnObserver* obs) { observers_.push_back(obs); }
 
+  /// Install the Database's hook for WAL forces that fail on the commit
+  /// path (the ErrorHandler enters degraded mode and starts background
+  /// recovery). Installed once at open, before transactions run.
+  void set_wal_failure_handler(
+      std::function<void(const std::string&, const Status&)> fn) {
+    wal_failure_ = std::move(fn);
+  }
+
   /// Start a new transaction. The returned pointer stays valid until the
   /// transaction ends (manager-owned).
   Transaction* Begin();
@@ -106,6 +114,7 @@ class TransactionManager {
   // Installed at startup before transactions run, then read-only on the
   // commit/abort paths — not guarded (AddObserver is not thread-safe).
   std::vector<TxnObserver*> observers_;
+  std::function<void(const std::string&, const Status&)> wal_failure_;
   std::atomic<TxnId> next_txn_id_{1};
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_
       GUARDED_BY(mu_);

@@ -13,7 +13,20 @@ namespace dmx {
 namespace {
 
 Status PosixError(const std::string& context, int err) {
-  return Status::IOError(context + ": " + strerror(err));
+  std::string msg = context + ": " + strerror(err);
+  switch (err) {
+    // Conditions that clear on their own (space freed, pressure passes):
+    // worth a bounded retry at the RetryingEnv layer. EINTR never gets
+    // here — the read/write loops resume it inline.
+    case ENOSPC:
+    case EDQUOT:
+    case EAGAIN:
+    case EBUSY:
+    case ENOMEM:
+      return Status::RetryableIOError(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
 }
 
 class PosixRandomAccessFile : public RandomAccessFile {

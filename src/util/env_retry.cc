@@ -1,0 +1,129 @@
+#include "src/util/env_retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <utility>
+
+namespace dmx {
+
+namespace {
+
+// Jitter: sleep between half and the full nominal backoff. A per-thread
+// generator keeps concurrent retriers decorrelated without locking.
+uint64_t Jittered(uint64_t nominal_us) {
+  if (nominal_us <= 1) return nominal_us;
+  thread_local std::minstd_rand rng(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+  return nominal_us / 2 + rng() % (nominal_us / 2 + 1);
+}
+
+/// Wraps a base file: every operation that can fail transiently goes
+/// through the env's retry schedule.
+class RetryingFile : public RandomAccessFile {
+ public:
+  RetryingFile(const RetryingEnv* env, std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* out_n) override {
+    return env_->WithRetry(
+        [&] { return base_->Read(offset, n, scratch, out_n); });
+  }
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    return env_->WithRetry([&] { return base_->Write(offset, data, n); });
+  }
+  Status Truncate(uint64_t size) override {
+    return env_->WithRetry([&] { return base_->Truncate(size); });
+  }
+  Status Sync(bool data_only) override {
+    // Retried like writes: our files are unbuffered pwrite + f(data)sync,
+    // so re-issuing the sync re-forces the same already-written bytes (no
+    // fsyncgate-style silent page-cache drop to worry about at this layer;
+    // the fault model is "the call failed", not "dirty pages vanished").
+    return env_->WithRetry([&] { return base_->Sync(data_only); });
+  }
+  Status Size(uint64_t* out) override { return base_->Size(out); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  const RetryingEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+}  // namespace
+
+RetryingEnv::RetryingEnv(Env* base, RetryPolicy policy)
+    : base_(base != nullptr ? base : Env::Default()), policy_(policy) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  metric_retries_ = metrics->GetCounter("io.retries");
+  metric_exhausted_ = metrics->GetCounter("io.retry_exhausted");
+}
+
+Status RetryingEnv::WithRetry(const std::function<Status()>& op) const {
+  Status s = op();
+  uint64_t backoff = policy_.base_backoff_us;
+  for (int attempt = 1;
+       !s.ok() && s.IsRetryable() && attempt < policy_.max_attempts;
+       ++attempt) {
+    metric_retries_->Increment();
+    std::this_thread::sleep_for(std::chrono::microseconds(Jittered(backoff)));
+    backoff = std::min(backoff * 2, policy_.max_backoff_us);
+    s = op();
+  }
+  if (!s.ok() && s.IsRetryable()) metric_exhausted_->Increment();
+  return s;
+}
+
+Status RetryingEnv::NewRandomAccessFile(
+    const std::string& path, bool create,
+    std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  DMX_RETURN_IF_ERROR(WithRetry(
+      [&] { return base_->NewRandomAccessFile(path, create, &base_file); }));
+  *out = std::make_unique<RetryingFile>(this, std::move(base_file));
+  return Status::OK();
+}
+
+Status RetryingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status RetryingEnv::GetFileSize(const std::string& path, uint64_t* out) {
+  return base_->GetFileSize(path, out);
+}
+
+Status RetryingEnv::DeleteFile(const std::string& path) {
+  return WithRetry([&] { return base_->DeleteFile(path); });
+}
+
+Status RetryingEnv::RenameFile(const std::string& from,
+                               const std::string& to) {
+  return WithRetry([&] { return base_->RenameFile(from, to); });
+}
+
+Status RetryingEnv::CreateDir(const std::string& path) {
+  return WithRetry([&] { return base_->CreateDir(path); });
+}
+
+Status RetryingEnv::SyncDir(const std::string& path) {
+  return WithRetry([&] { return base_->SyncDir(path); });
+}
+
+Status RetryingEnv::ReadFileToString(const std::string& path,
+                                     std::string* out) {
+  // Delegate to the base so its bookkeeping (fault-injection snapshots)
+  // sees the read; the base's own files do the per-call retries.
+  return base_->ReadFileToString(path, out);
+}
+
+Status RetryingEnv::WriteFileAtomic(const std::string& path,
+                                    const Slice& data) {
+  // The base's override is the atomic unit (temp file + rename + dir
+  // sync); retry the whole unit — after any failure the old content is
+  // intact, so a re-run is safe.
+  return WithRetry([&] { return base_->WriteFileAtomic(path, data); });
+}
+
+}  // namespace dmx

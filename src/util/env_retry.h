@@ -1,0 +1,83 @@
+// RetryingEnv: bounded retry with exponential backoff + jitter for
+// transient I/O failures.
+//
+// Wraps any Env (the real PosixEnv or a FaultInjectionEnv) and re-issues
+// an operation when it fails with a Status whose retryable bit is set —
+// the Env boundary classifies ENOSPC/EDQUOT/EAGAIN/EBUSY/ENOMEM and the
+// injected transient faults that way (see PosixError and
+// FaultInjectionEnv::SetTransient*Faults). Hard errors (EIO, corruption)
+// and every non-retryable Status pass through untouched on the first
+// attempt, so the wrapper never masks real damage or changes the
+// semantics of the dead-disk fault model the torture tests rely on.
+//
+// The backoff is deliberately small (microseconds, capped at a few
+// milliseconds): the wrapper sits under the WAL mutex on the commit path,
+// so a retry burst must not stall unrelated transactions for long. Faults
+// that outlive the retry budget surface to the caller with the retryable
+// bit still set; the Database's ErrorHandler then takes over with degraded
+// mode and background recovery on a much longer backoff schedule.
+//
+// Metrics: `io.retries` counts every re-issued operation, and
+// `io.retry_exhausted` counts operations that failed retryably even after
+// the final attempt.
+
+#ifndef DMX_UTIL_ENV_RETRY_H_
+#define DMX_UTIL_ENV_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/util/env.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// Bounded-retry schedule: attempt, then up to (max_attempts - 1) retries
+/// with exponential backoff starting at base_backoff_us, capped at
+/// max_backoff_us, each sleep jittered to half-to-full of its nominal
+/// value so concurrent retriers do not stampede in lockstep.
+struct RetryPolicy {
+  int max_attempts = 4;
+  uint64_t base_backoff_us = 100;
+  uint64_t max_backoff_us = 5000;
+};
+
+class RetryingEnv : public Env {
+ public:
+  /// Wraps `base` (Env::Default() when null). Not owned; must outlive this.
+  explicit RetryingEnv(Env* base = nullptr, RetryPolicy policy = {});
+
+  Env* base() const { return base_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Run `op`, retrying per the policy while it fails retryably.
+  /// Public so non-file operations (atomic snapshot writes) can share the
+  /// schedule.
+  Status WithRetry(const std::function<Status()>& op) const;
+
+  // -- Env --------------------------------------------------------------------
+  Status NewRandomAccessFile(const std::string& path, bool create,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* out) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status WriteFileAtomic(const std::string& path, const Slice& data) override;
+
+ private:
+  Env* base_;
+  RetryPolicy policy_;
+  // Registry metrics ("io.*"), resolved once at construction.
+  Counter* metric_retries_;
+  Counter* metric_exhausted_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_UTIL_ENV_RETRY_H_

@@ -16,8 +16,14 @@ class FaultFile : public RandomAccessFile {
               size_t* out_n) override {
     {
       MutexLock lock(&env_->state_.mu);
-      if (env_->ShouldFailReadLocked()) {
-        return Status::IOError("injected read fault on '" + path_ + "'");
+      switch (env_->CheckReadLocked()) {
+        case FaultInjectionEnv::Fail::kHard:
+          return Status::IOError("injected read fault on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kTransient:
+          return Status::RetryableIOError(
+              "injected transient read fault on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kNone:
+          break;
       }
     }
     return base_->Read(offset, n, scratch, out_n);
@@ -27,8 +33,14 @@ class FaultFile : public RandomAccessFile {
     FaultInjectionEnv::CorruptMode corrupt;
     {
       MutexLock lock(&env_->state_.mu);
-      if (env_->ShouldFailWriteLocked()) {
-        return Status::IOError("injected write fault on '" + path_ + "'");
+      switch (env_->CheckWriteLocked()) {
+        case FaultInjectionEnv::Fail::kHard:
+          return Status::IOError("injected write fault on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kTransient:
+          return Status::RetryableIOError(
+              "injected transient write fault (ENOSPC) on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kNone:
+          break;
       }
       corrupt = env_->state_.corrupt_next;
       env_->state_.corrupt_next = FaultInjectionEnv::CorruptMode::kNone;
@@ -60,8 +72,16 @@ class FaultFile : public RandomAccessFile {
   Status Truncate(uint64_t size) override {
     {
       MutexLock lock(&env_->state_.mu);
-      if (env_->ShouldFailWriteLocked()) {
-        return Status::IOError("injected truncate fault on '" + path_ + "'");
+      switch (env_->CheckWriteLocked()) {
+        case FaultInjectionEnv::Fail::kHard:
+          return Status::IOError("injected truncate fault on '" + path_ +
+                                 "'");
+        case FaultInjectionEnv::Fail::kTransient:
+          return Status::RetryableIOError(
+              "injected transient truncate fault (ENOSPC) on '" + path_ +
+              "'");
+        case FaultInjectionEnv::Fail::kNone:
+          break;
       }
       ++env_->state_.writes;
     }
@@ -71,8 +91,14 @@ class FaultFile : public RandomAccessFile {
   Status Sync(bool data_only) override {
     {
       MutexLock lock(&env_->state_.mu);
-      if (env_->ShouldFailSyncLocked()) {
-        return Status::IOError("injected sync fault on '" + path_ + "'");
+      switch (env_->CheckSyncLocked()) {
+        case FaultInjectionEnv::Fail::kHard:
+          return Status::IOError("injected sync fault on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kTransient:
+          return Status::RetryableIOError(
+              "injected transient sync fault (ENOSPC) on '" + path_ + "'");
+        case FaultInjectionEnv::Fail::kNone:
+          break;
       }
       ++env_->state_.syncs;
     }
@@ -128,6 +154,21 @@ void FaultInjectionEnv::SetCorruptNextWrite(CorruptMode mode) {
   state_.corrupt_next = mode;
 }
 
+void FaultInjectionEnv::SetTransientWriteFaults(int64_t n) {
+  MutexLock lock(&state_.mu);
+  state_.transient_write_left = n;
+}
+
+void FaultInjectionEnv::SetTransientSyncFaults(int64_t n) {
+  MutexLock lock(&state_.mu);
+  state_.transient_sync_left = n;
+}
+
+void FaultInjectionEnv::SetTransientReadFaults(int64_t n) {
+  MutexLock lock(&state_.mu);
+  state_.transient_read_left = n;
+}
+
 void FaultInjectionEnv::ClearFaults() {
   MutexLock lock(&state_.mu);
   state_.dead = false;
@@ -136,6 +177,9 @@ void FaultInjectionEnv::ClearFaults() {
   state_.read_error_prob = 0;
   state_.write_error_prob = 0;
   state_.sync_error_prob = 0;
+  state_.transient_write_left = 0;
+  state_.transient_sync_left = 0;
+  state_.transient_read_left = 0;
   state_.corrupt_next = CorruptMode::kNone;
 }
 
@@ -159,53 +203,74 @@ uint64_t FaultInjectionEnv::injected_faults() const {
   return state_.injected;
 }
 
+int64_t FaultInjectionEnv::transient_faults_remaining() const {
+  MutexLock lock(&state_.mu);
+  return state_.transient_write_left + state_.transient_sync_left +
+         state_.transient_read_left;
+}
+
 bool FaultInjectionEnv::CoinLocked(double p) {
   if (p <= 0) return false;
   return std::uniform_real_distribution<double>(0, 1)(state_.rng) < p;
 }
 
-bool FaultInjectionEnv::ShouldFailWriteLocked() {
+FaultInjectionEnv::Fail FaultInjectionEnv::CheckWriteLocked() {
   if (state_.dead) {
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
   if (state_.write_fail_after == 0) {
     state_.dead = true;
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
   if (state_.write_fail_after > 0) --state_.write_fail_after;
+  if (state_.transient_write_left > 0) {
+    --state_.transient_write_left;
+    ++state_.injected;
+    return Fail::kTransient;
+  }
   if (CoinLocked(state_.write_error_prob)) {
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
-  return false;
+  return Fail::kNone;
 }
 
-bool FaultInjectionEnv::ShouldFailSyncLocked() {
+FaultInjectionEnv::Fail FaultInjectionEnv::CheckSyncLocked() {
   if (state_.dead) {
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
   if (state_.sync_fail_after == 0) {
     state_.dead = true;
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
   if (state_.sync_fail_after > 0) --state_.sync_fail_after;
+  if (state_.transient_sync_left > 0) {
+    --state_.transient_sync_left;
+    ++state_.injected;
+    return Fail::kTransient;
+  }
   if (CoinLocked(state_.sync_error_prob)) {
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
-  return false;
+  return Fail::kNone;
 }
 
-bool FaultInjectionEnv::ShouldFailReadLocked() {
+FaultInjectionEnv::Fail FaultInjectionEnv::CheckReadLocked() {
+  if (state_.transient_read_left > 0) {
+    --state_.transient_read_left;
+    ++state_.injected;
+    return Fail::kTransient;
+  }
   if (CoinLocked(state_.read_error_prob)) {
     ++state_.injected;
-    return true;
+    return Fail::kHard;
   }
-  return false;
+  return Fail::kNone;
 }
 
 void FaultInjectionEnv::SnapshotSynced(const std::string& path) {
@@ -280,8 +345,14 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
 Status FaultInjectionEnv::SyncDir(const std::string& path) {
   {
     MutexLock lock(&state_.mu);
-    if (ShouldFailSyncLocked()) {
-      return Status::IOError("injected dir-sync fault on '" + path + "'");
+    switch (CheckSyncLocked()) {
+      case Fail::kHard:
+        return Status::IOError("injected dir-sync fault on '" + path + "'");
+      case Fail::kTransient:
+        return Status::RetryableIOError(
+            "injected transient dir-sync fault on '" + path + "'");
+      case Fail::kNone:
+        break;
     }
     ++state_.syncs;
   }
@@ -297,8 +368,20 @@ Status FaultInjectionEnv::WriteFileAtomic(const std::string& path,
                                           const Slice& data) {
   {
     MutexLock lock(&state_.mu);
-    if (ShouldFailWriteLocked() || ShouldFailSyncLocked()) {
-      return Status::IOError("injected atomic-write fault on '" + path + "'");
+    // Write check first; the sync check runs only when the write passes
+    // (matching the two real operations an atomic replace performs).
+    Fail f = CheckWriteLocked();
+    if (f == Fail::kNone) f = CheckSyncLocked();
+    switch (f) {
+      case Fail::kHard:
+        return Status::IOError("injected atomic-write fault on '" + path +
+                               "'");
+      case Fail::kTransient:
+        return Status::RetryableIOError(
+            "injected transient atomic-write fault (ENOSPC) on '" + path +
+            "'");
+      case Fail::kNone:
+        break;
     }
     ++state_.writes;
     ++state_.syncs;

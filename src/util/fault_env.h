@@ -49,6 +49,15 @@ class FaultInjectionEnv : public Env {
   void SetReadErrorProb(double p);
   void SetWriteErrorProb(double p);
   void SetSyncErrorProb(double p);
+  /// The next `n` writes/truncates fail with a *retryable* IOError (a
+  /// simulated ENOSPC burst); the fault then auto-clears — no ClearFaults
+  /// needed, the disk "finds space again". Unlike the countdown faults,
+  /// the disk never dies. n <= 0 disarms.
+  void SetTransientWriteFaults(int64_t n);
+  /// Same auto-clearing burst for syncs (including directory syncs).
+  void SetTransientSyncFaults(int64_t n);
+  /// Same auto-clearing burst for reads.
+  void SetTransientReadFaults(int64_t n);
   /// Corrupt the next write that is not rejected: flip one random bit, or
   /// tear it (persist only the first half).
   void SetCorruptNextWrite(CorruptMode mode);
@@ -67,6 +76,9 @@ class FaultInjectionEnv : public Env {
   uint64_t writes() const;
   uint64_t syncs() const;
   uint64_t injected_faults() const;
+  /// Transient-burst injections still pending (all three families); tests
+  /// use this to see how far a retry/recovery loop has drained the burst.
+  int64_t transient_faults_remaining() const;
 
   // -- Env --------------------------------------------------------------------
   Status NewRandomAccessFile(const std::string& path, bool create,
@@ -98,6 +110,9 @@ class FaultInjectionEnv : public Env {
     double read_error_prob GUARDED_BY(mu) = 0;
     double write_error_prob GUARDED_BY(mu) = 0;
     double sync_error_prob GUARDED_BY(mu) = 0;
+    int64_t transient_write_left GUARDED_BY(mu) = 0;
+    int64_t transient_sync_left GUARDED_BY(mu) = 0;
+    int64_t transient_read_left GUARDED_BY(mu) = 0;
     CorruptMode corrupt_next GUARDED_BY(mu) = CorruptMode::kNone;
     uint64_t writes GUARDED_BY(mu) = 0;
     uint64_t syncs GUARDED_BY(mu) = 0;
@@ -105,10 +120,15 @@ class FaultInjectionEnv : public Env {
     std::map<std::string, FileState> files GUARDED_BY(mu);
   };
 
-  // All return true when the operation must fail (mu held by caller).
-  bool ShouldFailWriteLocked() REQUIRES(state_.mu);
-  bool ShouldFailSyncLocked() REQUIRES(state_.mu);
-  bool ShouldFailReadLocked() REQUIRES(state_.mu);
+  /// How an operation must fail: not at all, with a plain IOError (dead
+  /// disk / probability fault), or with a retryable IOError (transient
+  /// burst).
+  enum class Fail { kNone, kHard, kTransient };
+
+  // All decide the next operation's fate (mu held by caller).
+  Fail CheckWriteLocked() REQUIRES(state_.mu);
+  Fail CheckSyncLocked() REQUIRES(state_.mu);
+  Fail CheckReadLocked() REQUIRES(state_.mu);
   bool CoinLocked(double p) REQUIRES(state_.mu);
 
   // Record the real file's current content as the synced snapshot.

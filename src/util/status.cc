@@ -18,8 +18,10 @@ std::string Status::ToString() const {
     case Code::kAborted: name = "ABORTED"; break;
     case Code::kInternal: name = "INTERNAL"; break;
   }
-  if (msg_.empty()) return name;
-  return std::string(name) + ": " + msg_;
+  std::string out = name;
+  if (retryable_) out += " (retryable)";
+  if (!msg_.empty()) out += ": " + msg_;
+  return out;
 }
 
 }  // namespace dmx

@@ -55,6 +55,16 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  /// An I/O failure worth retrying (ENOSPC that may clear, EAGAIN, an
+  /// injected transient fault). Only the Env/WAL boundary should decide
+  /// retryability — everything above propagates the Status unchanged, so
+  /// the bit survives DMX_RETURN_IF_ERROR chains up to the retry layer
+  /// and the ErrorHandler taxonomy.
+  static Status RetryableIOError(std::string msg = "") {
+    Status s(Code::kIOError, std::move(msg));
+    s.retryable_ = true;
+    return s;
+  }
   static Status NotSupported(std::string msg = "") {
     return Status(Code::kNotSupported, std::move(msg));
   }
@@ -90,6 +100,9 @@ class [[nodiscard]] Status {
   }
   bool IsConstraint() const { return code_ == Code::kConstraint; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  /// True when the failure is transient and the same call may succeed if
+  /// repeated (the ErrorHandler's "transient-retryable" class).
+  bool IsRetryable() const { return retryable_; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -101,6 +114,7 @@ class [[nodiscard]] Status {
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
   Code code_;
+  bool retryable_ = false;
   std::string msg_;
 };
 

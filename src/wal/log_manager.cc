@@ -42,7 +42,8 @@ Status LogManager::Open(const std::string& path, bool create, Env* env) {
   const bool existed = env_->FileExists(path).ok();
   DMX_RETURN_IF_ERROR(env_->NewRandomAccessFile(path, create, &file_));
   path_ = path;
-  poisoned_ = false;
+  poison_ = PoisonKind::kNone;
+  poison_cause_ = Status::OK();
   buffer_.clear();
   uint64_t size = 0;
   Status s = file_->Size(&size);
@@ -103,10 +104,14 @@ Status LogManager::Close() {
   return s.ok() ? c : s;
 }
 
-Status LogManager::Append(LogRecord* rec) {
-  MutexLock lock(&mu_);
+Status LogManager::PoisonedLocked() const {
+  return Status::IOError("log poisoned by failed truncation (" +
+                         poison_cause_.ToString() + ")");
+}
+
+Status LogManager::AppendLocked(LogRecord* rec) {
   ScopedTimer timer((append_tick_++ & 63) == 0 ? metric_append_ns_ : nullptr);
-  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
+  if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   rec->lsn = next_lsn_.load(std::memory_order_relaxed);
   std::string body;
   rec->EncodeTo(&body);
@@ -121,13 +126,39 @@ Status LogManager::Append(LogRecord* rec) {
   return Status::OK();
 }
 
+Status LogManager::Append(LogRecord* rec) {
+  MutexLock lock(&mu_);
+  return AppendLocked(rec);
+}
+
+Status LogManager::AppendAndFlush(LogRecord* rec) {
+  MutexLock lock(&mu_);
+  const size_t buffered_before = buffer_.size();
+  const Lsn lsn_before = next_lsn_.load(std::memory_order_relaxed);
+  DMX_RETURN_IF_ERROR(AppendLocked(rec));
+  Status s = FlushToLocked(rec->lsn);
+  if (!s.ok()) {
+    // The flush failed before it could clear the buffer, so our frame is
+    // still its tail (we held mu_ throughout): drop it again. The caller's
+    // last_lsn chain stays untouched and its Abort rolls back normally.
+    // Caveat (documented in DESIGN.md §11): if the failed flush's write
+    // reached the platter and the process dies before the tail bytes are
+    // overwritten by a later flush, replay can still see this record — an
+    // errored commit is ambiguous, like every WAL system's.
+    buffer_.resize(buffered_before);
+    next_lsn_.store(lsn_before, std::memory_order_release);
+    rec->lsn = kInvalidLsn;
+  }
+  return s;
+}
+
 Status LogManager::FlushTo(Lsn lsn) {
   MutexLock lock(&mu_);
   return FlushToLocked(lsn);
 }
 
 Status LogManager::FlushToLocked(Lsn lsn) {
-  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
+  if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   if (lsn <= flushed_lsn_.load(std::memory_order_relaxed)) {
     return Status::OK();
   }
@@ -211,7 +242,7 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
   MutexLock lock(&mu_);
-  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
+  if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   if (lsn == kInvalidLsn || lsn <= base_lsn_ ||
       lsn >= next_lsn_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
@@ -254,7 +285,7 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 
 Status LogManager::Truncate() {
   MutexLock lock(&mu_);
-  if (poisoned_) return Status::IOError("log poisoned by failed truncation");
+  if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   if (!buffer_.empty()) {
     return Status::Busy("flush the log before truncating");
   }
@@ -273,7 +304,10 @@ Status LogManager::Truncate() {
     Status restore = WriteHeaderLocked();
     if (restore.ok()) restore = file_->Sync(/*data_only=*/false);
     // If we cannot tell which header is on disk, refuse all further work.
-    if (!restore.ok()) poisoned_ = true;
+    if (!restore.ok()) {
+      poison_ = PoisonKind::kHeaderUnknown;
+      poison_cause_ = restore;
+    }
     return s;
   }
   s = file_->Truncate(kLogHeaderSize);
@@ -281,12 +315,47 @@ Status LogManager::Truncate() {
   if (!s.ok()) {
     // The new header is durable but the old frames may linger; in-memory
     // offsets no longer match the file reliably. Refuse further work.
-    poisoned_ = true;
+    poison_ = PoisonKind::kStaleTail;
+    poison_cause_ = s;
     return s;
   }
   buffer_start_ = next_lsn_.load(std::memory_order_relaxed);
   flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
   return Status::OK();
+}
+
+Status LogManager::Resume() {
+  MutexLock lock(&mu_);
+  if (!file_) return Status::IOError("log not open");
+  switch (poison_) {
+    case PoisonKind::kNone:
+      break;
+    case PoisonKind::kHeaderUnknown:
+      // Neither the new nor the restored (current in-memory) header is
+      // known to be on disk: rewrite ours and make it durable. Until this
+      // succeeds the poison stays set and we keep returning the fault.
+      DMX_RETURN_IF_ERROR(WriteHeaderLocked());
+      DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/false));
+      break;
+    case PoisonKind::kStaleTail:
+      // The advanced header is durable; finish the interrupted shrink so
+      // old-generation frames cannot linger past the next crash.
+      DMX_RETURN_IF_ERROR(file_->Truncate(kLogHeaderSize));
+      DMX_RETURN_IF_ERROR(file_->Sync(/*data_only=*/true));
+      buffer_start_ = next_lsn_.load(std::memory_order_relaxed);
+      flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
+      break;
+  }
+  poison_ = PoisonKind::kNone;
+  poison_cause_ = Status::OK();
+  // Probe the full append/force path before declaring the log healthy: a
+  // pending buffer is the real thing to flush; otherwise rewrite + sync
+  // the header as a same-shape write.
+  if (!buffer_.empty()) {
+    return FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
+  }
+  DMX_RETURN_IF_ERROR(WriteHeaderLocked());
+  return file_->Sync(/*data_only=*/false);
 }
 
 }  // namespace dmx

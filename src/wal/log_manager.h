@@ -29,7 +29,15 @@
 // crash at any point leaves either the old log or the new empty log, never a
 // file whose header disagrees with its frames. If Truncate fails after the
 // point of no return the manager poisons itself — every later operation
-// returns IOError until the log is reopened.
+// returns IOError (carrying the original failing Status) until the log is
+// reopened or Resume() repairs it in place.
+//
+// Resume() is the un-poison contract for the ErrorHandler's background
+// recovery: it finishes whichever half of the failed truncation is
+// outstanding (rewrite the restored header, or complete the shrink), then
+// probes the full append+sync path, and only clears the poison when every
+// step succeeds. While the fault persists, Resume keeps failing and the
+// manager stays poisoned; callers retry on their own schedule.
 //
 // All I/O goes through a pluggable Env (fault injection in tests).
 
@@ -67,6 +75,13 @@ class LogManager {
   /// FlushTo (the buffer-pool WAL hook and commits do).
   Status Append(LogRecord* rec);
 
+  /// Append + force in one critical section (the commit record). If the
+  /// flush fails, the just-appended frame is removed from the buffer again
+  /// and rec->lsn is reset to kInvalidLsn, so the caller's rollback chain
+  /// never crosses an unacknowledged commit record and a clean Abort
+  /// remains possible while the disk misbehaves.
+  Status AppendAndFlush(LogRecord* rec);
+
   /// Ensure all records with lsn <= `lsn` are durable.
   Status FlushTo(Lsn lsn);
   /// Flush everything appended so far.
@@ -95,9 +110,34 @@ class LogManager {
   /// Statistics: number of records appended this session.
   uint64_t records_appended() const { return records_appended_; }
 
+  /// True while a failed truncation has the log refusing all work.
+  bool poisoned() const {
+    MutexLock lock(&mu_);
+    return poison_ != PoisonKind::kNone;
+  }
+
+  /// Repair a poisoned log in place (the background-recovery contract):
+  /// finish the interrupted truncation, probe the write path (flush any
+  /// buffered frames, or rewrite + sync the header when the buffer is
+  /// empty), and clear the poison. Also usable on a healthy log as a pure
+  /// write-path probe. Fails — and leaves the poison set — while the
+  /// underlying fault persists.
+  Status Resume();
+
  private:
+  /// Why the log is refusing work (see Truncate's two failure windows).
+  enum class PoisonKind : uint8_t {
+    kNone = 0,
+    kHeaderUnknown,  // neither new nor restored header made it to disk
+    kStaleTail,      // new header durable; old frames still in the file
+  };
+
   Status WriteHeaderLocked() REQUIRES(mu_);
   Status FlushToLocked(Lsn lsn) REQUIRES(mu_);
+  Status AppendLocked(LogRecord* rec) REQUIRES(mu_);
+  /// The error every operation returns while poisoned; names the original
+  /// failing operation and errno so operators see the root cause.
+  Status PoisonedLocked() const REQUIRES(mu_);
 
   Env* env_ GUARDED_BY(mu_) = nullptr;
   std::unique_ptr<RandomAccessFile> file_ GUARDED_BY(mu_);
@@ -112,8 +152,10 @@ class LogManager {
   std::string buffer_ GUARDED_BY(mu_);    // unflushed bytes
   Lsn buffer_start_ GUARDED_BY(mu_) = 1;  // LSN of buffer_[0]
   Counter records_appended_;  // atomic: read by stats while writers append
-  // Set on unrecoverable Truncate failure.
-  bool poisoned_ GUARDED_BY(mu_) = false;
+  // Set on unrecoverable Truncate failure; cause keeps the first failing
+  // Status for PoisonedLocked() and the operators reading it.
+  PoisonKind poison_ GUARDED_BY(mu_) = PoisonKind::kNone;
+  Status poison_cause_ GUARDED_BY(mu_);
   // Registry metrics ("wal.*"), resolved once at construction. Appends are
   // a few hundred ns, so their latency is sampled 1-in-64; fsyncs are µs+
   // and every one is timed. The sampling tick is guarded by mu_ like the

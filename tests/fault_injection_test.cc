@@ -13,12 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <random>
 #include <string>
 
 #include "src/core/database.h"
+#include "src/query/sql.h"
 #include "src/sm/key_codec.h"
 #include "src/util/fault_env.h"
 #include "tests/test_util.h"
@@ -455,6 +458,232 @@ TEST(FaultInjectionRepairTest, CrashMidRepairKeepsQuarantineAndData) {
   }
   db->SimulateCrashOnClose();
   db.reset();
+}
+
+// -- graceful degradation & auto-recovery ------------------------------------
+
+// Transient-fault matrix: a commit or checkpoint that hits a transient
+// ENOSPC-style burst outliving the retry budget must flip the database into
+// degraded read-only mode (reads serve, writers get Busy — never a
+// corruption), and once the burst drains, background recovery must restore
+// full write service without reopening the Database.
+class FaultInjectionDegradedTest : public ::testing::Test {
+ protected:
+  FaultInjectionDegradedTest() : dir_("degraded") {
+    options_.dir = dir_.path() + "/db";
+    options_.env = &env_;
+    options_.recovery_initial_backoff_ms = 1;  // fast probe loop for tests
+    options_.recovery_max_backoff_ms = 8;
+    Status s = Database::Open(options_, &db_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    Transaction* ddl = db_->Begin();
+    EXPECT_TRUE(db_->CreateRelation(ddl, "t", KvSchema(), "heap", {}).ok());
+    EXPECT_TRUE(db_->Commit(ddl).ok());
+    EXPECT_TRUE(db_->Checkpoint().ok());
+  }
+
+  Status InsertRow(int64_t k, const std::string& v) {
+    Transaction* txn = db_->Begin();
+    Status s = db_->Insert(txn, "t", {Value::Int(k), Value::String(v)});
+    if (s.ok()) s = db_->Commit(txn);
+    if (!s.ok()) db_->Abort(txn);
+    return s;
+  }
+
+  std::map<int64_t, std::string> ScanAll() {
+    std::map<int64_t, std::string> found;
+    Transaction* txn = db_->Begin();
+    std::unique_ptr<Scan> scan;
+    EXPECT_TRUE(db_->OpenScan(txn, "t", AccessPathId::StorageMethod(),
+                              ScanSpec{}, &scan)
+                    .ok());
+    ScanItem item;
+    while (scan->Next(&item).ok()) {
+      found[item.view.GetInt(0)] = item.view.GetStringSlice(1).ToString();
+    }
+    scan.reset();
+    EXPECT_TRUE(db_->Commit(txn).ok());  // read-only commit: no log force
+    return found;
+  }
+
+  /// The full cycle: fault during commit -> degraded (reads OK, writes
+  /// Busy) -> burst drains -> background recovery -> writes succeed. The
+  /// Database is never reopened.
+  void RunDegradeRecoverCycle(bool sync_faults) {
+    ASSERT_TRUE(InsertRow(1, "before").ok());
+
+    // Recovery probes drain the burst 4 calls per attempt (the retry
+    // budget); size it to need several probe rounds.
+    if (sync_faults) {
+      env_.SetTransientSyncFaults(24);
+    } else {
+      env_.SetTransientWriteFaults(24);
+    }
+
+    Transaction* writer = db_->Begin();
+    ASSERT_TRUE(
+        db_->Insert(writer, "t", {Value::Int(2), Value::String("lost")})
+            .ok());
+    Status cs = db_->Commit(writer);
+    ASSERT_FALSE(cs.ok());
+    EXPECT_TRUE(cs.IsIOError()) << cs.ToString();
+    EXPECT_FALSE(cs.IsCorruption()) << cs.ToString();
+    EXPECT_TRUE(db_->degraded());
+    // The in-flight writer aborts cleanly (its commit record was rewound,
+    // so the rollback chain never crosses it).
+    Status as = db_->Abort(writer);
+    EXPECT_TRUE(as.ok()) << as.ToString();
+
+    // Reads keep serving while degraded...
+    EXPECT_EQ(ScanAll(), (std::map<int64_t, std::string>{{1, "before"}}));
+    // ...new writers are refused with a descriptive Busy, not corruption.
+    Transaction* refused = db_->Begin();
+    Status busy =
+        db_->Insert(refused, "t", {Value::Int(3), Value::String("nope")});
+    EXPECT_TRUE(busy.IsBusy()) << busy.ToString();
+    EXPECT_NE(busy.ToString().find("degraded"), std::string::npos)
+        << busy.ToString();
+    EXPECT_TRUE(db_->Commit(refused).ok());  // wrote nothing: trivial
+    // DDL is refused too.
+    Transaction* ddl = db_->Begin();
+    EXPECT_TRUE(db_->CreateRelation(ddl, "t2", KvSchema(), "heap", {})
+                    .IsBusy());
+    EXPECT_TRUE(db_->Commit(ddl).ok());
+
+    // The burst auto-clears under the recovery thread's probes.
+    ASSERT_TRUE(db_->error_handler()->WaitUntilHealthy(
+        std::chrono::milliseconds(10000)));
+    EXPECT_FALSE(db_->degraded());
+    EXPECT_EQ(env_.transient_faults_remaining(), 0);
+
+    // Full service is back — same Database object.
+    Status ws = InsertRow(4, "after");
+    EXPECT_TRUE(ws.ok()) << ws.ToString();
+    EXPECT_EQ(ScanAll(), (std::map<int64_t, std::string>{{1, "before"},
+                                                         {4, "after"}}));
+    Status cp = db_->Checkpoint();
+    EXPECT_TRUE(cp.ok()) << cp.ToString();
+  }
+
+  TempDir dir_;
+  FaultInjectionEnv env_;
+  DatabaseOptions options_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(FaultInjectionDegradedTest, TransientSyncBurstDuringCommit) {
+  Counter* entries =
+      MetricsRegistry::Global()->GetCounter("db.degraded_entries");
+  Counter* successes =
+      MetricsRegistry::Global()->GetCounter("recovery.successes");
+  const uint64_t entries_before = entries->value();
+  const uint64_t successes_before = successes->value();
+  RunDegradeRecoverCycle(/*sync_faults=*/true);
+  EXPECT_EQ(entries->value(), entries_before + 1);
+  EXPECT_GE(successes->value(), successes_before + 1);
+  EXPECT_EQ(MetricsRegistry::Global()->GetCounter("db.degraded")->value(),
+            0u);
+}
+
+TEST_F(FaultInjectionDegradedTest, TransientWriteBurstDuringCommit) {
+  RunDegradeRecoverCycle(/*sync_faults=*/false);
+}
+
+TEST_F(FaultInjectionDegradedTest, TransientBurstDuringCheckpoint) {
+  ASSERT_TRUE(InsertRow(1, "row").ok());
+  env_.SetTransientSyncFaults(30);
+  Status cp = db_->Checkpoint();
+  ASSERT_FALSE(cp.ok());
+  EXPECT_TRUE(cp.IsIOError()) << cp.ToString();
+  EXPECT_TRUE(db_->degraded());
+
+  // While degraded, a second checkpoint is refused outright instead of
+  // re-driving the failing write path.
+  EXPECT_TRUE(db_->Checkpoint().IsBusy());
+  EXPECT_EQ(ScanAll(), (std::map<int64_t, std::string>{{1, "row"}}));
+
+  ASSERT_TRUE(db_->error_handler()->WaitUntilHealthy(
+      std::chrono::milliseconds(10000)));
+  EXPECT_TRUE(InsertRow(2, "more").ok());
+  Status again = db_->Checkpoint();
+  EXPECT_TRUE(again.ok()) << again.ToString();
+}
+
+TEST_F(FaultInjectionDegradedTest, ShortBurstAbsorbedByRetry) {
+  // A burst within the retry budget is invisible to callers: the commit
+  // succeeds, nothing degrades, and only the io.retries metric shows it.
+  Counter* retries = MetricsRegistry::Global()->GetCounter("io.retries");
+  const uint64_t retries_before = retries->value();
+  env_.SetTransientSyncFaults(2);
+  EXPECT_TRUE(InsertRow(7, "kept").ok());
+  EXPECT_FALSE(db_->degraded());
+  EXPECT_EQ(env_.transient_faults_remaining(), 0);
+  EXPECT_GE(retries->value(), retries_before + 2);
+  EXPECT_EQ(ScanAll(), (std::map<int64_t, std::string>{{7, "kept"}}));
+}
+
+TEST_F(FaultInjectionDegradedTest, FailedSqlAutocommitReleasesLocks) {
+  // A commit that fails on the WAL leaves the transaction active; the SQL
+  // session must abort it so its locks don't block degraded-mode readers
+  // (regression: the autocommit wrapper used to leak the txn on commit
+  // failure, turning degraded mode into lock-timeout storms).
+  Session session(db_.get());
+  QueryResult res;
+  ASSERT_TRUE(
+      session.Execute("INSERT INTO t VALUES (1, 'healthy')", &res).ok());
+  env_.SetTransientSyncFaults(24);
+  Status cs = session.Execute("INSERT INTO t VALUES (2, 'doomed')", &res);
+  ASSERT_FALSE(cs.ok());
+  EXPECT_TRUE(cs.IsIOError()) << cs.ToString();
+  EXPECT_TRUE(db_->degraded());
+
+  // Reads from a fresh session must not block on the failed writer's locks.
+  Session reader(db_.get());
+  Status rs = reader.Execute("SELECT COUNT(*) FROM t", &res);
+  EXPECT_TRUE(rs.ok()) << rs.ToString();
+
+  // Same for an explicit COMMIT that fails: the txn is aborted, not leaked.
+  ASSERT_TRUE(db_->error_handler()->WaitUntilHealthy(
+      std::chrono::milliseconds(10000)));
+  env_.SetTransientSyncFaults(24);
+  Session explicit_writer(db_.get());
+  ASSERT_TRUE(explicit_writer.Execute("BEGIN", &res).ok());
+  ASSERT_TRUE(
+      explicit_writer.Execute("INSERT INTO t VALUES (3, 'doomed')", &res)
+          .ok());
+  Status ecs = explicit_writer.Execute("COMMIT", &res);
+  ASSERT_FALSE(ecs.ok());
+  rs = reader.Execute("SELECT COUNT(*) FROM t", &res);
+  EXPECT_TRUE(rs.ok()) << rs.ToString();
+
+  ASSERT_TRUE(db_->error_handler()->WaitUntilHealthy(
+      std::chrono::milliseconds(10000)));
+  ASSERT_TRUE(
+      session.Execute("INSERT INTO t VALUES (4, 'after')", &res).ok());
+  ASSERT_TRUE(reader.Execute("SELECT COUNT(*) FROM t", &res).ok());
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_EQ(res.rows[0][0].int_value(), 2);
+}
+
+TEST_F(FaultInjectionDegradedTest, RecoveryListenerSeesAttempts) {
+  std::atomic<int> failures{0};
+  std::atomic<int> successes{0};
+  db_->error_handler()->SetRecoveryListener(
+      [&](bool success, uint64_t attempt) {
+        (success ? successes : failures).fetch_add(1);
+        EXPECT_GE(attempt, 1u);
+      });
+  ASSERT_TRUE(InsertRow(1, "x").ok());
+  env_.SetTransientSyncFaults(24);
+  Transaction* writer = db_->Begin();
+  ASSERT_TRUE(
+      db_->Insert(writer, "t", {Value::Int(2), Value::String("y")}).ok());
+  ASSERT_FALSE(db_->Commit(writer).ok());
+  ASSERT_TRUE(db_->Abort(writer).ok());
+  ASSERT_TRUE(db_->error_handler()->WaitUntilHealthy(
+      std::chrono::milliseconds(10000)));
+  EXPECT_EQ(successes.load(), 1);
+  EXPECT_GE(failures.load(), 1);  // the burst forced at least one re-probe
 }
 
 }  // namespace

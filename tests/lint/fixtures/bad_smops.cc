@@ -56,4 +56,14 @@ Status BypassRegistry(SmContext& ctx) {
   return HeapStorageMethodOps().count(ctx, &n);
 }
 
+// raw-ioerror: only src/util and src/wal may classify I/O failures.
+Status FakeDiskFailure() {
+  return Status::IOError("disk on fire");
+}
+
+// raw-ioerror: the retryable variant is boundary-only too.
+Status FakeTransientFailure() {
+  return Status::RetryableIOError("disk smoldering");
+}
+
 }  // namespace dmx

@@ -14,6 +14,10 @@ class ExternallySynchronized {
   int count_ = 0;
 };
 
+inline Status NotReallyIo() {
+  return Status::IOError("x");  // dmx-lint: allow-raw-ioerror (fixture)
+}
+
 }  // namespace dmx
 
 #endif  // DMX_TESTS_LINT_FIXTURES_SUPPRESSED_OK_H_

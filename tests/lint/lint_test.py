@@ -43,7 +43,7 @@ def main():
         failures.append("broken fixtures should fail the lint, got rc=0")
     for rule in ("sm-incomplete", "at-incomplete", "undo-redo-pair",
                  "lookup-needs-list", "direct-dispatch", "raw-mutex",
-                 "unguarded-mutex"):
+                 "unguarded-mutex", "raw-ioerror"):
         if f"[{rule}]" not in out:
             failures.append(f"expected a [{rule}] finding, output:\n{out}")
     # The specific defects, not just the rule classes:

@@ -28,6 +28,12 @@ Rules (findings print as `path:line: [rule] message`, exit 1 if any):
                      unique_lock outside src/util/thread_annotations.h
   unguarded-mutex    a member `Mutex m;` with no GUARDED_BY(m)/REQUIRES(m)
                      in the same file
+  raw-ioerror        Status::IOError / Status::RetryableIOError constructed
+                     outside src/util and src/wal — only the Env/WAL
+                     boundary may classify I/O failures, or the error
+                     taxonomy (retryability, degraded-mode routing) silently
+                     loses its meaning. Extensions must propagate the
+                     Status they got from the Env.
 
 Suppress a finding on its line with `// dmx-lint: allow-<rule-suffix>`,
 e.g. `Mutex mu;  // dmx-lint: allow-unguarded (reason)`.
@@ -173,12 +179,34 @@ def check_mutexes(path, text, exempt):
                    f"with REQUIRES({name})", line)
 
 
+# -- I/O error discipline -----------------------------------------------------
+
+IOERROR_RE = re.compile(r"\bStatus::(?:Retryable)?IOError\s*\(")
+# Only the layers that sit on the OS / device boundary may decide what an
+# I/O failure is (and whether it is retryable). Everyone else propagates.
+IOERROR_EXEMPT = ("src/util/", "src/wal/")
+
+
+def check_ioerror(path, text):
+    posix = str(path).replace("\\", "/")
+    if any(part in posix for part in IOERROR_EXEMPT):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if IOERROR_RE.search(line):
+            report(path, i, "raw-ioerror",
+                   "IOError may only be constructed at the Env/WAL boundary "
+                   "(src/util, src/wal); propagate the Status the "
+                   "environment returned so fault classification survives",
+                   line)
+
+
 def lint_file(path):
     text = path.read_text(encoding="utf-8", errors="replace")
     exempt = path.name == "thread_annotations.h"
     check_vectors(path, text)
     check_dispatch(path, text)
     check_mutexes(path, text, exempt)
+    check_ioerror(path, text)
 
 
 def main():
