@@ -2,6 +2,7 @@
 """Benchmark regression gate.
 
 Usage: check_regression.py <baseline.json> <results-dir> [--threshold 0.25]
+                           [--summary PATH]
 
 Compares every BENCH_*.json in <results-dir> against the checked-in
 baseline and exits non-zero if any benchmark's ns/op regressed by more
@@ -15,6 +16,11 @@ the baseline was recorded on a single-core container, so suites like
 parallel_scan are expected to show large speedups on multi-core CI
 runners, and surfacing them is how that is verified without baking
 machine-dependent numbers into the gate.
+
+With --summary PATH, a markdown table of every benchmark's ns/op delta
+against the baseline is appended to PATH (pass $GITHUB_STEP_SUMMARY in CI
+to publish it on the run's summary page). The table is written whether or
+not the gate passes.
 
 Refresh the baseline with bench/refresh_baseline.sh.
 """
@@ -37,12 +43,46 @@ def load_results(results_dir):
     return suites
 
 
+def write_summary(path, baseline, results, threshold):
+    """Append a markdown ns/op delta table (for $GITHUB_STEP_SUMMARY)."""
+    lines = ["## Benchmark deltas vs baseline", "",
+             "| Benchmark | Baseline ns/op | Now ns/op | Delta |",
+             "|---|---:|---:|---:|"]
+    base_suites = baseline.get("suites", {})
+    for suite, benches in sorted(results.items()):
+        base = base_suites.get(suite, {})
+        for name, now_ns in sorted(benches.items()):
+            base_ns = base.get(name)
+            if base_ns:
+                pct = 100.0 * (now_ns / base_ns - 1.0)
+                delta = f"{pct:+.1f}%"
+                if now_ns > base_ns * (1.0 + threshold):
+                    delta += " :x:"
+                elif now_ns < base_ns * (1.0 - threshold):
+                    delta += " :rocket:"
+                lines.append(f"| {suite}/{name} | {base_ns:.1f} | "
+                             f"{now_ns:.1f} | {delta} |")
+            else:
+                lines.append(f"| {suite}/{name} | — | {now_ns:.1f} | new |")
+    for suite, benches in sorted(base_suites.items()):
+        got = results.get(suite, {})
+        for name in sorted(benches):
+            if name not in got:
+                lines.append(f"| {suite}/{name} | "
+                             f"{benches[name]:.1f} | — | missing :x: |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
     parser.add_argument("results_dir")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional ns/op regression that fails (0.25 = 25%%)")
+    parser.add_argument("--summary", metavar="PATH",
+                        help="append a markdown ns/op delta table to PATH "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -51,6 +91,8 @@ def main():
     if not results:
         print(f"FAIL: no BENCH_*.json files found in {args.results_dir}")
         return 1
+    if args.summary:
+        write_summary(args.summary, baseline, results, args.threshold)
 
     failures = []
     improvements = []

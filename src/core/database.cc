@@ -41,12 +41,17 @@ Status Database::Open(const DatabaseOptions& options,
   DMX_RETURN_IF_ERROR(
       db->page_file_.Open(options.dir + "/db.pages", true, db->env_));
   DMX_RETURN_IF_ERROR(db->log_.Open(options.dir + "/wal", true, db->env_));
+  db->log_.SetGroupCommit(options.group_commit);
+  db->log_.SetGroupCommitWindow(options.group_commit_window_us,
+                                options.group_commit_max_batch);
   LogManager* log = &db->log_;
   db->buffer_pool_ = std::make_unique<BufferPool>(
       &db->page_file_, options.buffer_pool_pages,
       [log](Lsn lsn) { return log->FlushTo(lsn); });
   db->txn_mgr_ =
       std::make_unique<TransactionManager>(&db->log_, &db->lock_mgr_);
+  db->txn_mgr_->set_default_relaxed_durability(options.durability ==
+                                               Durability::kRelaxed);
   Database* raw = db.get();
   db->txn_mgr_->SetApplyFn(
       [raw](const LogRecord& rec, bool undo, Lsn apply_lsn) {
@@ -96,6 +101,16 @@ Status Database::Open(const DatabaseOptions& options,
 
   if (options.auto_recovery) db->error_handler_->Start();
 
+  // Background group flusher: makes relaxed-durability commits durable on
+  // a short cadence; a flush failure degrades the database through the
+  // same ErrorHandler path as a failed strict commit force.
+  if (options.group_flush_interval_us > 0) {
+    db->log_.StartFlusher(
+        options.group_flush_interval_us, [raw](const Status& cause) {
+          raw->error_handler_->ReportWriteFailure("wal group flush", cause);
+        });
+  }
+
   *out = std::move(db);
   return Status::OK();
 }
@@ -103,8 +118,10 @@ Status Database::Open(const DatabaseOptions& options,
 Database::Database() : txn_mgr_(nullptr) {}
 
 Database::~Database() {
-  // Stop the recovery thread before tearing anything down: its callback
-  // touches the log manager.
+  // Stop the background threads before tearing anything down: the group
+  // flusher's failure callback touches the error handler, and the
+  // recovery thread's callback touches the log manager.
+  log_.StopFlusher();
   if (error_handler_) error_handler_->Stop();
   // Best-effort write-back; errors are unreportable in a destructor.
   if (!crash_on_close_) (void)Flush();
@@ -172,20 +189,34 @@ Status Database::Flush() {
 }
 
 Status Database::Checkpoint() {
-  if (txn_mgr_->ActiveTransactionCount() > 0) {
-    return Status::Busy("active transactions block the checkpoint");
-  }
   // A checkpoint while degraded would re-drive the failing write path (and
   // Truncate a log the recovery thread is mid-repair on).
   DMX_RETURN_IF_ERROR(error_handler_->CheckWritable());
-  Status s = DoCheckpoint();
-  // A checkpoint's own write failure is a write-path outage like any
-  // other: degrade instead of leaving the next caller to trip over it.
+  // Phase 1 — incremental: push out the bulk of the dirty state (WAL,
+  // pages, catalog, storage-method snapshots) while writers keep running.
+  // The group-commit log releases its mutex during the fsync, so
+  // committers append and form their next batch behind this flush instead
+  // of stalling on it.
+  Status s = DoCheckpointFlush();
+  if (!s.ok()) {
+    // A checkpoint's own write failure is a write-path outage like any
+    // other: degrade instead of leaving the next caller to trip over it.
+    error_handler_->ReportWriteFailure("checkpoint", s);
+    return s;
+  }
+  // Phase 2 — the only step that needs quiescence is the log truncation
+  // (no record an active transaction might still undo may be discarded).
+  // The phase-1 work is kept either way, so a Busy retry only has the
+  // small delta accumulated since to flush.
+  if (txn_mgr_->ActiveTransactionCount() > 0) {
+    return Status::Busy("active transactions block the checkpoint");
+  }
+  s = DoCheckpoint();
   if (!s.ok()) error_handler_->ReportWriteFailure("checkpoint", s);
   return s;
 }
 
-Status Database::DoCheckpoint() {
+Status Database::DoCheckpointFlush() {
   DMX_RETURN_IF_ERROR(log_.FlushAll());
   DMX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
   DMX_RETURN_IF_ERROR(catalog_.Save());
@@ -200,6 +231,11 @@ Status Database::DoCheckpoint() {
     DMX_RETURN_IF_ERROR(MakeSmContext(nullptr, desc, &ctx));
     DMX_RETURN_IF_ERROR(ops.checkpoint(ctx));
   }
+  return Status::OK();
+}
+
+Status Database::DoCheckpoint() {
+  DMX_RETURN_IF_ERROR(DoCheckpointFlush());
   return log_.Truncate();
 }
 

@@ -38,6 +38,14 @@ namespace dmx {
 
 class ThreadPool;
 
+/// Commit-durability contract. kStrict: COMMIT returns only after the
+/// commit record is fsynced (shared with concurrent committers via group
+/// commit). kRelaxed: COMMIT returns at WAL-append; a background group
+/// flusher makes it durable within ~group_flush_interval_us, and a crash
+/// inside that window loses the commit. Overridable per session with
+/// `SET DURABILITY { STRICT | RELAXED }`.
+enum class Durability : uint8_t { kStrict = 0, kRelaxed = 1 };
+
 struct DatabaseOptions {
   /// Directory holding db.pages, wal, and catalog files. Created if absent.
   std::string dir;
@@ -69,6 +77,21 @@ struct DatabaseOptions {
   /// stays degraded until reopened. Benches and unit tests use this to
   /// hold the degraded state steady.
   bool auto_recovery = true;
+  /// Default commit-durability contract for new transactions.
+  Durability durability = Durability::kStrict;
+  /// Group commit (leader/follower shared fsync) on the strict commit
+  /// path. Off = the legacy fsync-per-commit protocol (benchmarks use
+  /// this as the baseline; there is no other reason to disable it).
+  bool group_commit = true;
+  /// How long a group-commit leader lingers for stragglers before paying
+  /// the fsync, and the batch size that ends the wait early. 0 (default)
+  /// = no artificial delay: batches form naturally from fsync latency.
+  uint64_t group_commit_window_us = 0;
+  uint32_t group_commit_max_batch = 64;
+  /// Cadence of the background flusher that makes relaxed commits
+  /// durable. 0 disables the flusher thread (relaxed commits then become
+  /// durable only when a strict flush or checkpoint happens to run).
+  uint64_t group_flush_interval_us = 500;
 };
 
 /// Identifies an access path for data access operations. "Access path
@@ -283,6 +306,10 @@ class Database {
   ErrorHandler* error_handler() { return error_handler_.get(); }
   /// True while the database is in degraded read-only mode.
   bool degraded() const { return error_handler_->degraded(); }
+  /// Relaxed-durability commits acknowledged but not yet on disk (the
+  /// window a crash would lose; DESCRIBE shows it as
+  /// db.unflushed_commits).
+  uint64_t unflushed_commits() const { return log_.unflushed_commits(); }
   /// Size of the intra-query worker pool (resolved from
   /// DatabaseOptions::worker_threads at open; >= 1).
   size_t worker_threads() const { return worker_threads_; }
@@ -301,10 +328,13 @@ class Database {
   /// Flush everything (buffer pool, log, catalog) — a clean shutdown point.
   Status Flush();
 
-  /// Quiesced checkpoint: with no transactions active, flush all state
-  /// (pages, catalog, memory-resident storage-method snapshots) and
-  /// truncate the common log — bounding restart-recovery work and the
-  /// main-memory replay source. Returns Busy if transactions are active.
+  /// Incremental checkpoint. Phase 1 flushes all state (pages, catalog,
+  /// memory-resident storage-method snapshots) WITHOUT quiescing writers —
+  /// the group-commit log never holds its mutex across the fsync, so
+  /// committers keep running behind the flush. Phase 2 truncates the
+  /// common log — bounding restart-recovery work — and is the only step
+  /// that returns Busy while transactions are active; the phase-1 work is
+  /// kept, so a retry only flushes the delta.
   Status Checkpoint();
 
   /// Database directory (extensions derive snapshot paths from it).
@@ -379,7 +409,12 @@ class Database {
   /// (LogManager::Resume), then push out everything still buffered.
   Status RecoverWritePath();
 
-  /// Checkpoint body, after the degraded-mode gate.
+  /// Checkpoint phase 1: flush WAL/pages/catalog/storage-method snapshots
+  /// without quiescing writers (the incremental bulk of the work).
+  Status DoCheckpointFlush();
+
+  /// Full checkpoint body (phase 1 + log truncation), after the
+  /// degraded-mode gate; the truncation requires quiescence.
   Status DoCheckpoint();
 
   /// Persist a quarantine for (at, instance) after kCorruption surfaced

@@ -489,6 +489,27 @@ class SqlExecutor {
     if (p.TakeKw("GRANT")) return GrantStmt(result, /*grant=*/true);
     if (p.TakeKw("REVOKE")) return GrantStmt(result, /*grant=*/false);
     if (p.TakeKw("SET")) {
+      if (p.TakeKw("DURABILITY")) {
+        bool relaxed;
+        if (p.TakeKw("STRICT")) {
+          relaxed = false;
+        } else if (p.TakeKw("RELAXED")) {
+          relaxed = true;
+        } else {
+          return Status::InvalidArgument(
+              "expected STRICT or RELAXED after SET DURABILITY");
+        }
+        session_->has_durability_override_ = true;
+        session_->relaxed_durability_ = relaxed;
+        // The open transaction's commit is what the user is about to run:
+        // apply the new mode to it as well, not just to future begins.
+        if (session_->txn_ != nullptr) {
+          session_->txn_->set_relaxed_durability(relaxed);
+        }
+        result->message =
+            std::string("SET DURABILITY ") + (relaxed ? "RELAXED" : "STRICT");
+        return Status::OK();
+      }
       DMX_RETURN_IF_ERROR(p.ExpectKw("USER"));
       std::string user;
       DMX_RETURN_IF_ERROR(p.ExpectIdent(&user));
@@ -536,10 +557,20 @@ class SqlExecutor {
 
  private:
   // Runs `fn` in the session transaction, or an autocommit one.
+  // Begins a transaction as the session user, applying the session's
+  // SET DURABILITY override (when set) over the database default.
+  Transaction* BeginSessionTxn() {
+    Transaction* txn = db_->BeginAs(session_->user());
+    if (session_->has_durability_override_) {
+      txn->set_relaxed_durability(session_->relaxed_durability_);
+    }
+    return txn;
+  }
+
   template <typename Fn>
   Status InTxn(Fn&& fn) {
     if (session_->txn_ != nullptr) return fn(session_->txn_);
-    Transaction* txn = db_->BeginAs(session_->user());
+    Transaction* txn = BeginSessionTxn();
     Status s = fn(txn);
     if (s.ok()) {
       s = db_->Commit(txn);
@@ -556,7 +587,7 @@ class SqlExecutor {
     if (session_->txn_ != nullptr) {
       return Status::InvalidArgument("transaction already open");
     }
-    session_->txn_ = db_->BeginAs(session_->user());
+    session_->txn_ = BeginSessionTxn();
     result->message = "BEGIN";
     return Status::OK();
   }
@@ -793,6 +824,12 @@ class SqlExecutor {
       add("db.degraded",
           "read-only (" + db_->error_handler()->degraded_reason() +
               "); background recovery in progress");
+    }
+    const uint64_t unflushed = db_->unflushed_commits();
+    if (unflushed > 0) {
+      add("db.unflushed_commits",
+          std::to_string(unflushed) +
+              " relaxed commit(s) acknowledged, not yet durable");
     }
     return Status::OK();
   }

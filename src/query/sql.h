@@ -17,7 +17,8 @@
 //   GRANT priv[, priv] ON t TO user    (priv: SELECT|INSERT|UPDATE|DELETE|ALL)
 //   REVOKE priv[, priv] ON t FROM user
 //   SET USER name                      (identity for authorization checks)
-//   CHECKPOINT                         (quiesced checkpoint + log truncation)
+//   SET DURABILITY STRICT|RELAXED      (commit ack at fsync vs WAL-append)
+//   CHECKPOINT                         (incremental checkpoint + truncation)
 //   BEGIN / COMMIT / ROLLBACK / SAVEPOINT name / ROLLBACK TO name
 //
 // Types: INT, DOUBLE, STRING (or TEXT), BOOL. Expressions support
@@ -93,6 +94,11 @@ class Session {
   PlanCache plans_;
   Transaction* txn_ = nullptr;
   std::string user_;
+  // SET DURABILITY { STRICT | RELAXED }: per-session override of the
+  // database's default commit-durability contract. Unset = inherit
+  // DatabaseOptions::durability.
+  bool has_durability_override_ = false;
+  bool relaxed_durability_ = false;
 };
 
 }  // namespace dmx

@@ -63,6 +63,16 @@ class Transaction {
   /// instead of letting the commit fail mysteriously later.
   const Status& log_error() const { return log_error_; }
 
+  /// Durability mode for this transaction's commit. Strict (default):
+  /// Commit returns only after the commit record is fsynced (sharing the
+  /// group-commit fsync with concurrent committers). Relaxed: Commit
+  /// returns at WAL-append; the background group flusher makes it durable
+  /// shortly after, and a crash inside that window loses the commit.
+  bool relaxed_durability() const { return relaxed_durability_; }
+  void set_relaxed_durability(bool relaxed) {
+    relaxed_durability_ = relaxed;
+  }
+
   /// Enqueue `action` to run when `event` fires. Actions enqueued after a
   /// savepoint are discarded if the transaction rolls back to it.
   void Defer(TxnEvent event, DeferredAction action);
@@ -96,6 +106,7 @@ class Transaction {
   TxnState state_ = TxnState::kActive;
   Lsn last_lsn_ = kInvalidLsn;
   Lsn begin_lsn_ = kInvalidLsn;
+  bool relaxed_durability_ = false;
   Status log_error_;
   std::vector<std::pair<std::string, Lsn>> savepoints_;
   std::map<TxnEvent, std::vector<QueuedAction>> deferred_;

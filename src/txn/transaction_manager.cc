@@ -16,6 +16,7 @@ Transaction* TransactionManager::Begin() {
   metric_begins_->Increment();
   TxnId id = next_txn_id_.fetch_add(1);
   auto txn = std::unique_ptr<Transaction>(new Transaction(id));
+  txn->set_relaxed_durability(default_relaxed_);
   LogRecord rec;
   rec.type = LogRecType::kBegin;
   rec.txn = id;
@@ -79,16 +80,28 @@ Status TransactionManager::Commit(Transaction* txn) {
     commit.type = LogRecType::kCommit;
     commit.txn = txn->id();
     commit.prev_lsn = txn->last_lsn();
-    // Append + force as one unit: on failure the commit record is removed
-    // from the buffer again, so the transaction is still cleanly abortable
-    // (its rollback chain never crosses the dead commit record). The
-    // caller decides between retrying and Abort; we only report the
-    // outage so the ErrorHandler can degrade and start recovery.
-    Status forced = log_->AppendAndFlush(&commit);
-    if (!forced.ok()) {
-      if (wal_failure_) wal_failure_("wal commit force", forced);
-      return forced;
+    // Strict: append + force as one unit (sharing the group-commit fsync
+    // with concurrent committers); on failure the commit record is
+    // removed from the buffer again where possible, so the transaction is
+    // still cleanly abortable. Relaxed: acknowledge at append — the
+    // background group flusher makes it durable shortly after; a crash in
+    // that window loses the commit, which is the contract the session
+    // opted into. Either way the caller decides between retrying and
+    // Abort; we only report the outage so the ErrorHandler can degrade
+    // and start recovery.
+    Status forced;
+    if (txn->relaxed_durability()) {
+      forced = log_->AppendCommitRelaxed(&commit);
+      if (!forced.ok() && wal_failure_) {
+        wal_failure_("wal commit append", forced);
+      }
+    } else {
+      forced = log_->AppendAndFlush(&commit);
+      if (!forced.ok() && wal_failure_) {
+        wal_failure_("wal commit force", forced);
+      }
     }
+    if (!forced.ok()) return forced;
     txn->set_last_lsn(commit.lsn);
   }
   txn->state_ = TxnState::kCommitted;

@@ -60,6 +60,14 @@ class TransactionManager {
     wal_failure_ = std::move(fn);
   }
 
+  /// Database-wide default durability for new transactions (from
+  /// DatabaseOptions::durability; a session SQL toggle overrides it per
+  /// transaction). Installed at open, before transactions run.
+  void set_default_relaxed_durability(bool relaxed) {
+    default_relaxed_ = relaxed;
+  }
+  bool default_relaxed_durability() const { return default_relaxed_; }
+
   /// Start a new transaction. The returned pointer stays valid until the
   /// transaction ends (manager-owned).
   Transaction* Begin();
@@ -115,6 +123,8 @@ class TransactionManager {
   // commit/abort paths — not guarded (AddObserver is not thread-safe).
   std::vector<TxnObserver*> observers_;
   std::function<void(const std::string&, const Status&)> wal_failure_;
+  // Set once at open before transactions run, then read-only.
+  bool default_relaxed_ = false;
   std::atomic<TxnId> next_txn_id_{1};
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> live_
       GUARDED_BY(mu_);

@@ -1,5 +1,6 @@
 #include "src/wal/log_manager.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "src/util/coding.h"
@@ -30,10 +31,82 @@ LogManager::LogManager() {
   metric_append_ns_ = metrics->GetHistogram("wal.append_ns");
   metric_syncs_ = metrics->GetCounter("wal.syncs");
   metric_sync_ns_ = metrics->GetHistogram("wal.sync_ns");
+  metric_group_commits_ = metrics->GetCounter("wal.group_commits");
+  metric_group_size_ = metrics->GetHistogram("wal.group_size");
+  metric_relaxed_commits_ = metrics->GetCounter("wal.relaxed_commits");
 }
 
 LogManager::~LogManager() {
+  StopFlusher();
   (void)Close();  // best-effort final flush; errors unreportable here
+}
+
+void LogManager::SetGroupCommit(bool enabled) {
+  MutexLock lock(&mu_);
+  group_commit_ = enabled;
+}
+
+void LogManager::SetGroupCommitWindow(uint64_t window_us,
+                                      uint32_t max_batch) {
+  MutexLock lock(&mu_);
+  group_window_us_ = window_us;
+  group_max_batch_ = max_batch == 0 ? 1 : max_batch;
+}
+
+void LogManager::StartFlusher(uint64_t interval_us,
+                              std::function<void(const Status&)> on_failure) {
+  if (flusher_.joinable()) return;
+  {
+    MutexLock lock(&mu_);
+    flusher_stop_ = false;
+    flusher_interval_us_ = interval_us;
+    flusher_on_failure_ = std::move(on_failure);
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void LogManager::StopFlusher() {
+  if (!flusher_.joinable()) return;
+  {
+    MutexLock lock(&mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.NotifyAll();
+  flusher_.join();
+}
+
+void LogManager::FlusherLoop() {
+  mu_.Lock();
+  while (!flusher_stop_) {
+    if (relaxed_unflushed_.load(std::memory_order_relaxed) == 0 || !file_ ||
+        poison_ != PoisonKind::kNone) {
+      // Nothing to do (or the log is down — background recovery flushes
+      // the pending tail itself via Resume): sleep until the next relaxed
+      // commit, a Resume, or Stop wakes us.
+      flusher_cv_.Wait();
+      continue;
+    }
+    // Absorb a burst: give other relaxed committers one interval to join
+    // this group before paying the sync.
+    (void)flusher_cv_.WaitUntil(
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(flusher_interval_us_));
+    if (flusher_stop_ || !file_) continue;
+    Status s = FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
+    if (!s.ok()) {
+      // Report with mu_ released: the ErrorHandler wakes its recovery
+      // thread, whose repair path re-enters this LogManager.
+      auto cb = flusher_on_failure_;
+      mu_.Unlock();
+      if (cb) cb(s);
+      mu_.Lock();
+      if (flusher_stop_) break;
+      // Don't spin against a persistent fault; the next relaxed commit or
+      // a successful recovery flush wakes us.
+      flusher_cv_.Wait();
+    }
+  }
+  mu_.Unlock();
 }
 
 Status LogManager::Open(const std::string& path, bool create, Env* env) {
@@ -45,6 +118,11 @@ Status LogManager::Open(const std::string& path, bool create, Env* env) {
   poison_ = PoisonKind::kNone;
   poison_cause_ = Status::OK();
   buffer_.clear();
+  flush_active_ = false;
+  flush_target_ = 0;
+  flush_result_ = Status::OK();
+  buffered_commits_ = 0;
+  relaxed_unflushed_.store(0, std::memory_order_release);
   uint64_t size = 0;
   Status s = file_->Size(&size);
   if (s.ok() && size == 0) {
@@ -97,10 +175,14 @@ Status LogManager::WriteHeaderLocked() {
 Status LogManager::Close() {
   MutexLock lock(&mu_);
   if (!file_) return Status::OK();
+  // Let any in-flight group flush finish before the file goes away (its
+  // leader holds a raw file pointer across the unlocked fsync).
+  while (flush_active_) flush_cv_.Wait();
   Status s =
       FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
   Status c = file_->Close();
   file_.reset();
+  flusher_cv_.NotifyAll();  // flusher re-checks file_ and parks
   return s.ok() ? c : s;
 }
 
@@ -123,6 +205,12 @@ Status LogManager::AppendLocked(LogRecord* rec) {
   next_lsn_.store(rec->lsn + framed.size(), std::memory_order_release);
   records_appended_.Increment();
   metric_appends_->Increment();
+  if (rec->type == LogRecType::kCommit) {
+    ++buffered_commits_;
+    // A leader lingering in its batching window exits early once the
+    // batch is full or goes quiet; wake it (and only it) to re-check.
+    if (flush_active_) batch_cv_.NotifyOne();
+  }
   return Status::OK();
 }
 
@@ -134,22 +222,39 @@ Status LogManager::Append(LogRecord* rec) {
 Status LogManager::AppendAndFlush(LogRecord* rec) {
   MutexLock lock(&mu_);
   const size_t buffered_before = buffer_.size();
-  const Lsn lsn_before = next_lsn_.load(std::memory_order_relaxed);
   DMX_RETURN_IF_ERROR(AppendLocked(rec));
+  const size_t frame_size = buffer_.size() - buffered_before;
   Status s = FlushToLocked(rec->lsn);
-  if (!s.ok()) {
-    // The flush failed before it could clear the buffer, so our frame is
-    // still its tail (we held mu_ throughout): drop it again. The caller's
-    // last_lsn chain stays untouched and its Abort rolls back normally.
-    // Caveat (documented in DESIGN.md §11): if the failed flush's write
-    // reached the platter and the process dies before the tail bytes are
-    // overwritten by a later flush, replay can still see this record — an
-    // errored commit is ambiguous, like every WAL system's.
-    buffer_.resize(buffered_before);
-    next_lsn_.store(lsn_before, std::memory_order_release);
+  if (!s.ok() && poison_ == PoisonKind::kNone && !flush_active_ &&
+      rec->lsn >= buffer_start_ &&
+      rec->lsn + static_cast<Lsn>(frame_size) ==
+          next_lsn_.load(std::memory_order_relaxed)) {
+    // The failed flush left our frame as the unflushed buffer tail (no
+    // concurrent append buried it, no snapshot is in flight): drop it
+    // again. The caller's last_lsn chain stays untouched and its Abort
+    // rolls back normally. If concurrent committers did append past us,
+    // the frame stays buffered — their retry/abort chain replays the
+    // transaction to the aborted state, so recovery never resurrects it
+    // as committed. Caveat (documented in DESIGN.md §11): if the failed
+    // flush's write reached the platter and the process dies before the
+    // tail bytes are overwritten by a later flush, replay can still see
+    // this record — an errored commit is ambiguous, like every WAL
+    // system's.
+    buffer_.resize(static_cast<size_t>(rec->lsn - buffer_start_));
+    next_lsn_.store(rec->lsn, std::memory_order_release);
+    if (buffered_commits_ > 0) --buffered_commits_;
     rec->lsn = kInvalidLsn;
   }
   return s;
+}
+
+Status LogManager::AppendCommitRelaxed(LogRecord* rec) {
+  MutexLock lock(&mu_);
+  DMX_RETURN_IF_ERROR(AppendLocked(rec));
+  relaxed_unflushed_.fetch_add(1, std::memory_order_release);
+  metric_relaxed_commits_->Increment();
+  flusher_cv_.NotifyOne();
+  return Status::OK();
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
@@ -158,6 +263,10 @@ Status LogManager::FlushTo(Lsn lsn) {
 }
 
 Status LogManager::FlushToLocked(Lsn lsn) {
+  return group_commit_ ? GroupFlushLocked(lsn) : LegacyFlushLocked(lsn);
+}
+
+Status LogManager::LegacyFlushLocked(Lsn lsn) {
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   if (lsn <= flushed_lsn_.load(std::memory_order_relaxed)) {
     return Status::OK();
@@ -172,7 +281,97 @@ Status LogManager::FlushToLocked(Lsn lsn) {
   buffer_start_ += buffer_.size();
   flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
   buffer_.clear();
+  buffered_commits_ = 0;
+  relaxed_unflushed_.store(0, std::memory_order_release);
   return Status::OK();
+}
+
+Status LogManager::GroupFlushLocked(Lsn lsn) {
+  while (true) {
+    if (poison_ != PoisonKind::kNone) return PoisonedLocked();
+    if (lsn <= flushed_lsn_.load(std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+    if (!flush_active_) break;  // become the leader
+    // Follower: wait for the in-flight batch to finish, then learn our
+    // fate from its outcome.
+    const uint64_t seq = flush_seq_;
+    while (flush_active_ && flush_seq_ == seq) flush_cv_.Wait();
+    if (lsn <= flushed_lsn_.load(std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+    if (!flush_result_.ok() && lsn <= flush_target_) {
+      // Our frame was inside the failed batch: report the leader's
+      // original failing Status, never a fabricated one.
+      return flush_result_;
+    }
+    // Appended after the snapshot (or the batch failed below us): loop —
+    // we will either follow the next leader or lead ourselves.
+  }
+  if (buffer_.empty()) return Status::OK();
+  flush_active_ = true;
+  if (group_window_us_ > 0 && buffered_commits_ > 1 &&
+      buffered_commits_ < group_max_batch_) {
+    // Batching window: linger for stragglers, but only when at least one
+    // sibling commit is already aboard — a lone committer must not pay
+    // the window as latency. AppendLocked notifies when a commit record
+    // lands; the linger ends early once the batch is full or goes quiet
+    // (every active committer is already aboard, so waiting out the full
+    // window would be pure added latency).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(group_window_us_);
+    const auto quiet = std::chrono::microseconds(group_window_us_ / 4 + 1);
+    while (buffered_commits_ < group_max_batch_ &&
+           poison_ == PoisonKind::kNone) {
+      const auto limit =
+          std::min(deadline, std::chrono::steady_clock::now() + quiet);
+      const uint64_t before = buffered_commits_;
+      if (!batch_cv_.WaitUntil(limit) && buffered_commits_ == before) {
+        break;  // window exhausted, or no straggler within the quiet gap
+      }
+    }
+  }
+  // Snapshot under the lock, then release it for the disk I/O: committers
+  // arriving during the write+fsync append freely and form the next
+  // batch. The buffer keeps its bytes until the flush succeeds, so
+  // ReadRecord (rollback chains) stays serviceable throughout.
+  const Lsn target = next_lsn_.load(std::memory_order_relaxed) - 1;
+  const std::string batch = buffer_;
+  const uint64_t file_off = buffer_start_ - base_lsn_ - 1 + kLogHeaderSize;
+  const uint64_t batch_commits = buffered_commits_;
+  const uint64_t batch_relaxed =
+      relaxed_unflushed_.load(std::memory_order_relaxed);
+  RandomAccessFile* file = file_.get();
+  mu_.Unlock();
+  Status s;
+  {
+    ScopedTimer timer(metric_sync_ns_);
+    metric_syncs_->Increment();
+    s = file->Write(file_off, batch.data(), batch.size());
+    if (s.ok()) s = file->Sync(/*data_only=*/true);
+  }
+  mu_.Lock();
+  flush_active_ = false;
+  ++flush_seq_;
+  flush_target_ = target;
+  flush_result_ = s;
+  if (s.ok()) {
+    buffer_.erase(0, batch.size());
+    buffer_start_ += batch.size();
+    flushed_lsn_.store(target, std::memory_order_release);
+    buffered_commits_ -= batch_commits;
+    relaxed_unflushed_.fetch_sub(batch_relaxed, std::memory_order_release);
+    if (batch_commits > 0) {
+      metric_group_commits_->Increment();
+      metric_group_size_->Record(static_cast<uint64_t>(batch_commits));
+    }
+  }
+  // On failure nothing moved: the buffer, counters, and flushed_lsn_ are
+  // exactly as before the attempt, so the log is still cleanly usable the
+  // moment the fault clears (and Resume can flush the same bytes).
+  flush_cv_.NotifyAll();
+  return s;
 }
 
 Status LogManager::FlushAll() {
@@ -286,6 +485,10 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
 Status LogManager::Truncate() {
   MutexLock lock(&mu_);
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
+  if (flush_active_) {
+    // A leader is mid-fsync with the file offsets we are about to change.
+    return Status::Busy("group flush in progress; retry the truncation");
+  }
   if (!buffer_.empty()) {
     return Status::Busy("flush the log before truncating");
   }

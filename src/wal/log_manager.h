@@ -39,14 +39,37 @@
 // step succeeds. While the fault persists, Resume keeps failing and the
 // manager stays poisoned; callers retry on their own schedule.
 //
+// Group commit (the default flush mode): a committer that needs lsn N
+// durable becomes the *leader* if no flush is running — it snapshots the
+// whole buffer, releases the mutex, and pays one write+fsync for every
+// record appended so far; committers that arrive while that fsync is in
+// flight append their frames (the mutex is free) and wait as *followers*
+// on the condvar. When the leader finishes it acknowledges every follower
+// whose LSN the batch covered; an uncovered follower becomes the next
+// leader, so batches form naturally from fsync latency without any timer.
+// An optional batching window (group_window_us/max_batch) lets a leader
+// linger for stragglers when the workload is bursty. On a failed group
+// flush nothing is acknowledged: the buffer and counters are left intact,
+// every follower inside the failed batch gets the leader's original
+// failing Status (never a fabricated one), and strict committers can
+// abort cleanly exactly as with the old fsync-per-commit path.
+//
+// Relaxed durability: AppendCommitRelaxed acknowledges a commit at
+// append; a background flusher thread (StartFlusher) groups such commits
+// and makes them durable within ~flush_interval. unflushed_commits()
+// exposes how many acknowledged-but-not-yet-durable commits exist (the
+// window a crash may lose — by design, and only in relaxed mode).
+//
 // All I/O goes through a pluggable Env (fault injection in tests).
 
 #ifndef DMX_WAL_LOG_MANAGER_H_
 #define DMX_WAL_LOG_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/util/common.h"
@@ -75,12 +98,48 @@ class LogManager {
   /// FlushTo (the buffer-pool WAL hook and commits do).
   Status Append(LogRecord* rec);
 
-  /// Append + force in one critical section (the commit record). If the
-  /// flush fails, the just-appended frame is removed from the buffer again
-  /// and rec->lsn is reset to kInvalidLsn, so the caller's rollback chain
-  /// never crosses an unacknowledged commit record and a clean Abort
-  /// remains possible while the disk misbehaves.
+  /// Append + force in one unit (the strict commit record). In group
+  /// mode the force joins the leader/follower protocol, so concurrent
+  /// callers share one fsync. If the flush fails and the frame is still
+  /// the unflushed buffer tail, it is removed again and rec->lsn reset to
+  /// kInvalidLsn, so the caller's rollback chain never crosses an
+  /// unacknowledged commit record and a clean Abort remains possible
+  /// while the disk misbehaves. When concurrent appends have already
+  /// buried the frame, it stays in the buffer — harmless, because the
+  /// caller's abort chain (kAbort + CLRs + kEnd) replays the transaction
+  /// to the aborted state (see DESIGN.md §11/§12).
   Status AppendAndFlush(LogRecord* rec);
+
+  /// Relaxed-durability commit: append the commit record and return at
+  /// once. Durability is deferred to the background flusher (or to any
+  /// later flush). A crash before that flush loses the commit — the
+  /// contract the caller opted into with Durability::kRelaxed.
+  Status AppendCommitRelaxed(LogRecord* rec);
+
+  /// Commits acknowledged under relaxed durability whose records are not
+  /// yet on disk (DESCRIBE surfaces this as db.unflushed_commits).
+  uint64_t unflushed_commits() const {
+    return relaxed_unflushed_.load(std::memory_order_acquire);
+  }
+
+  /// Select the flush protocol: group commit (default) or the legacy
+  /// hold-the-lock fsync-per-commit path (baseline for benchmarks).
+  void SetGroupCommit(bool enabled);
+
+  /// Tune the leader's batching window: wait up to `window_us` for more
+  /// commit records (up to `max_batch`) before paying the fsync. A zero
+  /// window (default) relies purely on natural batching.
+  void SetGroupCommitWindow(uint64_t window_us, uint32_t max_batch);
+
+  /// Start the background group flusher for relaxed commits: wakes when
+  /// relaxed commits are pending, batches them for `interval_us`, and
+  /// forces the log. `on_failure` is invoked (without the log mutex) with
+  /// the failing Status so the ErrorHandler can degrade the database.
+  void StartFlusher(uint64_t interval_us,
+                    std::function<void(const Status&)> on_failure);
+
+  /// Stop and join the background flusher (idempotent).
+  void StopFlusher();
 
   /// Ensure all records with lsn <= `lsn` are durable.
   Status FlushTo(Lsn lsn);
@@ -133,8 +192,17 @@ class LogManager {
   };
 
   Status WriteHeaderLocked() REQUIRES(mu_);
+  /// Dispatches to the group or legacy protocol per group_commit_.
   Status FlushToLocked(Lsn lsn) REQUIRES(mu_);
+  /// Legacy flush: write + fsync the whole buffer with mu_ held.
+  Status LegacyFlushLocked(Lsn lsn) REQUIRES(mu_);
+  /// Group flush: leader/follower protocol. Releases mu_ around the disk
+  /// I/O (re-acquired before returning), so concurrent appenders form the
+  /// next batch while the leader's fsync is in flight.
+  Status GroupFlushLocked(Lsn lsn) REQUIRES(mu_);
   Status AppendLocked(LogRecord* rec) REQUIRES(mu_);
+  /// Body of the background flusher thread.
+  void FlusherLoop();
   /// The error every operation returns while poisoned; names the original
   /// failing operation and errno so operators see the root cause.
   Status PoisonedLocked() const REQUIRES(mu_);
@@ -164,7 +232,44 @@ class LogManager {
   Histogram* metric_append_ns_;
   Counter* metric_syncs_;
   Histogram* metric_sync_ns_;
+  Counter* metric_group_commits_;
+  Histogram* metric_group_size_;
+  Counter* metric_relaxed_commits_;
   uint64_t append_tick_ GUARDED_BY(mu_) = 0;
+
+  // --- group-commit state ---
+  bool group_commit_ GUARDED_BY(mu_) = true;
+  uint64_t group_window_us_ GUARDED_BY(mu_) = 0;
+  uint32_t group_max_batch_ GUARDED_BY(mu_) = 64;
+  // One flush at a time; followers wait for flush_seq_ to advance, then
+  // consult flush_target_/flush_result_ to learn whether the batch that
+  // covered their LSN succeeded (and with which original Status).
+  bool flush_active_ GUARDED_BY(mu_) = false;
+  uint64_t flush_seq_ GUARDED_BY(mu_) = 0;
+  Lsn flush_target_ GUARDED_BY(mu_) = 0;
+  Status flush_result_ GUARDED_BY(mu_);
+  // Commit records currently buffered (feeds wal.group_size and the
+  // batching window's early-exit test).
+  uint64_t buffered_commits_ GUARDED_BY(mu_) = 0;
+  // Relaxed commits acknowledged but not yet durable. Written under mu_,
+  // read lock-free by unflushed_commits() (DESCRIBE, stats).
+  std::atomic<uint64_t> relaxed_unflushed_{0};
+  CondVar flush_cv_{&mu_};
+  // Wakes only the lingering leader when a commit record lands during the
+  // batching window. Kept separate from flush_cv_ so each arrival wakes
+  // one thread, not the whole follower crowd (an O(batch^2) wakeup storm
+  // that dominates commit CPU on small machines).
+  CondVar batch_cv_{&mu_};
+
+  // --- background flusher (relaxed durability) ---
+  bool flusher_stop_ GUARDED_BY(mu_) = false;
+  uint64_t flusher_interval_us_ GUARDED_BY(mu_) = 500;
+  std::function<void(const Status&)> flusher_on_failure_ GUARDED_BY(mu_);
+  CondVar flusher_cv_{&mu_};
+  // The thread object itself is only touched by StartFlusher/StopFlusher/
+  // ~LogManager, which the Database serializes (open/close path).
+  std::thread flusher_;
+
   mutable Mutex mu_;
 };
 
