@@ -29,6 +29,9 @@ Status Catalog::Load(const std::string& path, Env* env) {
 
 Status Catalog::Save() const {
   MutexLock lock(&mu_);
+  // Never opened (e.g. Database::Open failed before Catalog::Open and the
+  // half-built Database's destructor flushes): nothing to save.
+  if (env_ == nullptr) return Status::OK();
   std::string data;
   PutFixed32(&data, next_id_);
   PutVarint32(&data, static_cast<uint32_t>(by_id_.size()));

@@ -1,0 +1,74 @@
+// Online backup manifest and offline verification, shared by
+// Database::Backup, Database::Restore, and the dmx_backup_verify tool.
+//
+// A backup directory holds a fuzzy copy of the page file, the catalog,
+// storage-method snapshots, every retained WAL segment, the live log's
+// durable prefix, and — written last, atomically — a MANIFEST:
+//
+//   dmx-backup-manifest v1
+//   begin_lsn <n>
+//   end_lsn <n>
+//   pages <n>
+//   file <name> <size> <crc32c-hex>
+//   ...
+//   crc <crc32c-hex>
+//
+// `begin_lsn` is where WAL replay can start (the head of the captured
+// chain); `end_lsn` is the backup's consistency point — every page-copy
+// byte is explained by WAL at or below it, so restore must replay at least
+// through it. The trailing `crc` covers every preceding byte of the
+// manifest, and the manifest is the commit point of the whole backup: a
+// crash mid-backup leaves a directory without a (valid) manifest, which
+// restore and the verifier refuse — an interrupted backup can never be
+// mistaken for a complete one.
+
+#ifndef DMX_CORE_BACKUP_H_
+#define DMX_CORE_BACKUP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/env.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+/// Name of the manifest file inside a backup directory.
+inline constexpr char kBackupManifestName[] = "MANIFEST";
+
+struct BackupManifest {
+  struct FileEntry {
+    std::string name;  // relative to the backup directory
+    uint64_t size = 0;
+    uint32_t crc = 0;  // CRC32C of the file's bytes
+  };
+
+  Lsn begin_lsn = 0;
+  Lsn end_lsn = 0;
+  uint32_t pages = 0;
+  std::vector<FileEntry> files;
+};
+
+/// Serialize `m`, including the trailing self-checksum line.
+std::string EncodeBackupManifest(const BackupManifest& m);
+
+/// Parse and verify a serialized manifest. InvalidArgument on malformed
+/// input, Corruption on a checksum mismatch (torn or tampered manifest).
+Status ParseBackupManifest(const std::string& data, BackupManifest* out);
+
+/// Read and parse `<dir>/MANIFEST`. A missing manifest is reported as
+/// InvalidArgument ("not a backup, or an interrupted one").
+Status LoadBackupManifest(Env* env, const std::string& dir,
+                          BackupManifest* out);
+
+/// Full offline verification of a backup directory: manifest self-check,
+/// every listed file present with the recorded size and CRC32C, structural
+/// verification of each WAL segment and of the live log copy, and
+/// contiguity of the captured WAL chain through the backup's end LSN.
+/// `report` (optional) receives one human-readable line per check.
+Status VerifyBackupDir(Env* env, const std::string& dir, std::string* report);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_BACKUP_H_

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/util/thread_pool.h"
+#include "src/wal/archiver.h"
 
 namespace dmx {
 
@@ -40,6 +41,9 @@ Status Database::Open(const DatabaseOptions& options,
 
   DMX_RETURN_IF_ERROR(
       db->page_file_.Open(options.dir + "/db.pages", true, db->env_));
+  // Retention must be decided before Open() so segment discovery keeps
+  // (rather than discards) sealed segments left by a prior incarnation.
+  db->log_.SetRetainSegments(!options.wal_archive_dir.empty());
   DMX_RETURN_IF_ERROR(db->log_.Open(options.dir + "/wal", true, db->env_));
   db->log_.SetGroupCommit(options.group_commit);
   db->log_.SetGroupCommitWindow(options.group_commit_window_us,
@@ -111,6 +115,23 @@ Status Database::Open(const DatabaseOptions& options,
         });
   }
 
+  // WAL archiver: rotates the live log into sealed segments and copies
+  // them (CRC-verified) into the archive before checkpoint truncation may
+  // reclaim them. An archive failure degrades the database like any other
+  // write-path outage; RecoverWritePath drains the backlog.
+  if (!options.wal_archive_dir.empty()) {
+    WalArchiver::Options arch_opts;
+    arch_opts.archive_dir = options.wal_archive_dir;
+    arch_opts.segment_target_bytes = options.wal_segment_bytes;
+    arch_opts.poll_interval_us = options.wal_archive_poll_us;
+    db->archiver_ =
+        std::make_unique<WalArchiver>(&db->log_, db->env_, arch_opts);
+    DMX_RETURN_IF_ERROR(
+        db->archiver_->Start([raw](const Status& cause) {
+          raw->error_handler_->ReportWriteFailure("wal archive", cause);
+        }));
+  }
+
   *out = std::move(db);
   return Status::OK();
 }
@@ -121,6 +142,7 @@ Database::~Database() {
   // Stop the background threads before tearing anything down: the group
   // flusher's failure callback touches the error handler, and the
   // recovery thread's callback touches the log manager.
+  if (archiver_) archiver_->Stop();
   log_.StopFlusher();
   if (error_handler_) error_handler_->Stop();
   // Best-effort write-back; errors are unreportable in a destructor.
@@ -236,7 +258,10 @@ Status Database::DoCheckpointFlush() {
 
 Status Database::DoCheckpoint() {
   DMX_RETURN_IF_ERROR(DoCheckpointFlush());
-  return log_.Truncate();
+  // With archiving on this seals the live log into a segment and reclaims
+  // only the already-archived prefix (archive-before-truncate); without
+  // archiving it is the plain truncation.
+  return log_.CheckpointTruncate();
 }
 
 Status Database::FindRelation(const std::string& name,
@@ -1102,7 +1127,14 @@ Status Database::RecoverWritePath() {
   // truncation as needed), then prove the write path works end to end by
   // forcing out everything still buffered.
   DMX_RETURN_IF_ERROR(log_.Resume());
-  return log_.FlushAll();
+  DMX_RETURN_IF_ERROR(log_.FlushAll());
+  if (archiver_) {
+    // If the degradation came from an unreachable archive, recovery is not
+    // done until the sealed-segment backlog has actually landed there.
+    DMX_RETURN_IF_ERROR(archiver_->ArchivePending());
+    archiver_->Kick();  // un-park the background loop
+  }
+  return Status::OK();
 }
 
 Status Database::PersistQuarantineRecord() {

@@ -37,6 +37,7 @@
 namespace dmx {
 
 class ThreadPool;
+class WalArchiver;
 
 /// Commit-durability contract. kStrict: COMMIT returns only after the
 /// commit record is fsynced (shared with concurrent committers via group
@@ -92,6 +93,42 @@ struct DatabaseOptions {
   /// durable. 0 disables the flusher thread (relaxed commits then become
   /// durable only when a strict flush or checkpoint happens to run).
   uint64_t group_flush_interval_us = 500;
+  /// WAL archiving: when non-empty, sealed log segments are copied
+  /// (CRC-verified) into this directory by a background archiver before
+  /// checkpoint truncation may reclaim them, enabling point-in-time
+  /// recovery from a backup. Empty (default) keeps the pre-archiving
+  /// behavior: checkpoints discard log history.
+  std::string wal_archive_dir;
+  /// Rotate the live WAL into a sealed segment once its flushed frames
+  /// exceed this many bytes (only meaningful with archiving on).
+  uint64_t wal_segment_bytes = 4ull << 20;
+  /// Poll cadence of the background archiver thread.
+  uint64_t wal_archive_poll_us = 20000;
+};
+
+/// Summary of a completed online backup (Database::Backup).
+struct BackupResult {
+  Lsn begin_lsn = 0;  // WAL replay available from here
+  Lsn end_lsn = 0;    // backup is consistent as of this LSN
+  uint32_t pages = 0;
+  uint64_t files = 0;  // files recorded in the manifest
+};
+
+/// Inputs to offline point-in-time recovery (Database::Restore).
+struct RestoreOptions {
+  std::string backup_dir;
+  std::string target_dir;  // created; must be empty
+  /// Optional WAL archive to roll forward past the backup's end LSN.
+  std::string archive_dir;
+  /// Replay through this LSN (a record whose frame ends past it is not
+  /// applied). 0 = everything available. Must be >= the backup's end LSN
+  /// — page copies can already contain updates up to that point.
+  Lsn target_lsn = 0;
+  /// Env for all restore I/O (Env::Default() when null).
+  Env* env = nullptr;
+  /// User extensions the WAL may dispatch into during replay (same
+  /// contract as DatabaseOptions::register_extensions).
+  std::function<void(ExtensionRegistry*)> register_extensions;
 };
 
 /// Identifies an access path for data access operations. "Access path
@@ -337,6 +374,39 @@ class Database {
   /// kept, so a retry only flushes the delta.
   Status Checkpoint();
 
+  // -- backup / point-in-time recovery -----------------------------------------
+  /// Online fuzzy backup into `dest_dir` (created; must be empty). Writers
+  /// keep running: the WAL is pinned (rotation/truncation return Busy for
+  /// the duration), a phase-1 checkpoint flush bounds replay work, the
+  /// page file is copied with per-page checksum-retry, and every retained
+  /// WAL segment plus the live log's durable prefix is captured. A MANIFEST
+  /// with per-file sizes and CRC32Cs (itself checksummed) is written last,
+  /// so an interrupted backup is never mistaken for a complete one.
+  /// Implemented in core/backup.cc.
+  Status Backup(const std::string& dest_dir, BackupResult* result = nullptr);
+
+  /// Offline restore: rebuild a database directory from a backup, rolling
+  /// the WAL forward through archived segments to `target_lsn` (point-in-
+  /// time recovery), then run normal restart recovery on the result.
+  /// Refuses — with a descriptive Status and without writing a usable
+  /// target — on manifest/CRC mismatches, a non-empty target, a target LSN
+  /// before the backup's end, or a gap in the archived segment chain.
+  static Status Restore(const RestoreOptions& options,
+                        Lsn* replayed_to = nullptr);
+
+  /// End LSN of the most recent successful Backup() of this instance
+  /// (0 = none this process lifetime). DESCRIBE shows it as
+  /// db.last_backup_lsn.
+  Lsn last_backup_lsn() const {
+    return last_backup_lsn_.load(std::memory_order_acquire);
+  }
+  /// Sealed-but-unarchived WAL segments (archive lag). Nonzero while the
+  /// archiver is behind or its volume is unreachable; those segments are
+  /// retained — never reclaimed — until archived.
+  uint64_t archive_lag() const { return log_.sealed_unarchived(); }
+  /// The background segment archiver (null when wal_archive_dir is unset).
+  WalArchiver* archiver() { return archiver_.get(); }
+
   /// Database directory (extensions derive snapshot paths from it).
   const std::string& dir() const { return dir_; }
 
@@ -453,6 +523,8 @@ class Database {
   std::unique_ptr<BufferPool> buffer_pool_;
   LockManager lock_mgr_;
   std::unique_ptr<TransactionManager> txn_mgr_;
+  std::unique_ptr<WalArchiver> archiver_;
+  std::atomic<Lsn> last_backup_lsn_{0};
   Catalog catalog_;
   ExtensionRegistry registry_;
   AuthorizationManager auth_;

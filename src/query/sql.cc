@@ -522,6 +522,8 @@ class SqlExecutor {
       result->message = "CHECKPOINT";
       return Status::OK();
     }
+    if (p.TakeKw("BACKUP")) return BackupStmt(result);
+    if (p.TakeKw("RESTORE")) return RestoreStmt(result);
     if (p.TakeKw("CHECK")) return CheckStmt(result);
     if (p.TakeKw("REPAIR")) return RepairStmt(result);
     if (p.TakeKw("BEGIN")) return Begin(result);
@@ -778,6 +780,75 @@ class SqlExecutor {
     return Status::OK();
   }
 
+  // Administrative statements (BACKUP/RESTORE) are superuser-only: they
+  // move whole-database state, which per-relation privileges cannot scope.
+  Status RequireSuperuser(const char* what) {
+    if (!session_->user().empty()) {
+      return Status::Constraint("user '" + session_->user() + "' may not " +
+                                what + " (superuser only)");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectStringLit(const char* what, std::string* out) {
+    if (parser_->Peek().type != TokType::kString) {
+      return Status::InvalidArgument(std::string("expected a quoted ") + what +
+                                     " near '" + parser_->Peek().text + "'");
+    }
+    *out = parser_->Take().text;
+    return Status::OK();
+  }
+
+  // BACKUP TO 'dir': online fuzzy backup (writers keep running).
+  Status BackupStmt(QueryResult* result) {
+    DMX_RETURN_IF_ERROR(parser_->ExpectKw("TO"));
+    std::string dir;
+    DMX_RETURN_IF_ERROR(ExpectStringLit("directory", &dir));
+    DMX_RETURN_IF_ERROR(RequireSuperuser("BACKUP"));
+    BackupResult backup;
+    DMX_RETURN_IF_ERROR(db_->Backup(dir, &backup));
+    result->message = "BACKUP TO " + dir + ": " +
+                      std::to_string(backup.files) + " file(s), " +
+                      std::to_string(backup.pages) + " page(s), lsn " +
+                      std::to_string(backup.begin_lsn) + " .. " +
+                      std::to_string(backup.end_lsn);
+    return Status::OK();
+  }
+
+  // RESTORE FROM 'backup' INTO 'dir' [ARCHIVE 'dir'] [TO LSN n]:
+  // offline point-in-time recovery into a fresh directory.
+  Status RestoreStmt(QueryResult* result) {
+    DMX_RETURN_IF_ERROR(parser_->ExpectKw("FROM"));
+    RestoreOptions opts;
+    DMX_RETURN_IF_ERROR(ExpectStringLit("backup directory", &opts.backup_dir));
+    DMX_RETURN_IF_ERROR(parser_->ExpectKw("INTO"));
+    DMX_RETURN_IF_ERROR(ExpectStringLit("target directory", &opts.target_dir));
+    if (parser_->TakeKw("ARCHIVE")) {
+      DMX_RETURN_IF_ERROR(
+          ExpectStringLit("archive directory", &opts.archive_dir));
+    }
+    if (parser_->TakeKw("TO")) {
+      DMX_RETURN_IF_ERROR(parser_->ExpectKw("LSN"));
+      if (parser_->Peek().type != TokType::kNumber) {
+        return Status::InvalidArgument("expected an LSN near '" +
+                                       parser_->Peek().text + "'");
+      }
+      const std::string text = parser_->Take().text;
+      if (text.find('.') != std::string::npos) {
+        return Status::InvalidArgument("LSN must be an integer");
+      }
+      opts.target_lsn = static_cast<Lsn>(std::stoull(text));
+    }
+    DMX_RETURN_IF_ERROR(RequireSuperuser("RESTORE"));
+    opts.env = db_->env();
+    Lsn replayed = 0;
+    DMX_RETURN_IF_ERROR(Database::Restore(opts, &replayed));
+    result->message = "RESTORE FROM " + opts.backup_dir + " INTO " +
+                      opts.target_dir + ": replayed through lsn " +
+                      std::to_string(replayed);
+    return Status::OK();
+  }
+
   // DESCRIBE t: render the extensible relation descriptor.
   Status Describe(QueryResult* result) {
     std::string table;
@@ -830,6 +901,15 @@ class SqlExecutor {
       add("db.unflushed_commits",
           std::to_string(unflushed) +
               " relaxed commit(s) acknowledged, not yet durable");
+    }
+    if (db_->last_backup_lsn() > 0) {
+      add("db.last_backup_lsn", std::to_string(db_->last_backup_lsn()));
+    }
+    if (db_->archiver() != nullptr) {
+      const uint64_t lag = db_->archive_lag();
+      add("db.archive_lag",
+          std::to_string(lag) + " sealed segment(s) awaiting archive" +
+              (lag > 0 ? " (retained until archived)" : ""));
     }
     return Status::OK();
   }

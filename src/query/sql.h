@@ -19,6 +19,10 @@
 //   SET USER name                      (identity for authorization checks)
 //   SET DURABILITY STRICT|RELAXED      (commit ack at fsync vs WAL-append)
 //   CHECKPOINT                         (incremental checkpoint + truncation)
+//   BACKUP TO 'dir'                    (online fuzzy backup; superuser only)
+//   RESTORE FROM 'backup' INTO 'dir' [ARCHIVE 'dir'] [TO LSN n]
+//                                      (offline point-in-time recovery;
+//                                       superuser only)
 //   BEGIN / COMMIT / ROLLBACK / SAVEPOINT name / ROLLBACK TO name
 //
 // Types: INT, DOUBLE, STRING (or TEXT), BOOL. Expressions support

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "src/util/coding.h"
 #include "src/util/crc32c.h"
@@ -175,5 +176,57 @@ Status PageFile::Write(PageId id, const Page& page) {
 }
 
 Status PageFile::Sync() { return file_->Sync(/*data_only=*/false); }
+
+Status PageFile::SnapshotTo(const std::string& dest_path, uint32_t* out_pages,
+                            uint32_t* out_crc) {
+  MutexLock lock(&mu_);  // freeze allocation structure, not record writes
+  if (!file_) return Status::InvalidArgument("page file not open");
+  std::unique_ptr<RandomAccessFile> dest;
+  DMX_RETURN_IF_ERROR(
+      env_->NewRandomAccessFile(dest_path, /*create=*/true, &dest));
+  Status s = dest->Truncate(0);
+  const uint32_t pages = page_count_.load(std::memory_order_relaxed);
+  uint32_t crc = 0;
+  char frame[kDiskPageSize];
+  for (PageId id = 0; s.ok() && id < pages; ++id) {
+    // Bounded checksum-retry: a concurrent record-level pwrite can tear
+    // this read; re-reading lands before or after the writer. A mismatch
+    // that survives every attempt is stable on-disk damage, not a race.
+    constexpr int kAttempts = 64;
+    for (int attempt = 0;; ++attempt) {
+      size_t n = 0;
+      s = file_->Read(static_cast<uint64_t>(id) * kDiskPageSize,
+                      kDiskPageSize, frame, &n);
+      if (s.ok() && n != kDiskPageSize) {
+        s = Status::Corruption("short read of page " + std::to_string(id) +
+                               " during backup of '" + path_ + "'");
+      }
+      if (!s.ok()) break;
+      if (DecodeFixed32(frame + kPageSize) == Crc32c(frame, kPageSize)) break;
+      if (attempt + 1 >= kAttempts) {
+        s = Status::Corruption("page " + std::to_string(id) +
+                               " checksum mismatch persisted across " +
+                               std::to_string(kAttempts) +
+                               " backup reads of '" + path_ + "'");
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (!s.ok()) break;
+    s = dest->Write(static_cast<uint64_t>(id) * kDiskPageSize, frame,
+                    kDiskPageSize);
+    if (s.ok()) crc = Crc32cExtend(crc, frame, kDiskPageSize);
+  }
+  if (s.ok()) s = dest->Sync(/*data_only=*/false);
+  Status c = dest->Close();
+  if (s.ok()) s = c;
+  if (!s.ok()) {
+    (void)env_->DeleteFile(dest_path);
+    return s;
+  }
+  *out_pages = pages;
+  *out_crc = crc;
+  return Status::OK();
+}
 
 }  // namespace dmx

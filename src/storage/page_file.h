@@ -80,6 +80,19 @@ class PageFile {
   /// fsync the file.
   Status Sync();
 
+  /// Online backup copy: write every page (image + checksum trailer) to
+  /// `dest_path` through the same Env and sync it. Holds the allocation
+  /// mutex for the duration, so the page *structure* (page count, free
+  /// list, header) is a consistent snapshot while record-level writers
+  /// keep running — their in-flight pwrites can tear a concurrent read,
+  /// which the per-page checksum catches and a bounded re-read resolves;
+  /// a persistent mismatch is reported as the corruption it is. Page
+  /// contents remain fuzzy (some older, some newer); WAL replay from the
+  /// backup's begin LSN reconciles them. Returns the copied page count
+  /// and a CRC32C over the copied bytes for the backup manifest.
+  Status SnapshotTo(const std::string& dest_path, uint32_t* out_pages,
+                    uint32_t* out_crc);
+
  private:
   Status ReadHeader() REQUIRES(mu_);
   Status WriteHeader() REQUIRES(mu_);

@@ -1,5 +1,6 @@
 #include "src/util/env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -167,6 +168,35 @@ class PosixEnv : public Env {
     if (r != 0) return PosixError("fsync dir '" + path + "'", saved);
     return Status::OK();
   }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("'" + path + "'");
+      return PosixError("opendir '" + path + "'", errno);
+    }
+    errno = 0;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") out->push_back(name);
+      errno = 0;
+    }
+    int saved = errno;
+    ::closedir(dir);
+    if (saved != 0) return PosixError("readdir '" + path + "'", saved);
+    return Status::OK();
+  }
+
+  Status LinkOrCopyFile(const std::string& from,
+                        const std::string& to) override {
+    if (::link(from.c_str(), to.c_str()) == 0) return Status::OK();
+    if (errno == ENOENT || errno == EEXIST) {
+      return PosixError("link '" + from + "' -> '" + to + "'", errno);
+    }
+    // EXDEV / EPERM / EMLINK / filesystems without hard links: real copy.
+    return Env::LinkOrCopyFile(from, to);
+  }
 };
 
 }  // namespace
@@ -199,6 +229,33 @@ Status Env::WriteFileAtomic(const std::string& path, const Slice& data) {
   }
   DMX_RETURN_IF_ERROR(RenameFile(tmp, path));
   return SyncDir(DirnameOf(path));
+}
+
+Status Env::LinkOrCopyFile(const std::string& from, const std::string& to) {
+  if (FileExists(to).ok()) {
+    return Status::IOError("copy target '" + to + "' already exists");
+  }
+  std::unique_ptr<RandomAccessFile> src;
+  DMX_RETURN_IF_ERROR(NewRandomAccessFile(from, /*create=*/false, &src));
+  uint64_t size = 0;
+  DMX_RETURN_IF_ERROR(src->Size(&size));
+  std::unique_ptr<RandomAccessFile> dst;
+  DMX_RETURN_IF_ERROR(NewRandomAccessFile(to, /*create=*/true, &dst));
+  DMX_RETURN_IF_ERROR(dst->Truncate(0));
+  constexpr size_t kChunk = 1 << 16;
+  std::string buf(kChunk, '\0');
+  for (uint64_t off = 0; off < size;) {
+    const size_t want = static_cast<size_t>(
+        size - off < kChunk ? size - off : kChunk);
+    size_t got = 0;
+    DMX_RETURN_IF_ERROR(src->Read(off, want, buf.data(), &got));
+    if (got == 0) return Status::IOError("short read copying '" + from + "'");
+    DMX_RETURN_IF_ERROR(dst->Write(off, buf.data(), got));
+    off += got;
+  }
+  DMX_RETURN_IF_ERROR(dst->Sync(/*data_only=*/false));
+  DMX_RETURN_IF_ERROR(dst->Close());
+  return src->Close();
 }
 
 std::string DirnameOf(const std::string& path) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/util/slice.h"
 #include "src/util/status.h"
@@ -70,6 +71,21 @@ class Env {
   /// fsync a directory so that entries created/renamed inside it survive a
   /// crash. Required after creating the page file or WAL file.
   virtual Status SyncDir(const std::string& path) = 0;
+  /// Append the names (not paths) of the entries of directory `path` to
+  /// `*out`, excluding "." and "..", in unspecified order. NotFound if the
+  /// directory does not exist. WAL segment discovery and restore use this.
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* out) = 0;
+
+  /// Make `to` a durable-content replica of `from`: either a hard link
+  /// (same bytes, no extra space — the POSIX env when the filesystem
+  /// allows it) or a synced byte copy. `to` must not exist. The *entry*
+  /// for `to` still needs a SyncDir to survive power loss. The default
+  /// implementation copies through the virtual NewRandomAccessFile
+  /// primitives, so wrapper envs inject faults and track durability
+  /// without extra code.
+  virtual Status LinkOrCopyFile(const std::string& from,
+                                const std::string& to);
 
   /// Read an entire file into `*out`. NotFound if it does not exist.
   virtual Status ReadFileToString(const std::string& path, std::string* out);

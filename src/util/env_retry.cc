@@ -111,6 +111,26 @@ Status RetryingEnv::SyncDir(const std::string& path) {
   return WithRetry([&] { return base_->SyncDir(path); });
 }
 
+Status RetryingEnv::ListDir(const std::string& path,
+                            std::vector<std::string>* out) {
+  return WithRetry([&] {
+    out->clear();
+    return base_->ListDir(path, out);
+  });
+}
+
+Status RetryingEnv::LinkOrCopyFile(const std::string& from,
+                                   const std::string& to) {
+  return WithRetry([&] {
+    // A failed copy attempt may have left a partial target behind; the
+    // base refuses to overwrite, so clear it before re-issuing.
+    if (base_->FileExists(to).ok()) {
+      DMX_RETURN_IF_ERROR(base_->DeleteFile(to));
+    }
+    return base_->LinkOrCopyFile(from, to);
+  });
+}
+
 Status RetryingEnv::ReadFileToString(const std::string& path,
                                      std::string* out) {
   // Delegate to the base so its bookkeeping (fault-injection snapshots)

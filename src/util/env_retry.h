@@ -67,6 +67,10 @@ class RetryingEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status CreateDir(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override;
+  Status LinkOrCopyFile(const std::string& from,
+                        const std::string& to) override;
   Status ReadFileToString(const std::string& path, std::string* out) override;
   Status WriteFileAtomic(const std::string& path, const Slice& data) override;
 

@@ -342,6 +342,11 @@ Status FaultInjectionEnv::CreateDir(const std::string& path) {
   return base_->CreateDir(path);
 }
 
+Status FaultInjectionEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* out) {
+  return base_->ListDir(path, out);
+}
+
 Status FaultInjectionEnv::SyncDir(const std::string& path) {
   {
     MutexLock lock(&state_.mu);

@@ -89,6 +89,13 @@ class FaultInjectionEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status CreateDir(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override;
+  // LinkOrCopyFile is deliberately NOT overridden: the base-class copy
+  // routes every byte through this env's NewRandomAccessFile / Write /
+  // Sync, so archive copies hit the same fault triggers and power-loss
+  // tracking as any other file — a "hard link" under fault injection is
+  // just a copy whose durability is modelled honestly.
   /// Atomic + durable once OK (old content intact on failure); counts as
   /// one write plus one sync against the fault triggers.
   Status WriteFileAtomic(const std::string& path, const Slice& data) override;

@@ -1,0 +1,102 @@
+// WalArchiver: background WAL segment rotation and archiving.
+//
+// The archiver watches the live log's flushed size; past the segment size
+// target it asks the LogManager to Rotate() (sealing flushed frames into
+// an immutable segment file), then copies every sealed-but-unarchived
+// segment into the archive directory. Each copy is CRC-verified end to
+// end before it counts: the source segment's header and every frame crc
+// are checked, the bytes land under a temporary name, and only a
+// rename + directory sync publishes the archived file — so the archive
+// never contains a torn or silently corrupt segment, and a crash mid-copy
+// leaves at most a `.tmp` orphan that the next pass overwrites.
+//
+// Only after a segment is confirmed archived does LogManager::
+// CheckpointTruncate() reclaim it (the archive-before-truncate
+// invariant). While the archive is unreachable, sealed segments pile up
+// in the database directory — WAL space grows, history is never lost —
+// and the failure is reported through `on_failure` so the ErrorHandler
+// can degrade the database and drive recovery (RecoverWritePath drains
+// the backlog via ArchivePending()).
+//
+// Metrics: wal.archived_segments, wal.archive_failures (plus
+// wal.segments_sealed from the LogManager).
+
+#ifndef DMX_WAL_ARCHIVER_H_
+#define DMX_WAL_ARCHIVER_H_
+
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/util/env.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+#include "src/wal/log_manager.h"
+
+namespace dmx {
+
+class WalArchiver {
+ public:
+  struct Options {
+    std::string archive_dir;
+    /// Rotate when the live log's flushed frames exceed this many bytes.
+    uint64_t segment_target_bytes = 4ull << 20;
+    /// Background poll cadence.
+    uint64_t poll_interval_us = 20000;
+  };
+
+  /// `log` and `env` must outlive the archiver. The env should be the
+  /// database's (retrying) env so transient archive faults are absorbed.
+  WalArchiver(LogManager* log, Env* env, Options options);
+  ~WalArchiver();
+
+  WalArchiver(const WalArchiver&) = delete;
+  WalArchiver& operator=(const WalArchiver&) = delete;
+
+  /// Create the archive directory and start the background thread.
+  /// `on_failure` (optional) is invoked outside any archiver lock with
+  /// the Status of a failed archive pass — the ErrorHandler hook.
+  Status Start(std::function<void(const Status&)> on_failure);
+  /// Stop and join the background thread (idempotent).
+  void Stop();
+
+  /// One synchronous pass: rotate if the live log is past the size
+  /// target, then archive everything pending. Foreground-callable; the
+  /// recovery path uses it to prove the archive is reachable again.
+  Status Poll();
+
+  /// Verify + copy every sealed-but-unarchived segment into the archive.
+  Status ArchivePending();
+
+  /// Wake the background thread (after recovery, or in tests).
+  void Kick();
+
+  const Options& options() const { return options_; }
+
+ private:
+  void Loop();
+  Status ArchiveOne(const LogManager::SegmentInfo& seg);
+
+  LogManager* log_;
+  Env* env_;
+  Options options_;
+  Counter* metric_archived_;
+  Counter* metric_failures_;
+
+  mutable Mutex mu_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool kicked_ GUARDED_BY(mu_) = false;
+  // After a failed pass the loop parks until kicked (recovery) or
+  // stopped, instead of hammering a broken archive volume.
+  bool parked_ GUARDED_BY(mu_) = false;
+  std::function<void(const Status&)> on_failure_ GUARDED_BY(mu_);
+  CondVar cv_{&mu_};
+  // Touched only by Start/Stop/~WalArchiver, which the Database
+  // serializes on its open/close path.
+  std::thread thread_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_WAL_ARCHIVER_H_

@@ -1,5 +1,6 @@
 #include "src/wal/log_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -10,17 +11,10 @@ namespace dmx {
 
 namespace {
 
-constexpr size_t kLogHeaderSize = 24;
-constexpr size_t kFrameHeaderSize = 8;  // u32 length | u32 crc
-constexpr uint32_t kLogMagic = 0x444D584C;  // "DMXL"
-
-// CRC32C over the generation number followed by the frame body. Mixing the
-// generation in lets replay distinguish a stale pre-truncation frame (crc
-// matches an older generation) from genuine corruption (matches nothing).
+// Sizes, magics, and the generation-mixing frame crc moved to wal_format.h
+// when segments arrived (the archiver and dmx_backup_verify share them).
 uint32_t FrameCrc(uint32_t gen, const char* body, size_t n) {
-  char g[4];
-  memcpy(g, &gen, 4);
-  return Crc32cExtend(Crc32c(g, 4), body, n);
+  return WalFrameCrc(gen, body, n);
 }
 
 }  // namespace
@@ -34,6 +28,8 @@ LogManager::LogManager() {
   metric_group_commits_ = metrics->GetCounter("wal.group_commits");
   metric_group_size_ = metrics->GetHistogram("wal.group_size");
   metric_relaxed_commits_ = metrics->GetCounter("wal.relaxed_commits");
+  metric_segments_sealed_ = metrics->GetCounter("wal.segments_sealed");
+  metric_sealed_unarchived_ = metrics->GetCounter("wal.sealed_unarchived");
 }
 
 LogManager::~LogManager() {
@@ -159,7 +155,83 @@ Status LogManager::Open(const std::string& path, bool create, Env* env) {
   next_lsn_.store(next, std::memory_order_release);
   flushed_lsn_.store(next - 1, std::memory_order_release);
   buffer_start_ = next;
+  s = DiscoverSegmentsLocked();
+  if (!s.ok()) {
+    (void)file_->Close();
+    file_.reset();
+    return s;
+  }
   return Status::OK();
+}
+
+Status LogManager::DiscoverSegmentsLocked() {
+  segments_.clear();
+  next_seg_seqno_ = 1;
+  const std::string dir = DirnameOf(path_);
+  const size_t slash = path_.find_last_of('/');
+  const std::string basename =
+      slash == std::string::npos ? path_ : path_.substr(slash + 1);
+  std::vector<std::string> names;
+  Status ls = env_->ListDir(dir, &names);
+  if (ls.IsNotFound()) return Status::OK();
+  DMX_RETURN_IF_ERROR(ls);
+  for (const std::string& name : names) {
+    uint32_t seqno = 0;
+    if (!ParseSegmentName(name, basename, &seqno)) continue;
+    const std::string seg_path = dir + "/" + name;
+    std::unique_ptr<RandomAccessFile> f;
+    SegmentHeader hdr;
+    char buf[kSegHeaderSize];
+    size_t n = 0;
+    Status s = env_->NewRandomAccessFile(seg_path, /*create=*/false, &f);
+    if (s.ok()) s = f->Read(0, kSegHeaderSize, buf, &n);
+    if (s.ok() && n == kSegHeaderSize) s = DecodeSegmentHeader(buf, &hdr);
+    if (f) (void)f->Close();
+    if (!s.ok() || n != kSegHeaderSize || hdr.base_lsn >= base_lsn_) {
+      // Either an unreadable header (the partially written product of a
+      // rotation that crashed before its segment sync) or a seemingly
+      // valid segment whose frames the live log still owns (the rotation
+      // crashed after the segment sync but before the live header
+      // advanced). Both are duplicates of live content: discard.
+      (void)env_->DeleteFile(seg_path);
+      continue;
+    }
+    SegmentInfo info;
+    info.seqno = hdr.seqno;
+    info.base_lsn = hdr.base_lsn;
+    info.end_lsn = hdr.end_lsn;
+    info.gen = hdr.gen;
+    info.path = seg_path;
+    segments_.push_back(std::move(info));
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.seqno < b.seqno;
+            });
+  // The retained chain must be contiguous and end exactly at the live
+  // base — reclaim only ever removes a prefix, so any gap means lost WAL.
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const Lsn expect_end =
+        i + 1 < segments_.size() ? segments_[i + 1].base_lsn : base_lsn_;
+    if (segments_[i].end_lsn != expect_end) {
+      return Status::Corruption(
+          "wal segment chain gap after '" + segments_[i].path +
+          "' (ends at lsn " + std::to_string(segments_[i].end_lsn) +
+          ", next begins at " + std::to_string(expect_end) + ")");
+    }
+  }
+  if (!segments_.empty()) next_seg_seqno_ = segments_.back().seqno + 1;
+  UpdateLagGaugeLocked();
+  return Status::OK();
+}
+
+void LogManager::UpdateLagGaugeLocked() {
+  uint64_t n = 0;
+  for (const SegmentInfo& seg : segments_) {
+    if (!seg.archived) ++n;
+  }
+  metric_sealed_unarchived_->Reset();
+  metric_sealed_unarchived_->Increment(n);
 }
 
 Status LogManager::WriteHeaderLocked() {
@@ -383,6 +455,57 @@ Status LogManager::FlushAll() {
 Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   DMX_RETURN_IF_ERROR(FlushAll());
   MutexLock lock(&mu_);
+  // Sealed segments first (oldest to newest), then the live file. The
+  // chain was verified contiguous at Open, so this replays an unbroken
+  // LSN range ending at the live base. Replaying pre-checkpoint segments
+  // that merely await archiving is harmless: redo is page-LSN gated and
+  // every transaction they contain has ended. Unlike the live file, a
+  // sealed segment admits no torn or stale tail — it was complete and
+  // synced before the live log moved on — so any mismatch is corruption.
+  for (const SegmentInfo& seg : segments_) {
+    std::unique_ptr<RandomAccessFile> f;
+    DMX_RETURN_IF_ERROR(
+        env_->NewRandomAccessFile(seg.path, /*create=*/false, &f));
+    std::string data(static_cast<size_t>(seg.end_lsn - seg.base_lsn), '\0');
+    size_t seg_got = 0;
+    Status s = f->Read(kSegHeaderSize, data.size(), data.data(), &seg_got);
+    (void)f->Close();
+    DMX_RETURN_IF_ERROR(s);
+    if (seg_got != data.size()) {
+      return Status::Corruption("short read of wal segment '" + seg.path +
+                                "'");
+    }
+    size_t pos = 0;
+    while (pos < data.size()) {
+      if (pos + kFrameHeaderSize > data.size()) {
+        return Status::Corruption("truncated frame in wal segment '" +
+                                  seg.path + "'");
+      }
+      const uint32_t len = DecodeFixed32(data.data() + pos);
+      if (pos + kFrameHeaderSize + len > data.size()) {
+        return Status::Corruption("truncated frame in wal segment '" +
+                                  seg.path + "'");
+      }
+      const uint32_t crc = DecodeFixed32(data.data() + pos + 4);
+      const char* body = data.data() + pos + kFrameHeaderSize;
+      if (crc != FrameCrc(seg.gen, body, len)) {
+        return Status::Corruption(
+            "wal frame checksum mismatch at offset " +
+            std::to_string(kSegHeaderSize + pos) + " in segment '" +
+            seg.path + "'");
+      }
+      Slice in(body, len);
+      LogRecord rec;
+      if (!LogRecord::DecodeFrom(&in, &rec).ok()) {
+        return Status::Corruption("undecodable wal record at offset " +
+                                  std::to_string(kSegHeaderSize + pos) +
+                                  " in segment '" + seg.path + "'");
+      }
+      rec.lsn = seg.base_lsn + static_cast<Lsn>(pos) + 1;
+      out->push_back(std::move(rec));
+      pos += kFrameHeaderSize + len;
+    }
+  }
   uint64_t size = 0;
   DMX_RETURN_IF_ERROR(file_->Size(&size));
   if (size <= kLogHeaderSize) return Status::OK();
@@ -442,8 +565,46 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
   MutexLock lock(&mu_);
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
-  if (lsn == kInvalidLsn || lsn <= base_lsn_ ||
+  if (lsn == kInvalidLsn ||
       lsn >= next_lsn_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
+  }
+  if (lsn <= base_lsn_) {
+    // Rotated past: a rollback chain reaching across a rotation reads its
+    // record from the sealed segment that owns the LSN.
+    for (const SegmentInfo& seg : segments_) {
+      if (lsn <= seg.base_lsn || lsn > seg.end_lsn) continue;
+      std::unique_ptr<RandomAccessFile> f;
+      DMX_RETURN_IF_ERROR(
+          env_->NewRandomAccessFile(seg.path, /*create=*/false, &f));
+      const uint64_t off = kSegHeaderSize + (lsn - seg.base_lsn - 1);
+      char hdr[kFrameHeaderSize];
+      size_t n = 0;
+      Status s = f->Read(off, kFrameHeaderSize, hdr, &n);
+      if (s.ok() && n != kFrameHeaderSize) {
+        s = Status::IOError("segment frame header read");
+      }
+      std::string body;
+      uint32_t len = 0, crc = 0;
+      if (s.ok()) {
+        len = DecodeFixed32(hdr);
+        crc = DecodeFixed32(hdr + 4);
+        body.resize(len);
+        s = f->Read(off + kFrameHeaderSize, len, body.data(), &n);
+        if (s.ok() && n != len) s = Status::IOError("segment frame body read");
+      }
+      (void)f->Close();
+      DMX_RETURN_IF_ERROR(s);
+      if (crc != FrameCrc(seg.gen, body.data(), len)) {
+        return Status::Corruption("wal frame checksum mismatch at lsn " +
+                                  std::to_string(lsn) + " in segment '" +
+                                  seg.path + "'");
+      }
+      Slice in(body);
+      DMX_RETURN_IF_ERROR(LogRecord::DecodeFrom(&in, out));
+      out->lsn = lsn;
+      return Status::OK();
+    }
     return Status::InvalidArgument("bad lsn " + std::to_string(lsn));
   }
   // Serve from the in-memory buffer if not yet flushed.
@@ -482,16 +643,28 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
   return Status::OK();
 }
 
-Status LogManager::Truncate() {
-  MutexLock lock(&mu_);
+Status LogManager::ReclaimBlockedLocked() const {
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
   if (flush_active_) {
     // A leader is mid-fsync with the file offsets we are about to change.
     return Status::Busy("group flush in progress; retry the truncation");
   }
+  if (pins_ > 0) {
+    return Status::Busy("wal pinned (online backup in progress)");
+  }
   if (!buffer_.empty()) {
     return Status::Busy("flush the log before truncating");
   }
+  return Status::OK();
+}
+
+Status LogManager::Truncate() {
+  MutexLock lock(&mu_);
+  DMX_RETURN_IF_ERROR(ReclaimBlockedLocked());
+  return TruncateLocked();
+}
+
+Status LogManager::TruncateLocked() {
   const Lsn old_base = base_lsn_;
   const uint32_t old_gen = gen_;
   base_lsn_ = next_lsn_.load(std::memory_order_relaxed) - 1;
@@ -525,6 +698,171 @@ Status LogManager::Truncate() {
   buffer_start_ = next_lsn_.load(std::memory_order_relaxed);
   flushed_lsn_.store(buffer_start_ - 1, std::memory_order_release);
   return Status::OK();
+}
+
+std::string LogManager::SegmentPathLocked(uint32_t seqno) const {
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "" : path_.substr(0, slash + 1);
+  const std::string basename =
+      slash == std::string::npos ? path_ : path_.substr(slash + 1);
+  return dir + SegmentFileName(basename, seqno);
+}
+
+void LogManager::SetRetainSegments(bool retain) {
+  MutexLock lock(&mu_);
+  retain_segments_ = retain;
+}
+
+Status LogManager::Rotate() {
+  MutexLock lock(&mu_);
+  DMX_RETURN_IF_ERROR(ReclaimBlockedLocked());
+  return RotateLocked();
+}
+
+Status LogManager::RotateLocked() {
+  const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+  if (flushed <= base_lsn_) return Status::OK();  // empty live log: no-op
+  // Seal first: the segment must be durable (file + directory entry)
+  // before the live header advances past its frames, so a crash at any
+  // point leaves at least one complete copy of every flushed record.
+  const uint64_t body_size = flushed - base_lsn_;
+  std::string body(static_cast<size_t>(body_size), '\0');
+  size_t got = 0;
+  DMX_RETURN_IF_ERROR(
+      file_->Read(kLogHeaderSize, body.size(), body.data(), &got));
+  if (got != body.size()) {
+    return Status::IOError("short live-wal read during rotation");
+  }
+  SegmentInfo info;
+  info.seqno = next_seg_seqno_;
+  info.base_lsn = base_lsn_;
+  info.end_lsn = flushed;
+  info.gen = gen_;
+  info.path = SegmentPathLocked(info.seqno);
+  std::string hdr;
+  EncodeSegmentHeader(
+      SegmentHeader{info.seqno, info.base_lsn, info.end_lsn, info.gen}, &hdr);
+  std::unique_ptr<RandomAccessFile> seg;
+  Status s = env_->NewRandomAccessFile(info.path, /*create=*/true, &seg);
+  if (s.ok()) s = seg->Truncate(0);
+  if (s.ok()) s = seg->Write(0, hdr.data(), hdr.size());
+  if (s.ok()) s = seg->Write(kSegHeaderSize, body.data(), body.size());
+  if (s.ok()) s = seg->Sync(/*data_only=*/false);
+  if (s.ok()) s = seg->Close();
+  if (s.ok()) s = env_->SyncDir(DirnameOf(path_));
+  if (!s.ok()) {
+    // The live log is untouched and fully usable; discard the partial
+    // segment so a later rotation starts clean.
+    if (seg) (void)seg->Close();
+    (void)env_->DeleteFile(info.path);
+    return s;
+  }
+  segments_.push_back(info);
+  ++next_seg_seqno_;
+  Status ts = TruncateLocked();
+  if (!ts.ok() && base_lsn_ < info.end_lsn) {
+    // The live header never advanced (kHeaderUnknown window or an early
+    // failure with the old header restored): the live file still owns
+    // these frames, so the sealed copy is a duplicate — exactly what
+    // DiscoverSegmentsLocked would delete after a crash here. In the
+    // kStaleTail window the header did advance and the segment is the
+    // only complete copy; it stays registered.
+    segments_.pop_back();
+    --next_seg_seqno_;
+    (void)env_->DeleteFile(info.path);
+    return ts;
+  }
+  DMX_RETURN_IF_ERROR(ts);
+  metric_segments_sealed_->Increment();
+  UpdateLagGaugeLocked();
+  return Status::OK();
+}
+
+Status LogManager::CheckpointTruncate() {
+  MutexLock lock(&mu_);
+  DMX_RETURN_IF_ERROR(ReclaimBlockedLocked());
+  if (!retain_segments_) {
+    DMX_RETURN_IF_ERROR(TruncateLocked());
+    // No archiver: sealed segments (left over from a config change) are
+    // dead history like everything else the checkpoint discards.
+    for (const SegmentInfo& seg : segments_) (void)env_->DeleteFile(seg.path);
+    segments_.clear();
+    UpdateLagGaugeLocked();
+    return Status::OK();
+  }
+  DMX_RETURN_IF_ERROR(RotateLocked());
+  // Archive-before-truncate: only segments with a verified archive copy
+  // are reclaimable. An unreachable archive stalls reclaim (WAL grows),
+  // never costs history.
+  while (!segments_.empty() && segments_.front().archived) {
+    Status s = env_->DeleteFile(segments_.front().path);
+    if (!s.ok() && !s.IsNotFound()) return s;  // retry at next checkpoint
+    segments_.erase(segments_.begin());
+  }
+  UpdateLagGaugeLocked();
+  return Status::OK();
+}
+
+std::vector<LogManager::SegmentInfo> LogManager::segments() const {
+  MutexLock lock(&mu_);
+  return segments_;
+}
+
+void LogManager::MarkArchived(uint32_t seqno) {
+  MutexLock lock(&mu_);
+  for (SegmentInfo& seg : segments_) {
+    if (seg.seqno == seqno) seg.archived = true;
+  }
+  UpdateLagGaugeLocked();
+}
+
+uint64_t LogManager::sealed_unarchived() const {
+  MutexLock lock(&mu_);
+  uint64_t n = 0;
+  for (const SegmentInfo& seg : segments_) {
+    if (!seg.archived) ++n;
+  }
+  return n;
+}
+
+void LogManager::PinWal() {
+  MutexLock lock(&mu_);
+  ++pins_;
+}
+
+void LogManager::UnpinWal() {
+  MutexLock lock(&mu_);
+  if (pins_ > 0) --pins_;
+}
+
+Lsn LogManager::base_lsn() const {
+  MutexLock lock(&mu_);
+  return base_lsn_;
+}
+
+Status LogManager::SnapshotLiveTo(const std::string& dest_path) {
+  MutexLock lock(&mu_);
+  if (poison_ != PoisonKind::kNone) return PoisonedLocked();
+  if (!file_) return Status::IOError("log not open");
+  // Wait out an in-flight group flush so the durable prefix is stable
+  // (the leader writes the file with mu_ released).
+  while (flush_active_) flush_cv_.Wait();
+  const Lsn flushed = flushed_lsn_.load(std::memory_order_relaxed);
+  const uint64_t n = kLogHeaderSize + (flushed - base_lsn_);
+  std::string bytes(static_cast<size_t>(n), '\0');
+  size_t got = 0;
+  DMX_RETURN_IF_ERROR(file_->Read(0, bytes.size(), bytes.data(), &got));
+  if (got != bytes.size()) {
+    return Status::IOError("short live-wal read during backup");
+  }
+  std::unique_ptr<RandomAccessFile> dest;
+  DMX_RETURN_IF_ERROR(
+      env_->NewRandomAccessFile(dest_path, /*create=*/true, &dest));
+  DMX_RETURN_IF_ERROR(dest->Truncate(0));
+  DMX_RETURN_IF_ERROR(dest->Write(0, bytes.data(), bytes.size()));
+  DMX_RETURN_IF_ERROR(dest->Sync(/*data_only=*/false));
+  return dest->Close();
 }
 
 Status LogManager::Resume() {

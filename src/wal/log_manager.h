@@ -54,6 +54,17 @@
 // failing Status (never a fabricated one), and strict committers can
 // abort cleanly exactly as with the old fsync-per-commit path.
 //
+// Segments and archiving: Rotate() freezes the flushed frames of the live
+// file into an immutable sealed segment (`<wal>.NNNNNN.seg`, wal_format.h)
+// and resets the live file, so LSNs keep increasing while history becomes a
+// chain of verifiable files an archiver can copy off-box. With
+// SetRetainSegments(true), CheckpointTruncate() reclaims only segments the
+// archiver has confirmed archived — archive-before-truncate — and ReadAll /
+// ReadRecord transparently serve records from sealed segments, so restart
+// recovery and rollback chains are unaware of rotation. PinWal() (held by
+// online backup) makes rotation/truncation/reclaim return Busy so the WAL
+// range a backup needs cannot vanish mid-copy.
+//
 // Relaxed durability: AppendCommitRelaxed acknowledges a commit at
 // append; a background flusher thread (StartFlusher) groups such commits
 // and makes them durable within ~flush_interval. unflushed_commits()
@@ -78,6 +89,7 @@
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 #include "src/wal/log_record.h"
+#include "src/wal/wal_format.h"
 
 namespace dmx {
 
@@ -164,7 +176,68 @@ class LogManager {
   /// whose base is the current end, so future LSNs continue from here.
   /// The caller must ensure nothing in the discarded range is still
   /// needed (no active transactions; all pages/snapshots flushed).
+  /// Sealed segments are untouched. Busy while the WAL is pinned.
   Status Truncate();
+
+  // -- segmentation / archiving ---------------------------------------------
+
+  /// A sealed, immutable log segment produced by Rotate() — see
+  /// wal_format.h for the on-disk layout. Frames cover (base_lsn, end_lsn].
+  struct SegmentInfo {
+    uint32_t seqno = 0;
+    Lsn base_lsn = 0;
+    Lsn end_lsn = 0;
+    uint32_t gen = 0;  // generation the frames were crc'd with
+    std::string path;
+    bool archived = false;  // a verified archive copy exists
+  };
+
+  /// Retain sealed segments across checkpoints for an archiver. Off (the
+  /// pre-archiving behavior) CheckpointTruncate discards history exactly
+  /// like Truncate. Set once at open, before concurrent use.
+  void SetRetainSegments(bool retain);
+
+  /// Seal the flushed frames of the live log into a new segment file
+  /// (written and synced before the live file is touched) and reset the
+  /// live file to an empty log continuing at the same LSN/new generation.
+  /// Busy when unflushed bytes, an in-flight group flush, or a WAL pin
+  /// make sealing unsafe right now; OK no-op on an empty live log. A crash
+  /// at any point leaves either the old live log (a duplicate segment is
+  /// deleted at the next Open) or the sealed segment + empty live log.
+  Status Rotate();
+
+  /// The checkpoint-time reclaim. With segment retention on: rotate the
+  /// live log, then delete only segments already confirmed archived — the
+  /// "archive before truncate" invariant; an unarchived segment is never
+  /// reclaimed, so WAL space grows while the archive is unreachable
+  /// instead of losing history. Retention off: plain Truncate() plus
+  /// removal of any leftover segments. Same Busy conditions as Truncate.
+  Status CheckpointTruncate();
+
+  /// Snapshot of the sealed-segment registry, oldest first.
+  std::vector<SegmentInfo> segments() const;
+
+  /// Record that a verified copy of segment `seqno` exists in the archive
+  /// (makes it reclaimable at the next checkpoint).
+  void MarkArchived(uint32_t seqno);
+
+  /// Sealed segments not yet confirmed archived — the archive-lag gauge
+  /// DESCRIBE surfaces. Always 0 when retention is off.
+  uint64_t sealed_unarchived() const;
+
+  /// Block rotation, truncation, and segment reclaim (Busy) while held —
+  /// online backup pins the WAL so the history it is copying stays put.
+  /// Nestable; every PinWal needs a matching UnpinWal.
+  void PinWal();
+  void UnpinWal();
+
+  /// LSNs at or below this live in sealed segments (or are gone).
+  Lsn base_lsn() const;
+
+  /// Copy the live log's durable prefix (header + flushed frames, never
+  /// the unflushed buffer) to `dest_path` through the same Env. The copy
+  /// is a valid standalone live-log file for a later Open.
+  Status SnapshotLiveTo(const std::string& dest_path);
 
   /// Statistics: number of records appended this session.
   uint64_t records_appended() const { return records_appended_; }
@@ -192,6 +265,20 @@ class LogManager {
   };
 
   Status WriteHeaderLocked() REQUIRES(mu_);
+  /// Truncate's body (header-first advance + shrink + poison windows);
+  /// callers have already verified the Busy preconditions.
+  Status TruncateLocked() REQUIRES(mu_);
+  /// Rotate's body; same contract.
+  Status RotateLocked() REQUIRES(mu_);
+  /// Shared Busy preconditions for Truncate/Rotate/CheckpointTruncate.
+  Status ReclaimBlockedLocked() const REQUIRES(mu_);
+  /// Discover sealed segments next to the live log at Open: delete
+  /// crashed-rotation leftovers, verify the retained chain ends at the
+  /// live base, and seed the seqno counter.
+  Status DiscoverSegmentsLocked() REQUIRES(mu_);
+  std::string SegmentPathLocked(uint32_t seqno) const REQUIRES(mu_);
+  /// Refresh the wal.sealed_unarchived gauge from segments_.
+  void UpdateLagGaugeLocked() REQUIRES(mu_);
   /// Dispatches to the group or legacy protocol per group_commit_.
   Status FlushToLocked(Lsn lsn) REQUIRES(mu_);
   /// Legacy flush: write + fsync the whole buffer with mu_ held.
@@ -224,6 +311,11 @@ class LogManager {
   // Status for PoisonedLocked() and the operators reading it.
   PoisonKind poison_ GUARDED_BY(mu_) = PoisonKind::kNone;
   Status poison_cause_ GUARDED_BY(mu_);
+  // --- sealed segments ---
+  std::vector<SegmentInfo> segments_ GUARDED_BY(mu_);  // oldest first
+  uint32_t next_seg_seqno_ GUARDED_BY(mu_) = 1;
+  bool retain_segments_ GUARDED_BY(mu_) = false;
+  uint64_t pins_ GUARDED_BY(mu_) = 0;  // backup holds these
   // Registry metrics ("wal.*"), resolved once at construction. Appends are
   // a few hundred ns, so their latency is sampled 1-in-64; fsyncs are µs+
   // and every one is timed. The sampling tick is guarded by mu_ like the
@@ -235,6 +327,10 @@ class LogManager {
   Counter* metric_group_commits_;
   Histogram* metric_group_size_;
   Counter* metric_relaxed_commits_;
+  Counter* metric_segments_sealed_;
+  /// Gauge mirror of sealed_unarchived() for MetricsSnapshot
+  /// ("wal.sealed_unarchived"); refreshed whenever the registry changes.
+  Counter* metric_sealed_unarchived_;
   uint64_t append_tick_ GUARDED_BY(mu_) = 0;
 
   // --- group-commit state ---

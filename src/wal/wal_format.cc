@@ -1,0 +1,159 @@
+#include "src/wal/wal_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace dmx {
+
+uint32_t WalFrameCrc(uint32_t gen, const char* body, size_t n) {
+  char g[4];
+  memcpy(g, &gen, 4);
+  return Crc32cExtend(Crc32c(g, 4), body, n);
+}
+
+void EncodeLiveHeader(Lsn base_lsn, uint32_t gen, std::string* out) {
+  const size_t start = out->size();
+  PutFixed32(out, kLogMagic);
+  PutFixed64(out, base_lsn);
+  PutFixed32(out, gen);
+  PutFixed32(out, Crc32c(out->data() + start, 16));
+  PutFixed32(out, 0);  // pad to kLogHeaderSize
+}
+
+Status DecodeLiveHeader(const char* buf, Lsn* base_lsn, uint32_t* gen) {
+  if (DecodeFixed32(buf) != kLogMagic) {
+    return Status::Corruption("bad log magic");
+  }
+  if (DecodeFixed32(buf + 16) != Crc32c(buf, 16)) {
+    return Status::Corruption("log header checksum mismatch");
+  }
+  *base_lsn = DecodeFixed64(buf + 4);
+  *gen = DecodeFixed32(buf + 12);
+  return Status::OK();
+}
+
+void EncodeSegmentHeader(const SegmentHeader& hdr, std::string* out) {
+  const size_t start = out->size();
+  PutFixed32(out, kSegMagic);
+  PutFixed32(out, hdr.seqno);
+  PutFixed64(out, hdr.base_lsn);
+  PutFixed64(out, hdr.end_lsn);
+  PutFixed32(out, hdr.gen);
+  PutFixed32(out, Crc32c(out->data() + start, 28));
+  PutFixed64(out, 0);  // pad to kSegHeaderSize
+}
+
+Status DecodeSegmentHeader(const char* buf, SegmentHeader* out) {
+  if (DecodeFixed32(buf) != kSegMagic) {
+    return Status::Corruption("bad wal segment magic");
+  }
+  if (DecodeFixed32(buf + 28) != Crc32c(buf, 28)) {
+    return Status::Corruption("wal segment header checksum mismatch");
+  }
+  out->seqno = DecodeFixed32(buf + 4);
+  out->base_lsn = DecodeFixed64(buf + 8);
+  out->end_lsn = DecodeFixed64(buf + 16);
+  out->gen = DecodeFixed32(buf + 24);
+  if (out->end_lsn < out->base_lsn) {
+    return Status::Corruption("wal segment header lsn range inverted");
+  }
+  return Status::OK();
+}
+
+std::string SegmentFileName(const std::string& wal_basename, uint32_t seqno) {
+  char suffix[24];
+  snprintf(suffix, sizeof(suffix), ".%06u.seg", seqno);
+  return wal_basename + suffix;
+}
+
+bool ParseSegmentName(const std::string& name, const std::string& wal_basename,
+                      uint32_t* seqno) {
+  // `<basename>.<digits>.seg`
+  const std::string prefix = wal_basename + ".";
+  const std::string suffix = ".seg";
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() || digits.size() > 9) return false;
+  uint32_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  *seqno = value;
+  return true;
+}
+
+Status VerifySegmentFile(Env* env, const std::string& path,
+                         SegmentHeader* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  DMX_RETURN_IF_ERROR(env->NewRandomAccessFile(path, /*create=*/false, &file));
+  uint64_t size = 0;
+  Status s = file->Size(&size);
+  char hdr[kSegHeaderSize];
+  size_t n = 0;
+  if (s.ok() && size < kSegHeaderSize) {
+    s = Status::Corruption("wal segment '" + path + "' shorter than header");
+  }
+  if (s.ok()) {
+    s = file->Read(0, kSegHeaderSize, hdr, &n);
+    if (s.ok() && n != kSegHeaderSize) {
+      s = Status::Corruption("short header read of '" + path + "'");
+    }
+  }
+  SegmentHeader parsed;
+  if (s.ok()) {
+    s = DecodeSegmentHeader(hdr, &parsed);
+    if (!s.ok()) s = Status::Corruption(s.message() + " in '" + path + "'");
+  }
+  if (s.ok() &&
+      size != kSegHeaderSize + (parsed.end_lsn - parsed.base_lsn)) {
+    s = Status::Corruption("wal segment '" + path +
+                           "' length disagrees with its header");
+  }
+  std::string body;
+  if (s.ok()) {
+    body.resize(static_cast<size_t>(size) - kSegHeaderSize);
+    s = file->Read(kSegHeaderSize, body.size(), body.data(), &n);
+    if (s.ok() && n != body.size()) {
+      s = Status::Corruption("short body read of '" + path + "'");
+    }
+  }
+  if (s.ok()) {
+    size_t pos = 0;
+    while (pos < body.size()) {
+      if (pos + kFrameHeaderSize > body.size()) {
+        s = Status::Corruption("truncated frame header in '" + path + "'");
+        break;
+      }
+      const uint32_t len = DecodeFixed32(body.data() + pos);
+      if (pos + kFrameHeaderSize + len > body.size()) {
+        s = Status::Corruption("truncated frame body in '" + path + "'");
+        break;
+      }
+      const uint32_t crc = DecodeFixed32(body.data() + pos + 4);
+      if (crc != WalFrameCrc(parsed.gen, body.data() + pos + kFrameHeaderSize,
+                             len)) {
+        s = Status::Corruption("frame checksum mismatch at segment offset " +
+                               std::to_string(kSegHeaderSize + pos) + " in '" +
+                               path + "'");
+        break;
+      }
+      pos += kFrameHeaderSize + len;
+    }
+  }
+  Status c = file->Close();
+  if (!s.ok()) return s;
+  DMX_RETURN_IF_ERROR(c);
+  if (out != nullptr) *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace dmx

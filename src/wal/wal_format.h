@@ -1,0 +1,82 @@
+// On-disk WAL format shared by the LogManager, the archiver, the backup
+// subsystem, and the offline dmx_backup_verify tool.
+//
+// Live log file:
+//   header (24 bytes): u32 magic "DMXL" | u64 base_lsn | u32 generation |
+//                      u32 crc of the preceding 16 bytes | u32 pad
+//   frames:            u32 length | u32 crc | body
+//
+// Sealed segment file (`<wal>.NNNNNN.seg`, produced by LogManager::Rotate):
+//   header (40 bytes): u32 magic "DMXS" | u32 seqno | u64 base_lsn |
+//                      u64 end_lsn | u32 generation |
+//                      u32 crc of the preceding 28 bytes | u64 pad
+//   frames:            copied verbatim from the live log; their crcs carry
+//                      the generation recorded in the segment header
+//
+// A segment's frames cover the LSN range (base_lsn, end_lsn]; the frame at
+// body offset `pos` has LSN base_lsn + pos + 1 — the same arithmetic as the
+// live file, so a sealed segment is simply a frozen prefix of history.
+
+#ifndef DMX_WAL_WAL_FORMAT_H_
+#define DMX_WAL_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/common.h"
+#include "src/util/env.h"
+#include "src/util/status.h"
+
+namespace dmx {
+
+constexpr size_t kLogHeaderSize = 24;
+constexpr size_t kFrameHeaderSize = 8;       // u32 length | u32 crc
+constexpr uint32_t kLogMagic = 0x444D584C;   // "DMXL"
+constexpr size_t kSegHeaderSize = 40;
+constexpr uint32_t kSegMagic = 0x444D5853;   // "DMXS"
+
+/// CRC32C over the owning generation number followed by the frame body.
+/// Mixing the generation in lets replay distinguish a stale pre-truncation
+/// frame (crc matches an older generation) from genuine corruption.
+uint32_t WalFrameCrc(uint32_t gen, const char* body, size_t n);
+
+/// Append the kLogHeaderSize-byte live-log header for an empty-or-resumed
+/// log with the given base LSN and generation. Restore materializes the
+/// tail of a reconstructed WAL chain as a live file with this.
+void EncodeLiveHeader(Lsn base_lsn, uint32_t gen, std::string* out);
+
+/// Decode a live-log header (magic + checksum verified).
+Status DecodeLiveHeader(const char* buf, Lsn* base_lsn, uint32_t* gen);
+
+/// Parsed segment header.
+struct SegmentHeader {
+  uint32_t seqno = 0;
+  Lsn base_lsn = 0;  // frames cover (base_lsn, end_lsn]
+  Lsn end_lsn = 0;
+  uint32_t gen = 0;
+};
+
+/// Append the kSegHeaderSize-byte encoding of `hdr` to `*out`.
+void EncodeSegmentHeader(const SegmentHeader& hdr, std::string* out);
+
+/// Decode a segment header from `buf` (must hold kSegHeaderSize bytes).
+/// Corruption on bad magic or checksum.
+Status DecodeSegmentHeader(const char* buf, SegmentHeader* out);
+
+/// `<wal_basename>.NNNNNN.seg` for seqno NNNNNN.
+std::string SegmentFileName(const std::string& wal_basename, uint32_t seqno);
+
+/// True (and sets *seqno) when `name` is a segment of the named live log.
+bool ParseSegmentName(const std::string& name, const std::string& wal_basename,
+                      uint32_t* seqno);
+
+/// Full offline verification of a sealed segment: header magic + checksum,
+/// body length against the header's LSN range, and every frame's crc under
+/// the header's generation. Used by the archiver before a segment is copied
+/// into the archive, and by restore/dmx_backup_verify before replay.
+Status VerifySegmentFile(Env* env, const std::string& path,
+                         SegmentHeader* out);
+
+}  // namespace dmx
+
+#endif  // DMX_WAL_WAL_FORMAT_H_

@@ -1,0 +1,542 @@
+// Online backup, WAL archiving, and point-in-time restore tests: the
+// backup/restore round trip with writers active, restore-to-LSN against an
+// in-memory oracle, every documented refusal path (interrupted backups,
+// corrupt files, bad targets, archive chain gaps), the SQL surface and its
+// superuser gate, the offline verifier, and a randomized power-loss
+// torture cycle asserting a backup is always either restorable or cleanly
+// rejected — never silently inconsistent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/backup.h"
+#include "src/core/database.h"
+#include "src/query/sql.h"
+#include "src/util/fault_env.h"
+#include "src/wal/archiver.h"
+#include "tests/test_util.h"
+
+namespace dmx {
+namespace {
+
+using testing::TempDir;
+
+class BackupRestoreTest : public ::testing::Test {
+ protected:
+  BackupRestoreTest() : dir_("backup") {
+    options_.dir = dir_.path() + "/db";
+    options_.wal_archive_dir = dir_.path() + "/archive";
+    // Large segment target + slow poll: rotation and archiving happen
+    // only when the test drives them, so LSN math stays deterministic.
+    options_.wal_segment_bytes = 64ull << 20;
+    options_.wal_archive_poll_us = 500000;
+    Open();
+  }
+
+  void Open() {
+    ASSERT_TRUE(Database::Open(options_, &db_).ok());
+    session_ = std::make_unique<Session>(db_.get());
+  }
+
+  QueryResult Must(const std::string& sql) {
+    QueryResult result;
+    Status s = session_->Execute(sql, &result);
+    EXPECT_TRUE(s.ok()) << sql << " -> " << s.ToString();
+    return result;
+  }
+
+  Status Try(const std::string& sql, QueryResult* result = nullptr) {
+    QueryResult local;
+    return session_->Execute(sql, result ? result : &local);
+  }
+
+  /// Seal the live log and push every sealed segment into the archive.
+  /// Commits leave the transaction's kEnd record buffered (it needs no
+  /// force), so flush first; retry absorbs a racing group flush.
+  void RotateAndArchive() {
+    Status s;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      ASSERT_TRUE(db_->log()->FlushAll().ok());
+      s = db_->log()->Rotate();
+      if (!s.IsBusy()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_TRUE(db_->archiver()->ArchivePending().ok());
+  }
+
+  /// Open `db_dir` read-only-ish and collect t's keys.
+  static std::set<int64_t> RowsIn(const std::string& db_dir) {
+    DatabaseOptions o;
+    o.dir = db_dir;
+    std::unique_ptr<Database> db;
+    Status s = Database::Open(o, &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) return {};
+    Session session(db.get());
+    QueryResult r;
+    EXPECT_TRUE(session.Execute("SELECT k FROM t", &r).ok());
+    std::set<int64_t> keys;
+    for (const auto& row : r.rows) keys.insert(row[0].int_value());
+    return keys;
+  }
+
+  static std::set<int64_t> Iota(int64_t n) {
+    std::set<int64_t> keys;
+    for (int64_t i = 0; i < n; ++i) keys.insert(i);
+    return keys;
+  }
+
+  std::string Sub(const std::string& name) { return dir_.path() + "/" + name; }
+
+  TempDir dir_;
+  DatabaseOptions options_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(BackupRestoreTest, RoundTripCapturesStateAsOfBackup) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  for (int i = 0; i < 8; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  BackupResult result;
+  ASSERT_TRUE(db_->Backup(Sub("b1"), &result).ok());
+  EXPECT_GT(result.end_lsn, result.begin_lsn);
+  EXPECT_GT(result.pages, 0u);
+  EXPECT_GE(result.files, 3u);  // db.pages, catalog, wal at minimum
+  EXPECT_EQ(db_->last_backup_lsn(), result.end_lsn);
+
+  // Post-backup writes stay out of the backup.
+  for (int i = 8; i < 12; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  Lsn replayed = 0;
+  RestoreOptions opts;
+  opts.backup_dir = Sub("b1");
+  opts.target_dir = Sub("r1");
+  ASSERT_TRUE(Database::Restore(opts, &replayed).ok());
+  EXPECT_GE(replayed, result.end_lsn);
+  EXPECT_EQ(RowsIn(Sub("r1")), Iota(8));
+  // The source database is untouched.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM t").rows[0][0].int_value(), 12);
+}
+
+TEST_F(BackupRestoreTest, BackupRunsWithWritersActive) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  std::atomic<int64_t> committed{0};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t k = 0;
+    while (!stop.load()) {
+      Transaction* txn = db_->Begin();
+      Status s = db_->Insert(txn, "t", {Value::Int(k)});
+      if (s.ok()) s = db_->Commit(txn);
+      else (void)db_->Abort(txn);
+      if (!s.ok()) break;
+      committed.store(++k);
+    }
+  });
+  while (committed.load() < 5) std::this_thread::yield();
+  const int64_t before = committed.load();
+  BackupResult result;
+  const Status bs = db_->Backup(Sub("b"), &result);
+  stop.store(true);
+  writer.join();
+  ASSERT_TRUE(bs.ok()) << bs.ToString();
+
+  // The backup is a consistent prefix of the commit sequence: at least
+  // everything committed before it began, nothing uncommitted.
+  RestoreOptions opts;
+  opts.backup_dir = Sub("b");
+  opts.target_dir = Sub("r");
+  opts.target_lsn = result.end_lsn;
+  ASSERT_TRUE(Database::Restore(opts).ok());
+  std::set<int64_t> rows = RowsIn(Sub("r"));
+  EXPECT_GE(static_cast<int64_t>(rows.size()), before);
+  EXPECT_LE(static_cast<int64_t>(rows.size()), committed.load());
+  EXPECT_EQ(rows, Iota(static_cast<int64_t>(rows.size())));
+}
+
+TEST_F(BackupRestoreTest, PointInTimeRestoreMatchesOracle) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  Must("INSERT INTO t VALUES (0)");
+  BackupResult backup;
+  ASSERT_TRUE(db_->Backup(Sub("b"), &backup).ok());
+
+  // Oracle: after commit i the database holds exactly keys 0..i, and the
+  // flushed LSN is a point-in-time marker for that state.
+  constexpr int kCommits = 12;
+  std::vector<Lsn> marker(kCommits + 1, 0);
+  for (int i = 1; i <= kCommits; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+    marker[i] = db_->log()->flushed_lsn();
+    if (i % 4 == 0) RotateAndArchive();  // markers span several segments
+  }
+  RotateAndArchive();  // the whole history is now in the archive
+
+  // Restore exactly to the backup's consistency point: the live copy
+  // serves, no archive needed.
+  {
+    RestoreOptions opts;
+    opts.backup_dir = Sub("b");
+    opts.target_dir = Sub("r0");
+    opts.target_lsn = backup.end_lsn;
+    Lsn replayed = 0;
+    ASSERT_TRUE(Database::Restore(opts, &replayed).ok());
+    EXPECT_LE(replayed, backup.end_lsn);
+    EXPECT_EQ(RowsIn(Sub("r0")), Iota(1));
+  }
+  // Roll forward through the archived chain to each marker.
+  for (int i = 1; i <= kCommits; ++i) {
+    RestoreOptions opts;
+    opts.backup_dir = Sub("b");
+    opts.target_dir = Sub("r" + std::to_string(i));
+    opts.archive_dir = options_.wal_archive_dir;
+    opts.target_lsn = marker[i];
+    Lsn replayed = 0;
+    ASSERT_TRUE(Database::Restore(opts, &replayed).ok())
+        << "restore to marker " << i;
+    EXPECT_LE(replayed, marker[i]);
+    EXPECT_EQ(RowsIn(opts.target_dir), Iota(i + 1)) << "marker " << i;
+  }
+  // Target 0: everything the archive has.
+  {
+    RestoreOptions opts;
+    opts.backup_dir = Sub("b");
+    opts.target_dir = Sub("rall");
+    opts.archive_dir = options_.wal_archive_dir;
+    ASSERT_TRUE(Database::Restore(opts).ok());
+    EXPECT_EQ(RowsIn(Sub("rall")), Iota(kCommits + 1));
+  }
+}
+
+TEST_F(BackupRestoreTest, RestoreRefusals) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  Must("INSERT INTO t VALUES (1)");
+  BackupResult backup;
+  ASSERT_TRUE(db_->Backup(Sub("b"), &backup).ok());
+
+  RestoreOptions opts;
+  opts.backup_dir = Sub("b");
+
+  // Not a backup directory (no MANIFEST) — e.g. an interrupted backup.
+  ASSERT_TRUE(Env::Default()->CreateDir(Sub("not_backup")).ok());
+  opts.backup_dir = Sub("not_backup");
+  opts.target_dir = Sub("x1");
+  EXPECT_TRUE(Database::Restore(opts).IsInvalidArgument());
+  opts.backup_dir = Sub("b");
+
+  // A non-empty target: refuse, never overwrite.
+  ASSERT_TRUE(Env::Default()->CreateDir(Sub("x2")).ok());
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(Sub("x2") + "/junk", "j").ok());
+  opts.target_dir = Sub("x2");
+  EXPECT_TRUE(Database::Restore(opts).IsInvalidArgument());
+
+  // A target LSN before the backup's consistency point.
+  opts.target_dir = Sub("x3");
+  opts.target_lsn = backup.end_lsn - 1;
+  EXPECT_TRUE(Database::Restore(opts).IsInvalidArgument());
+  opts.target_lsn = 0;
+
+  // A corrupt page copy: the manifest CRC catches it.
+  {
+    std::unique_ptr<RandomAccessFile> f;
+    ASSERT_TRUE(
+        Env::Default()->NewRandomAccessFile(Sub("b") + "/db.pages", false, &f)
+            .ok());
+    char byte = 0;
+    size_t n = 0;
+    ASSERT_TRUE(f->Read(64, 1, &byte, &n).ok());
+    byte = static_cast<char>(byte ^ 0x01);
+    ASSERT_TRUE(f->Write(64, &byte, 1).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  opts.target_dir = Sub("x4");
+  EXPECT_TRUE(Database::Restore(opts).IsCorruption());
+}
+
+TEST_F(BackupRestoreTest, RestoreRefusesArchiveChainGap) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  Must("INSERT INTO t VALUES (0)");
+  BackupResult backup;
+  ASSERT_TRUE(db_->Backup(Sub("b"), &backup).ok());
+  // Three archived segments past the backup.
+  for (int i = 1; i <= 3; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+    RotateAndArchive();
+  }
+  const Lsn target = db_->log()->flushed_lsn();
+  // Punch a hole in the middle of the archived chain.
+  std::vector<std::string> names;
+  ASSERT_TRUE(
+      Env::Default()->ListDir(options_.wal_archive_dir, &names).ok());
+  std::sort(names.begin(), names.end());
+  ASSERT_GE(names.size(), 2u);
+  ASSERT_TRUE(Env::Default()
+                  ->DeleteFile(options_.wal_archive_dir + "/" + names[1])
+                  .ok());
+
+  RestoreOptions opts;
+  opts.backup_dir = Sub("b");
+  opts.target_dir = Sub("x");
+  opts.archive_dir = options_.wal_archive_dir;
+  opts.target_lsn = target;
+  const Status s = Database::Restore(opts);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("no archived segment begins at lsn"),
+            std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(BackupRestoreTest, SqlSurfaceAndDescribe) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  Must("INSERT INTO t VALUES (1), (2), (3)");
+
+  // Superuser only — for both statements.
+  session_->set_user("mallory");
+  EXPECT_TRUE(Try("BACKUP TO '" + Sub("b") + "'").IsConstraint());
+  EXPECT_TRUE(
+      Try("RESTORE FROM '" + Sub("b") + "' INTO '" + Sub("r") + "'")
+          .IsConstraint());
+  session_->set_user("");
+
+  QueryResult r = Must("BACKUP TO '" + Sub("b") + "'");
+  EXPECT_NE(r.message.find("lsn"), std::string::npos);
+
+  // DESCRIBE surfaces the backup point and the archive lag.
+  r = Must("DESCRIBE t");
+  bool saw_backup = false, saw_lag = false;
+  for (const auto& row : r.rows) {
+    if (row[0].string_value() == "db.last_backup_lsn") saw_backup = true;
+    if (row[0].string_value() == "db.archive_lag") saw_lag = true;
+  }
+  EXPECT_TRUE(saw_backup);
+  EXPECT_TRUE(saw_lag);
+  EXPECT_NE(db_->MetricsSnapshot().find("backup.last_lsn"),
+            std::string::npos);
+
+  r = Must("RESTORE FROM '" + Sub("b") + "' INTO '" + Sub("r") + "' ARCHIVE '" +
+           options_.wal_archive_dir + "'");
+  EXPECT_NE(r.message.find("replayed through lsn"), std::string::npos);
+  EXPECT_EQ(RowsIn(Sub("r")), (std::set<int64_t>{1, 2, 3}));
+
+  // TO LSN parses and refuses a pre-backup target.
+  EXPECT_TRUE(
+      Try("RESTORE FROM '" + Sub("b") + "' INTO '" + Sub("r2") +
+          "' TO LSN 1")
+          .IsInvalidArgument());
+}
+
+TEST_F(BackupRestoreTest, VerifierAcceptsFreshAndRejectsDamagedBackups) {
+  Must("CREATE TABLE t (k INT NOT NULL)");
+  Must("INSERT INTO t VALUES (1)");
+  RotateAndArchive();  // the backup also carries a sealed segment
+  Must("INSERT INTO t VALUES (2)");
+  ASSERT_TRUE(db_->Backup(Sub("b"), nullptr).ok());
+
+  std::string report;
+  ASSERT_TRUE(VerifyBackupDir(Env::Default(), Sub("b"), &report).ok())
+      << report;
+  EXPECT_NE(report.find("db.pages"), std::string::npos);
+  EXPECT_NE(report.find("wal"), std::string::npos);
+
+  // Damage one byte of the catalog copy: verification must fail.
+  std::string catalog;
+  ASSERT_TRUE(
+      Env::Default()->ReadFileToString(Sub("b") + "/catalog", &catalog).ok());
+  catalog[catalog.size() / 2] =
+      static_cast<char>(catalog[catalog.size() / 2] ^ 0x10);
+  ASSERT_TRUE(
+      Env::Default()->WriteFileAtomic(Sub("b") + "/catalog", catalog).ok());
+  EXPECT_TRUE(
+      VerifyBackupDir(Env::Default(), Sub("b"), nullptr).IsCorruption());
+
+  // A missing listed file is detected too.
+  catalog[catalog.size() / 2] =
+      static_cast<char>(catalog[catalog.size() / 2] ^ 0x10);
+  ASSERT_TRUE(
+      Env::Default()->WriteFileAtomic(Sub("b") + "/catalog", catalog).ok());
+  ASSERT_TRUE(VerifyBackupDir(Env::Default(), Sub("b"), nullptr).ok());
+  ASSERT_TRUE(Env::Default()->DeleteFile(Sub("b") + "/db.pages").ok());
+  EXPECT_FALSE(VerifyBackupDir(Env::Default(), Sub("b"), nullptr).ok());
+
+  // A truncated manifest (interrupted backup) is Corruption, not success.
+  std::string manifest;
+  ASSERT_TRUE(Env::Default()
+                  ->ReadFileToString(Sub("b") + "/MANIFEST", &manifest)
+                  .ok());
+  ASSERT_TRUE(Env::Default()
+                  ->WriteFileAtomic(Sub("b") + "/MANIFEST",
+                                    manifest.substr(0, manifest.size() / 2))
+                  .ok());
+  EXPECT_FALSE(VerifyBackupDir(Env::Default(), Sub("b"), nullptr).ok());
+}
+
+// -- randomized power-loss torture -------------------------------------------
+
+Schema KSchema() { return Schema({{"k", TypeId::kInt64, false}}); }
+
+TEST(BackupRestoreTortureTest, PowerLossLeavesBackupsUsableOrCleanlyRejected) {
+  uint64_t seed = 0xBACC09;
+  if (const char* s = std::getenv("DMX_TORTURE_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+  std::mt19937_64 rng(seed);
+
+  TempDir dir("bktorture");
+  FaultInjectionEnv env;
+  env.SetSeed(seed);
+  DatabaseOptions options;
+  options.dir = dir.path() + "/db";
+  options.env = &env;
+  options.wal_archive_dir = dir.path() + "/archive";
+  options.wal_segment_bytes = 64ull << 20;  // rotation driven by the test
+  options.wal_archive_poll_us = 500000;
+
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(options, &db).ok());
+  {
+    Transaction* ddl = db->Begin();
+    ASSERT_TRUE(db->CreateRelation(ddl, "t", KSchema(), "heap", {}).ok());
+    ASSERT_TRUE(db->Commit(ddl).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // the DDL is durable
+  }
+
+  // The oracle: the exact set of committed keys. Keys whose commit failed
+  // are skipped, never reused, so the set can have holes across cycles.
+  std::set<int64_t> committed;
+  int64_t next_key = 0;
+  struct BackupRecord {
+    std::string dir;
+    Status status = Status::OK();
+    std::set<int64_t> oracle;  // committed keys at the backup's end
+  };
+  std::vector<BackupRecord> backups;
+
+  auto insert_some = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Transaction* txn = db->Begin();
+      Status s = db->Insert(txn, "t", {Value::Int(next_key)});
+      if (s.ok()) {
+        s = db->Commit(txn);
+      } else {
+        (void)db->Abort(txn);
+      }
+      // Dead-disk model: commit OK => durable; commit failed => the
+      // commit record never synced and nothing later syncs, so the key
+      // is not durable.
+      if (s.ok()) committed.insert(next_key);
+      ++next_key;
+    }
+  };
+
+  constexpr int kCycles = 5;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    insert_some(2 + static_cast<int>(rng() % 4));
+    if (rng() % 2 == 0) {
+      (void)db->log()->FlushAll();
+      (void)db->log()->Rotate();
+      (void)db->archiver()->ArchivePending();
+    }
+    // Kill the disk after a random number of syncs: the countdown may
+    // expire mid-backup, mid-rotation, or during later commits.
+    env.SetSyncFailAfter(static_cast<int64_t>(rng() % 14));
+    BackupRecord rec;
+    rec.dir = dir.path() + "/backup" + std::to_string(cycle);
+    rec.status = db->Backup(rec.dir, nullptr);
+    rec.oracle = committed;
+    backups.push_back(rec);
+    insert_some(2 + static_cast<int>(rng() % 3));
+    if (rng() % 2 == 0) {
+      (void)db->log()->FlushAll();
+      (void)db->log()->Rotate();  // mid-rotation disk death is in scope
+    }
+
+    // Power loss + restart.
+    db->SimulateCrashOnClose();
+    db.reset();
+    ASSERT_TRUE(env.DropUnsyncedWrites().ok());
+    env.ClearFaults();
+    ASSERT_TRUE(Database::Open(options, &db).ok()) << "cycle " << cycle;
+
+    // Exactly the committed keys survive.
+    {
+      Transaction* txn = db->Begin();
+      std::unique_ptr<Scan> scan;
+      ASSERT_TRUE(db->OpenScan(txn, "t", AccessPathId::StorageMethod(),
+                               ScanSpec{}, &scan)
+                      .ok());
+      std::set<int64_t> found;
+      ScanItem item;
+      while (scan->Next(&item).ok()) found.insert(item.view.GetInt(0));
+      scan.reset();
+      (void)db->Commit(txn);
+      ASSERT_EQ(found, committed) << "cycle " << cycle << " seed " << seed;
+    }
+  }
+  db->SimulateCrashOnClose();
+  db.reset();
+
+  // Every backup attempt is either verifiably restorable — yielding
+  // exactly the oracle prefix at its consistency point — or it is
+  // rejected by the verifier AND by restore. Nothing in between.
+  int usable = 0;
+  for (size_t i = 0; i < backups.size(); ++i) {
+    const BackupRecord& rec = backups[i];
+    const std::string target = dir.path() + "/restored" + std::to_string(i);
+    if (rec.status.ok()) {
+      std::string report;
+      ASSERT_TRUE(VerifyBackupDir(Env::Default(), rec.dir, &report).ok())
+          << rec.dir << "\n"
+          << report;
+      BackupManifest m;
+      ASSERT_TRUE(LoadBackupManifest(Env::Default(), rec.dir, &m).ok());
+      RestoreOptions opts;
+      opts.backup_dir = rec.dir;
+      opts.target_dir = target;
+      opts.target_lsn = m.end_lsn;
+      ASSERT_TRUE(Database::Restore(opts).ok()) << rec.dir;
+      DatabaseOptions ro;
+      ro.dir = target;
+      std::unique_ptr<Database> rdb;
+      ASSERT_TRUE(Database::Open(ro, &rdb).ok());
+      Transaction* txn = rdb->Begin();
+      std::unique_ptr<Scan> scan;
+      ASSERT_TRUE(rdb->OpenScan(txn, "t", AccessPathId::StorageMethod(),
+                                ScanSpec{}, &scan)
+                      .ok());
+      std::set<int64_t> found;
+      ScanItem item;
+      while (scan->Next(&item).ok()) found.insert(item.view.GetInt(0));
+      scan.reset();
+      (void)rdb->Commit(txn);
+      ASSERT_EQ(found, rec.oracle) << rec.dir << " seed " << seed;
+      ++usable;
+    } else {
+      // A failed backup must be cleanly rejected, not half-usable.
+      EXPECT_FALSE(VerifyBackupDir(Env::Default(), rec.dir, nullptr).ok())
+          << rec.dir;
+      RestoreOptions opts;
+      opts.backup_dir = rec.dir;
+      opts.target_dir = target;
+      EXPECT_FALSE(Database::Restore(opts).ok()) << rec.dir;
+    }
+  }
+  // The fault schedule guarantees nothing about how many backups succeed;
+  // just record the split for the log.
+  SUCCEED() << usable << "/" << backups.size() << " backups usable";
+}
+
+}  // namespace
+}  // namespace dmx

@@ -871,5 +871,16 @@ TEST_F(DatabaseTest, ChangeStorageMethodKeepsDataAndName) {
   EXPECT_EQ(ScanIds("employee").size(), 25u);
 }
 
+TEST(DatabaseOpenTest, FailedOpenReturnsStatusWithoutCrashing) {
+  // A missing parent directory fails CreateDir before any subsystem is
+  // wired up; destroying the half-built Database must be harmless.
+  testing::TempDir dir("openfail");
+  DatabaseOptions options;
+  options.dir = dir.path() + "/missing/parent/db";
+  std::unique_ptr<Database> db;
+  EXPECT_FALSE(Database::Open(options, &db).ok());
+  EXPECT_EQ(db, nullptr);
+}
+
 }  // namespace
 }  // namespace dmx

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "src/util/crc32c.h"
 #include "src/util/env.h"
@@ -123,6 +125,22 @@ TEST(EnvTest, FileNamespaceOperations) {
   ASSERT_TRUE(env->DeleteFile(path + "2").ok());
   EXPECT_TRUE(env->FileExists(path + "2").IsNotFound());
   ASSERT_TRUE(env->SyncDir(dir.path()).ok());
+}
+
+TEST(EnvTest, LinkOrCopyFileCopiesAndRefusesOverwrite) {
+  TempDir dir("env3");
+  Env* env = Env::Default();
+  const std::string src = dir.path() + "/src";
+  const std::string dst = dir.path() + "/dst";
+  const std::string payload(100000, 'q');  // spans multiple copy chunks
+  ASSERT_TRUE(env->WriteFileAtomic(src, payload).ok());
+  ASSERT_TRUE(env->LinkOrCopyFile(src, dst).ok());
+  std::string copied;
+  ASSERT_TRUE(env->ReadFileToString(dst, &copied).ok());
+  EXPECT_EQ(copied, payload);
+  // An existing target is never clobbered: archived segments are immutable.
+  EXPECT_TRUE(env->LinkOrCopyFile(src, dst).IsIOError());
+  EXPECT_FALSE(env->LinkOrCopyFile(dir.path() + "/nope", dst + "2").ok());
 }
 
 // -- FaultInjectionEnv -------------------------------------------------------
@@ -254,6 +272,63 @@ TEST_F(FaultEnvTest, WriteFileAtomicIsDurableOrFails) {
   env_.ClearFaults();
   ASSERT_TRUE(env_.DropUnsyncedWrites().ok());
   EXPECT_EQ(ReadBase("f"), "v1");
+}
+
+TEST_F(FaultEnvTest, ListDirSeesWrappedFileOperations) {
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile(Path("a"), true, &f).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env_.WriteFileAtomic(Path("b"), "x").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(env_.ListDir(dir_.path(), &names).ok());
+  EXPECT_NE(std::find(names.begin(), names.end(), "a"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "b"), names.end());
+  // WriteFileAtomic leaves no .tmp staging entry behind.
+  for (const std::string& n : names) {
+    EXPECT_EQ(n.find(".tmp"), std::string::npos) << n;
+  }
+  ASSERT_TRUE(env_.DeleteFile(Path("a")).ok());
+  names.clear();
+  ASSERT_TRUE(env_.ListDir(dir_.path(), &names).ok());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "a"), names.end());
+  EXPECT_FALSE(env_.ListDir(Path("missing"), &names).ok());
+}
+
+// The archiver copies sealed segments with LinkOrCopyFile; the wrapper
+// deliberately leaves it to the Env base class so every byte funnels
+// through the wrapped read/write/sync hooks below.
+TEST_F(FaultEnvTest, LinkOrCopyFileHitsFaultTriggers) {
+  ASSERT_TRUE(env_.WriteFileAtomic(Path("src"), "segment-bytes").ok());
+  env_.SetTransientWriteFaults(1);
+  Status s = env_.LinkOrCopyFile(Path("src"), Path("dst"));
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(s.IsRetryable());
+  // The burst auto-cleared; the retry succeeds and reads back intact.
+  ASSERT_TRUE(env_.DeleteFile(Path("dst")).ok());
+  ASSERT_TRUE(env_.LinkOrCopyFile(Path("src"), Path("dst")).ok());
+  EXPECT_EQ(ReadBase("dst"), "segment-bytes");
+
+  env_.SetTransientReadFaults(1);
+  EXPECT_TRUE(env_.LinkOrCopyFile(Path("src"), Path("dst2")).IsIOError());
+  env_.SetWriteFailAfter(0);
+  EXPECT_TRUE(env_.LinkOrCopyFile(Path("src"), Path("dst3")).IsIOError());
+  EXPECT_TRUE(env_.dead_disk());
+  env_.ClearFaults();
+}
+
+TEST_F(FaultEnvTest, LinkOrCopyFileCopyNeedsDirSyncToSurvivePowerLoss) {
+  ASSERT_TRUE(env_.WriteFileAtomic(Path("src"), "payload").ok());
+  // First copy: file data synced but the directory entry never made
+  // durable — power loss deletes it (why the archiver syncs the archive
+  // dir after each rename).
+  ASSERT_TRUE(env_.LinkOrCopyFile(Path("src"), Path("lost")).ok());
+  ASSERT_TRUE(env_.DropUnsyncedWrites().ok());
+  EXPECT_TRUE(env_.FileExists(Path("lost")).IsNotFound());
+  // Second copy followed by SyncDir survives.
+  ASSERT_TRUE(env_.LinkOrCopyFile(Path("src"), Path("kept")).ok());
+  ASSERT_TRUE(env_.SyncDir(dir_.path()).ok());
+  ASSERT_TRUE(env_.DropUnsyncedWrites().ok());
+  EXPECT_EQ(ReadBase("kept"), "payload");
 }
 
 TEST_F(FaultEnvTest, SyncsAndWritesAreCounted) {

@@ -1,0 +1,51 @@
+# End-to-end backup smoke test, run as a ctest:
+#
+#   populate a database (example_shell --demo), back it up online
+#   (dmx_backup), verify the backup offline (dmx_backup_verify), then
+#   damage the manifest and check the verifier refuses it.
+#
+# Expects -DSHELL=, -DBACKUP_TOOL=, -DVERIFY_TOOL=, -DWORK_DIR=.
+
+foreach(var SHELL BACKUP_TOOL VERIFY_TOOL WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "backup_smoke.cmake: -D${var}= is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(db_dir "${WORK_DIR}/db")
+set(backup_dir "${WORK_DIR}/backup")
+
+execute_process(COMMAND "${SHELL}" --demo "${db_dir}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "example_shell --demo failed (${rc})")
+endif()
+
+execute_process(COMMAND "${BACKUP_TOOL}" "${db_dir}" "${backup_dir}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmx_backup failed (${rc})")
+endif()
+message(STATUS "${out}")
+
+execute_process(COMMAND "${VERIFY_TOOL}" "${backup_dir}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmx_backup_verify rejected a fresh backup (${rc})")
+endif()
+
+# Flip one byte of the manifest: the verifier must refuse the backup.
+file(READ "${backup_dir}/MANIFEST" manifest)
+string(REPLACE "dmx-backup-manifest" "dmx-backup-manifesX" manifest
+       "${manifest}")
+file(WRITE "${backup_dir}/MANIFEST" "${manifest}")
+execute_process(COMMAND "${VERIFY_TOOL}" "${backup_dir}"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "verifier accepted a backup with a damaged MANIFEST")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "backup smoke: ok")

@@ -1,0 +1,34 @@
+// dmx_backup_verify: offline verification of a dmx backup directory.
+//
+// Checks everything a restore would check, without writing anything:
+// manifest presence + self-checksum, every listed file's size and CRC32C,
+// structural verification of each WAL segment and of the live log copy
+// (frame-by-frame), and contiguity of the captured WAL chain through the
+// backup's end LSN. Exit 0 = the backup is restorable; exit 1 = it is not
+// (the first problem is printed); exit 2 = usage error.
+//
+// Run it from cron against fresh backups: a backup that cannot be restored
+// should be discovered the night it was taken, not during an outage.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/backup.h"
+#include "src/util/env.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    fprintf(stderr, "usage: %s <backup-dir>\n", argv[0]);
+    return 2;
+  }
+  std::string report;
+  const dmx::Status s =
+      dmx::VerifyBackupDir(dmx::Env::Default(), argv[1], &report);
+  fputs(report.c_str(), stdout);
+  if (!s.ok()) {
+    fprintf(stderr, "FAIL: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("OK: backup '%s' verifies clean\n", argv[1]);
+  return 0;
+}
