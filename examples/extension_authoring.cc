@@ -179,6 +179,33 @@ Status StripedCount(SmContext& ctx, uint64_t* n) {
   return Status::OK();
 }
 
+// Consistency sweep: every key must carry its stripe's tag byte and a
+// counter the allocator has actually handed out. Findings go into the
+// report — a verify pass surveys the whole structure instead of
+// stopping at the first bad entry.
+Status StripedVerify(SmContext& ctx, VerifyReport* report) {
+  auto* st = static_cast<StripedState*>(ctx.state);
+  for (int stripe = 0; stripe < 2; ++stripe) {
+    for (const auto& [key, record] : st->stripes[stripe]) {
+      ++report->items;
+      if (key.size() != 9 || key[0] != static_cast<char>(stripe)) {
+        report->Problem("malformed key in stripe " +
+                        std::to_string(stripe));
+        continue;
+      }
+      uint64_t n = 0;
+      for (int i = 1; i < 9; ++i) {
+        n = (n << 8) | static_cast<unsigned char>(key[i]);
+      }
+      if (n >= st->next) {
+        report->Problem("key counter " + std::to_string(n) +
+                        " beyond allocator high-water mark");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 const SmOps& StripedOps() {
   static const SmOps ops = [] {
     SmOps o;
@@ -196,6 +223,7 @@ const SmOps& StripedOps() {
     o.undo = StripedNoRecovery;
     o.redo = StripedNoRecovery;
     o.count = StripedCount;
+    o.verify = StripedVerify;
     return o;
   }();
   return ops;
@@ -225,6 +253,17 @@ Status AuditDropInstance(AtContext&, uint32_t, std::string* new_desc) {
   return Status::OK();
 }
 
+// The counter map is global, so the per-relation state is just a marker
+// (a null state would make the engine re-run open on every dispatch).
+Status AuditOpen(AtContext&, std::unique_ptr<ExtState>* state) {
+  *state = std::make_unique<ExtState>();
+  return Status::OK();
+}
+
+uint32_t AuditInstanceCount(const Slice& at_desc) {
+  return at_desc.empty() ? 0 : 1;  // "A" marker = the one instance
+}
+
 Status AuditOnInsert(AtContext& ctx, const Slice&, const Slice&) {
   ++AuditCounts()[ctx.desc->id];
   return Status::OK();
@@ -251,6 +290,8 @@ const AtOps& AuditOps() {
     o.name = "audit";
     o.create_instance = AuditCreateInstance;
     o.drop_instance = AuditDropInstance;
+    o.open = AuditOpen;
+    o.instance_count = AuditInstanceCount;
     o.on_insert = AuditOnInsert;
     o.on_update = AuditOnUpdate;
     o.on_delete = AuditOnDelete;

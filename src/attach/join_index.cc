@@ -66,7 +66,7 @@ struct JoinData {
     auto it = sides.find(jk);
     if (it == sides.end()) return false;
     const auto& s = side == 1 ? it->second.first : it->second.second;
-    return s.count(rkey) > 0;
+    return s.contains(rkey);
   }
   size_t SideCount(int side) {
     MutexLock lock(&mu);

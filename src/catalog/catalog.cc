@@ -9,6 +9,9 @@ Status Catalog::Load(const std::string& path, Env* env) {
   env_ = env != nullptr ? env : Env::Default();
   path_ = path;
   std::string data;
+  // Startup read before the catalog is shared; mu_ only guards against
+  // a racing early Save.
+  // deeplint: allow(blocking-under-lock, startup read precedes sharing)
   Status read = env_->ReadFileToString(path, &data);
   if (read.IsNotFound()) return Status::OK();  // fresh database
   DMX_RETURN_IF_ERROR(read);
@@ -38,12 +41,15 @@ Status Catalog::Save() const {
   for (const auto& [id, desc] : by_id_) {
     desc->EncodeTo(&data);
   }
+  // Rename order must match snapshot order: two unlocked Saves could
+  // land their renames newest-first.
+  // deeplint: allow(blocking-under-lock, rename order must match mu_)
   return env_->WriteFileAtomic(path_, data);
 }
 
 Status Catalog::AddRelation(RelationDescriptor desc, RelationId* id) {
   MutexLock lock(&mu_);
-  if (by_name_.count(desc.name)) {
+  if (by_name_.contains(desc.name)) {
     return Status::InvalidArgument("relation '" + desc.name +
                                    "' already exists");
   }
@@ -69,7 +75,7 @@ Status Catalog::RemoveRelation(RelationId id, RelationDescriptor* removed) {
 
 Status Catalog::RestoreRelation(RelationDescriptor desc) {
   MutexLock lock(&mu_);
-  if (by_id_.count(desc.id) || by_name_.count(desc.name)) {
+  if (by_id_.contains(desc.id) || by_name_.contains(desc.name)) {
     return Status::InvalidArgument("restore collides");
   }
   by_name_[desc.name] = desc.id;
@@ -115,7 +121,7 @@ Status Catalog::RenameRelation(RelationId id, const std::string& new_name) {
   if (it == by_id_.end()) {
     return Status::NotFound("relation id " + std::to_string(id));
   }
-  if (by_name_.count(new_name)) {
+  if (by_name_.contains(new_name)) {
     return Status::InvalidArgument("relation '" + new_name +
                                    "' already exists");
   }

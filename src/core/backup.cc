@@ -507,6 +507,7 @@ Status Database::Restore(const RestoreOptions& options, Lsn* replayed_to) {
           char hdr[kSegHeaderSize];
           size_t n = 0;
           Status hr = file->Read(0, kSegHeaderSize, hdr, &n);
+          // Read-only header probe; hr carries the outcome.
           (void)file->Close();
           DMX_RETURN_IF_ERROR(hr);
           SegmentHeader parsed;

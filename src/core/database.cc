@@ -585,6 +585,7 @@ Status Database::DropAttachment(Transaction* txn, const std::string& rel,
                      // may trip over the damage itself, and the drop must
                      // still commit — a failed release only leaks pages.
                      actx.at_desc = Slice(old_desc);
+                     // Leak-only on failure (see above).
                      (void)aops.release_instance(actx, instance_no);
                    }
                  }
@@ -1479,6 +1480,7 @@ Status Database::RepairRelation(Transaction* txn, const std::string& rel,
                          // the rebuild is already durably published, so a
                          // failed release only leaks the damaged pages.
                          actx.at_desc = Slice(old_desc);
+                         // Leak-only on failure (see above).
                          (void)aops.release_instance(actx, inst);
                        }
                      }

@@ -129,6 +129,7 @@ void ErrorHandler::RecoveryLoop() {
     {
       MutexLock lock(&mu_);
       if (stop_) return;
+      // Timed backoff; a timeout wake is the expected case.
       (void)cv_.WaitUntil(std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(backoff_ms));
       if (stop_) return;

@@ -581,6 +581,7 @@ class SqlExecutor {
       // the transaction active and holding locks; release them — the commit
       // error is what the caller must see, and the txn cannot be retried.
     }
+    // Drop the failed txn's locks; s already records the commit error.
     if (txn->active()) (void)db_->Abort(txn);
     return s;
   }

@@ -247,7 +247,7 @@ Status ForeignCost(SmContext& ctx, const std::vector<ExprPtr>& predicates,
   // Best-effort: an unreachable count leaves n = 0, which only skews the
   // cost estimate — never correctness.
   (void)fdb->CountRecords(ftxn, fdesc, &n);
-  (void)fdb->Commit(ftxn);
+  (void)fdb->Commit(ftxn);  // read-only txn; nothing to undo
   out->usable = true;
   // Remote accesses are charged a per-record messaging premium.
   out->io_cost = static_cast<double>(n) * 0.1;

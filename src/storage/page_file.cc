@@ -25,6 +25,9 @@ PageFile::~PageFile() {
   (void)Close();  // best-effort header write; errors unreportable here
 }
 
+// Cold open: the header must be durable before the file is shared, and
+// mu_ is private until Open returns.
+// deeplint: allow(blocking-under-lock, cold open precedes sharing)
 Status PageFile::Open(const std::string& path, bool create, Env* env) {
   MutexLock lock(&mu_);
   env_ = env != nullptr ? env : Env::Default();
@@ -51,6 +54,9 @@ Status PageFile::Open(const std::string& path, bool create, Env* env) {
   return s;
 }
 
+// Teardown: the final header write must not interleave with a late
+// Allocate/Free.
+// deeplint: allow(blocking-under-lock, teardown serializes final header)
 Status PageFile::Close() {
   MutexLock lock(&mu_);
   if (!file_) return Status::OK();
@@ -114,6 +120,9 @@ Status PageFile::WriteHeader() {
   return WriteRaw(0, buf);
 }
 
+// The freelist unlink/growth must be durable atomically with the
+// allocation metadata that publishes it.
+// deeplint: allow(blocking-under-lock, freelist sync atomic with alloc)
 Status PageFile::Allocate(PageId* id) {
   MutexLock lock(&mu_);
   if (freelist_head_ != kInvalidPageId) {
@@ -177,6 +186,12 @@ Status PageFile::Write(PageId id, const Page& page) {
 
 Status PageFile::Sync() { return file_->Sync(/*data_only=*/false); }
 
+// mu_ freezes the allocation structure for the copy; record writes
+// proceed, and reads are page-sized and bounded. The attempt loop is a
+// torn-read CRC retry under concurrent writers, not an I/O-status retry:
+// real I/O failures break it unretried.
+// deeplint: allow(blocking-under-lock, mu_ freezes allocation for copy)
+// deeplint: allow(status-discipline, torn-read CRC retry, not I/O retry)
 Status PageFile::SnapshotTo(const std::string& dest_path, uint32_t* out_pages,
                             uint32_t* out_crc) {
   MutexLock lock(&mu_);  // freeze allocation structure, not record writes
@@ -221,7 +236,8 @@ Status PageFile::SnapshotTo(const std::string& dest_path, uint32_t* out_pages,
   Status c = dest->Close();
   if (s.ok()) s = c;
   if (!s.ok()) {
-    (void)env_->DeleteFile(dest_path);
+    // Best-effort: the partial snapshot is garbage; s names the real error.
+  (void)env_->DeleteFile(dest_path);
     return s;
   }
   *out_pages = pages;

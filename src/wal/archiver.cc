@@ -63,6 +63,7 @@ void WalArchiver::Loop() {
         if (parked_) {
           cv_.Wait();
         } else {
+          // Timed poll; a timeout wake is the normal case.
           (void)cv_.WaitUntil(
               std::chrono::steady_clock::now() +
               std::chrono::microseconds(options_.poll_interval_us));
@@ -153,6 +154,7 @@ Status WalArchiver::ArchiveOne(const LogManager::SegmentInfo& seg) {
   DMX_RETURN_IF_ERROR(VerifySegmentFile(env_, tmp_path, &copied));
   if (copied.seqno != hdr.seqno || copied.base_lsn != hdr.base_lsn ||
       copied.end_lsn != hdr.end_lsn) {
+    // Best-effort: the mismatched copy is garbage either way.
     (void)env_->DeleteFile(tmp_path);
     return Status::Corruption("archived copy of '" + seg.path +
                               "' does not match its source");

@@ -105,6 +105,9 @@ void LogManager::FlusherLoop() {
   mu_.Unlock();
 }
 
+// Recovery-time open: the log is not yet shared, and discovery must
+// finish before any append.
+// deeplint: allow(blocking-under-lock, recovery open precedes sharing)
 Status LogManager::Open(const std::string& path, bool create, Env* env) {
   MutexLock lock(&mu_);
   env_ = env != nullptr ? env : Env::Default();
@@ -157,6 +160,7 @@ Status LogManager::Open(const std::string& path, bool create, Env* env) {
   buffer_start_ = next;
   s = DiscoverSegmentsLocked();
   if (!s.ok()) {
+    // Surface the discovery error; the close is cleanup.
     (void)file_->Close();
     file_.reset();
     return s;
@@ -186,6 +190,7 @@ Status LogManager::DiscoverSegmentsLocked() {
     Status s = env_->NewRandomAccessFile(seg_path, /*create=*/false, &f);
     if (s.ok()) s = f->Read(0, kSegHeaderSize, buf, &n);
     if (s.ok() && n == kSegHeaderSize) s = DecodeSegmentHeader(buf, &hdr);
+    // Read-only header probe; nothing buffered to lose.
     if (f) (void)f->Close();
     if (!s.ok() || n != kSegHeaderSize || hdr.base_lsn >= base_lsn_) {
       // Either an unreadable header (the partially written product of a
@@ -244,6 +249,9 @@ Status LogManager::WriteHeaderLocked() {
   return file_->Write(0, enc.data(), enc.size());
 }
 
+// Teardown: final flush after the group-commit leader quiesces; no
+// writer can need mu_ again.
+// deeplint: allow(blocking-under-lock, teardown flush after quiesce)
 Status LogManager::Close() {
   MutexLock lock(&mu_);
   if (!file_) return Status::OK();
@@ -452,6 +460,9 @@ Status LogManager::FlushAll() {
   return FlushToLocked(next_lsn_.load(std::memory_order_relaxed) - 1);
 }
 
+// Recovery replay owns the log; mu_ pins the segment chain for the
+// whole scan by design.
+// deeplint: allow(blocking-under-lock, recovery replay pins the chain)
 Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   DMX_RETURN_IF_ERROR(FlushAll());
   MutexLock lock(&mu_);
@@ -469,6 +480,7 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
     std::string data(static_cast<size_t>(seg.end_lsn - seg.base_lsn), '\0');
     size_t seg_got = 0;
     Status s = f->Read(kSegHeaderSize, data.size(), data.data(), &seg_got);
+    // Read-only segment handle; the read status is the outcome.
     (void)f->Close();
     DMX_RETURN_IF_ERROR(s);
     if (seg_got != data.size()) {
@@ -562,6 +574,9 @@ Status LogManager::ReadAll(std::vector<LogRecord>* out) {
   return Status::OK();
 }
 
+// Undo-path point read: mu_ pins the chain so rotation cannot unlink
+// the frame mid-read.
+// deeplint: allow(blocking-under-lock, point read pins chain vs rotation)
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
   MutexLock lock(&mu_);
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
@@ -593,6 +608,7 @@ Status LogManager::ReadRecord(Lsn lsn, LogRecord* out) {
         s = f->Read(off + kFrameHeaderSize, len, body.data(), &n);
         if (s.ok() && n != len) s = Status::IOError("segment frame body read");
       }
+      // Read-only segment handle; the frame status is the outcome.
       (void)f->Close();
       DMX_RETURN_IF_ERROR(s);
       if (crc != FrameCrc(seg.gen, body.data(), len)) {
@@ -755,6 +771,7 @@ Status LogManager::RotateLocked() {
     // The live log is untouched and fully usable; discard the partial
     // segment so a later rotation starts clean.
     if (seg) (void)seg->Close();
+    // Best-effort: a leftover partial segment is garbage either way.
     (void)env_->DeleteFile(info.path);
     return s;
   }
@@ -770,6 +787,7 @@ Status LogManager::RotateLocked() {
     // only complete copy; it stays registered.
     segments_.pop_back();
     --next_seg_seqno_;
+    // Best-effort: the duplicate copy is re-deleted at next discovery.
     (void)env_->DeleteFile(info.path);
     return ts;
   }
@@ -779,6 +797,9 @@ Status LogManager::RotateLocked() {
   return Status::OK();
 }
 
+// Truncation must be atomic with respect to appends; the rewrite is
+// small and checkpoint-rate.
+// deeplint: allow(blocking-under-lock, truncate is atomic vs appends)
 Status LogManager::CheckpointTruncate() {
   MutexLock lock(&mu_);
   DMX_RETURN_IF_ERROR(ReclaimBlockedLocked());
@@ -841,6 +862,9 @@ Lsn LogManager::base_lsn() const {
   return base_lsn_;
 }
 
+// Backup copies a frozen durable prefix; mu_ keeps rotation and
+// truncation out for the copy.
+// deeplint: allow(blocking-under-lock, backup copies a frozen prefix)
 Status LogManager::SnapshotLiveTo(const std::string& dest_path) {
   MutexLock lock(&mu_);
   if (poison_ != PoisonKind::kNone) return PoisonedLocked();
@@ -865,6 +889,9 @@ Status LogManager::SnapshotLiveTo(const std::string& dest_path) {
   return dest->Close();
 }
 
+// Poison recovery: the log is quiesced by the poison gate, and repair
+// I/O must be exclusive.
+// deeplint: allow(blocking-under-lock, poison repair I/O is exclusive)
 Status LogManager::Resume() {
   MutexLock lock(&mu_);
   if (!file_) return Status::IOError("log not open");

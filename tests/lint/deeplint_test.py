@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CTest driver for tools/dmx_deeplint.
+
+Usage: deeplint_test.py <repo-root>
+
+Asserts, with the tokens frontend pinned for determinism:
+  1. the real src/ tree is clean and docs/LOCK_ORDER.md matches the
+     lock-order graph derived from it (doc drift fails);
+  2. the broken fixtures are flagged: the lock cycle, each
+     blocking-under-lock shape, each status-discipline shape, and the
+     brace-initialized procedure vector;
+  3. a reasoned allow() silences its finding, a reasonless one is
+     itself a [suppression] finding, and --no-suppressions reports
+     waived findings again;
+  4. the brace-init vector fixture is a dmx_lint.py false negative
+     (regex clean, AST flagged) — the reason the AST port exists.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run(tool, *argv):
+    proc = subprocess.run(
+        [sys.executable, str(tool)] + [str(a) for a in argv],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(sys.argv[1]).resolve()
+    deeplint = root / "tools" / "dmx_deeplint" / "deeplint.py"
+    dmx_lint = root / "tools" / "dmx_lint.py"
+    fixtures = root / "tests" / "lint" / "fixtures" / "deeplint"
+    failures = []
+
+    # 1. Real tree clean; the checked-in lock hierarchy is current.
+    rc, out = run(deeplint, "--frontend", "tokens", "--check-lock-order",
+                  root / "docs" / "LOCK_ORDER.md", root / "src")
+    if rc != 0:
+        failures.append(f"src/ should deeplint clean with a current "
+                        f"docs/LOCK_ORDER.md, got rc={rc}:\n{out}")
+
+    # 2. Broken fixtures are flagged, each shape at least once.
+    rc, out = run(deeplint, "--frontend", "tokens", fixtures)
+    if rc != 1:
+        failures.append(f"fixtures should fail deeplint with rc=1, got "
+                        f"rc={rc}:\n{out}")
+    for needle in (
+            # lock-order: the fixture cycle, both edges named.
+            "[lock-order]", "Account::mu_ -> Ledger::mu_",
+            "Ledger::mu_ -> Account::mu_",
+            # blocking-under-lock: syscall, Env I/O, foreign-mutex wait.
+            "Flusher::HoldsAcrossFsync", "Flusher::HoldsAcrossEnvIo",
+            "TwoLocks::WaitsHoldingForeign",
+            # status-discipline: confinement, drop, blind retry.
+            "Status::IOError constructed outside",
+            "drops a call result with no reason comment",
+            "never consults Status::IsRetryable",
+            # vector-dispatch: the brace-init vector, both rules.
+            "required entry points unset: redo",
+            "registers undo without redo",
+            # suppression hygiene: reasonless allow() is a finding.
+            "[suppression]", "allow(blocking-under-lock) without a reason",
+    ):
+        if needle not in out:
+            failures.append(f"expected fixture finding {needle!r}, "
+                            f"output:\n{out}")
+
+    # 3a. The reasoned waiver silences its fsync finding.
+    if "WaivedByDesign" in out:
+        failures.append(f"reasoned allow() should silence "
+                        f"Flusher::WaivedByDesign, output:\n{out}")
+    # 3b. The reasonless allow() suppresses nothing.
+    if "Flusher::ReasonlessWaiver" not in out:
+        failures.append(f"reasonless allow() must not suppress, "
+                        f"output:\n{out}")
+    # 3c. The nightly audit mode reports the waived finding again.
+    rc, out = run(deeplint, "--frontend", "tokens", "--no-suppressions",
+                  fixtures / "blocking.cc")
+    if "WaivedByDesign" not in out:
+        failures.append(f"--no-suppressions should report the waived "
+                        f"finding, output:\n{out}")
+
+    # 4. dmx_lint.py's registration regex misses the brace-init vector.
+    rc, out = run(dmx_lint, fixtures / "vector_braceinit.cc")
+    if rc != 0:
+        failures.append(f"vector_braceinit.cc is meant to be a dmx_lint "
+                        f"false negative, got rc={rc}:\n{out}")
+
+    if failures:
+        print("deeplint_test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(" * " + f, file=sys.stderr)
+        return 1
+    print("deeplint_test OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+// deeplint fixture: blocking operations under a held mutex. Never
+// compiled — deeplint_test.py asserts the blocking-under-lock pass
+// flags each defect and honors the reasoned waiver.
+
+#include "src/util/env.h"
+#include "src/util/thread_annotations.h"
+
+namespace dmx {
+
+class Flusher {
+ public:
+  void HoldsAcrossFsync();
+  void HoldsAcrossEnvIo();
+  void WaivedByDesign();
+  void ReasonlessWaiver();
+  Mutex mu_;
+  Env* env_;
+  int fd_ = -1;
+};
+
+// Flagged: raw fsync while mu_ is held.
+void Flusher::HoldsAcrossFsync() {
+  MutexLock lock(&mu_);
+  fsync(fd_);
+}
+
+// Flagged: the whole Env surface is disk I/O.
+void Flusher::HoldsAcrossEnvIo() {
+  MutexLock lock(&mu_);
+  env_->SyncDir(".");
+}
+
+// Clean: the waiver names the pass and carries a reason.
+// deeplint: allow(blocking-under-lock, fixture cold path by design)
+void Flusher::WaivedByDesign() {
+  MutexLock lock(&mu_);
+  fsync(fd_);
+}
+
+// Doubly flagged: a reasonless allow() suppresses nothing and is itself
+// a [suppression] finding.
+// deeplint: allow(blocking-under-lock)
+void Flusher::ReasonlessWaiver() {
+  MutexLock lock(&mu_);
+  fsync(fd_);
+}
+
+class TwoLocks {
+ public:
+  void WaitsHoldingForeign();
+  Mutex a_;
+  Mutex b_;
+  CondVar cv_{&a_};
+};
+
+// Flagged: Wait releases a_ for the sleep but keeps b_ pinned.
+void TwoLocks::WaitsHoldingForeign() {
+  MutexLock la(&a_);
+  MutexLock lb(&b_);
+  cv_.Wait();
+}
+
+}  // namespace dmx

@@ -1,0 +1,46 @@
+// deeplint fixture: a two-lock acquisition cycle. Never compiled —
+// deeplint_test.py asserts the lock-order pass reports the deadlock.
+
+#include "src/util/thread_annotations.h"
+
+namespace dmx {
+
+class Account;
+
+class Ledger {
+ public:
+  void Post();
+  void Reconcile();
+  Mutex mu_;
+  Account* account_;
+};
+
+class Account {
+ public:
+  void Debit();
+  void Audit();
+  Mutex mu_;
+  Ledger* ledger_;
+};
+
+// Ledger::mu_ -> Account::mu_ ...
+void Ledger::Post() {
+  MutexLock lock(&mu_);
+  account_->Debit();
+}
+
+void Account::Debit() {
+  MutexLock lock(&mu_);
+}
+
+void Ledger::Reconcile() {
+  MutexLock lock(&mu_);
+}
+
+// ... and Account::mu_ -> Ledger::mu_: opposite order, deadlock.
+void Account::Audit() {
+  MutexLock lock(&mu_);
+  ledger_->Reconcile();
+}
+
+}  // namespace dmx

@@ -1,0 +1,33 @@
+// deeplint fixture: an incomplete procedure vector declared with brace
+// initialization split from its field assignments. tools/dmx_lint.py's
+// line regex misses this declaration form entirely (its registration
+// pattern wants `SmOps o;` or `SmOps o = SomeOps();`) — the AST-level
+// vector-dispatch pass must still flag it. deeplint_test.py asserts
+// both halves: dmx_lint.py exits clean here, deeplint does not.
+
+#include "src/core/extension.h"
+
+namespace dmx {
+
+// vector-dispatch: missing redo (and undo without redo breaks the
+// undo/redo recovery pairing).
+SmOps BraceInitializedOps() {
+  SmOps ops{};
+  ops.name = "braceinit";
+  ops.validate = nullptr;
+  ops.create = nullptr;
+  ops.drop = nullptr;
+  ops.open = nullptr;
+  ops.insert = nullptr;
+  ops.update = nullptr;
+  ops.erase = nullptr;
+  ops.fetch = nullptr;
+  ops.open_scan = nullptr;
+  ops.cost = nullptr;
+  ops.undo = nullptr;
+  ops.count = nullptr;
+  ops.verify = nullptr;
+  return ops;
+}
+
+}  // namespace dmx

@@ -31,10 +31,13 @@ def main():
     fixtures = root / "tests" / "lint" / "fixtures"
     failures = []
 
-    # 1. Real tree is clean.
-    rc, out = run_lint(lint, root / "src")
+    # 1. Real tree is clean — src/ plus the tools/bench/examples sweep.
+    rc, out = run_lint(lint, *(root / d
+                               for d in ("src", "tools", "bench",
+                                         "examples")
+                               if (root / d).is_dir()))
     if rc != 0:
-        failures.append(f"src/ tree should lint clean, got rc={rc}:\n{out}")
+        failures.append(f"tree should lint clean, got rc={rc}:\n{out}")
 
     # 2. Broken fixtures are flagged, each rule at least once.
     rc, out = run_lint(lint, fixtures / "bad_smops.cc",

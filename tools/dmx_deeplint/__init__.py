@@ -1,0 +1,1 @@
+"""deeplint — AST-level semantic lint for the DMX tree (see deeplint.py)."""

@@ -1,0 +1,361 @@
+"""libclang (clang.cindex) frontend: exact semantic types for deeplint.
+
+Builds the same TUModel the token frontend produces, but derives
+functions, lock events, call receivers, and condition-variable bindings
+from the clang AST instead of a scope-tracking token walk — so receiver
+types come from the type system (a `RandomAccessFile*` behind three
+typedefs is still a `RandomAccessFile`), and multi-line or
+macro-obscured declarations cannot confuse it.
+
+Division of labor: the purely lexical facts — IOError constructions,
+`(void)` drops (whose reason comments are comments, invisible to an
+AST), direct-dispatch spellings, and vector registrations — are shared
+with the token frontend, which is also the per-file fallback when a
+translation unit cannot be parsed (headers analyzed standalone, missing
+system includes in a minimal container). The frontend reports how many
+files fell back, so a lane that expects full semantic coverage can see
+when it did not get it.
+
+Requires the clang python bindings (python3-clang) and a libclang
+shared library; `available()` probes for both without raising.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+from pathlib import Path
+
+from model import FunctionModel, LockEvent, CallEvent, WaitEvent, TUModel
+from frontend_tokens import TokenFrontend
+
+LOCK_GUARD_TYPES = ("MutexLock",)
+MUTEX_TYPES = ("Mutex",)
+CONDVAR_TYPES = ("CondVar",)
+LOOP_KINDS = ("FOR_STMT", "WHILE_STMT", "DO_STMT", "CXX_FOR_RANGE_STMT")
+FUNC_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR")
+
+_LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/*/libclang-*.so*",
+)
+
+
+class CindexFrontend:
+    def __init__(self, config, compdb=None):
+        self.config = config
+        self.compdb_dir = compdb
+        self._reason = "not probed"
+        self._cx = None        # the clang.cindex module, once importable
+        self._index = None
+        self._compdb = None
+        self.fallback_files = []
+
+    # ---- availability -------------------------------------------------
+
+    def available(self):
+        try:
+            from clang import cindex
+        except ImportError as e:
+            self._reason = f"clang python bindings not installed ({e})"
+            return False
+        if not cindex.Config.loaded:
+            lib = self._find_libclang(cindex)
+            if lib:
+                cindex.Config.set_library_file(lib)
+        try:
+            index = cindex.Index.create()
+        except Exception as e:  # libclang .so missing or ABI mismatch
+            self._reason = f"libclang not loadable ({e})"
+            return False
+        self._cx = cindex
+        self._index = index
+        return True
+
+    def unavailable_reason(self):
+        return self._reason
+
+    @staticmethod
+    def _find_libclang(cindex):
+        try:
+            import ctypes.util
+            lib = ctypes.util.find_library("clang")
+            if lib:
+                return lib
+        except Exception:
+            pass
+        for pattern in _LIBCLANG_GLOBS:
+            hits = sorted(glob.glob(pattern))
+            if hits:
+                return hits[-1]
+        return None
+
+    # ---- build --------------------------------------------------------
+
+    def build(self, paths):
+        paths = [str(p) for p in paths]
+        # The token frontend supplies lexical facts for every file and
+        # the whole model for files cindex cannot parse.
+        tokens = TokenFrontend(self.config)
+        base = {m.path: m for m in tokens.build(paths)}
+        self._load_compdb()
+        models = []
+        for p in paths:
+            fallback = base[p]
+            model = None
+            try:
+                model = self._analyze_file(p)
+            except Exception as e:
+                print(f"deeplint: cindex failed on {p}: {e}",
+                      file=sys.stderr)
+            if model is None or not model.functions:
+                # Nothing usable came back (parse failure, or a header
+                # with no standalone definitions): keep the token model.
+                if fallback.functions:
+                    self.fallback_files.append(p)
+                models.append(fallback)
+                continue
+            model.vectors = fallback.vectors
+            model.dispatches = fallback.dispatches
+            model.status_facts = fallback.status_facts
+            models.append(model)
+        if self.fallback_files:
+            print(f"deeplint: cindex fell back to the token frontend "
+                  f"for {len(self.fallback_files)} of {len(paths)} "
+                  f"files", file=sys.stderr)
+        return models
+
+    def _load_compdb(self):
+        if not self.compdb_dir:
+            return
+        try:
+            self._compdb = self._cx.CompilationDatabase.fromDirectory(
+                str(self.compdb_dir))
+        except Exception as e:
+            print(f"deeplint: cannot load compilation database under "
+                  f"{self.compdb_dir}: {e}", file=sys.stderr)
+
+    def _args_for(self, path):
+        if self._compdb is not None:
+            cmds = self._compdb.getCompileCommands(str(path))
+            if cmds:
+                args, skip = [], False
+                for a in list(cmds[0].arguments)[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-c", str(path), os.path.basename(path)):
+                        continue
+                    if a == "-o":
+                        skip = True
+                        continue
+                    args.append(a)
+                return args
+        root = str(Path(__file__).resolve().parent.parent.parent)
+        return ["-x", "c++", "-std=c++20", "-I", root]
+
+    # ---- per-file analysis --------------------------------------------
+
+    def _analyze_file(self, path):
+        cx = self._cx
+        tu = self._index.parse(
+            str(path), args=self._args_for(path),
+            options=cx.TranslationUnit.PARSE_INCOMPLETE)
+        for d in tu.diagnostics:
+            if d.severity >= cx.Diagnostic.Fatal:
+                return None
+        model = TUModel(str(path))
+        for cur in tu.cursor.get_children():
+            self._visit_toplevel(cur, str(path), model)
+        return model
+
+    def _visit_toplevel(self, cur, path, model):
+        loc = cur.location
+        if loc.file is None or str(loc.file) != path:
+            return
+        kind = cur.kind.name
+        if kind in ("NAMESPACE", "CLASS_DECL", "STRUCT_DECL",
+                    "LINKAGE_SPEC"):
+            for child in cur.get_children():
+                self._visit_toplevel(child, path, model)
+            return
+        if kind in FUNC_KINDS and cur.is_definition():
+            model.functions.append(self._function_model(cur, path))
+
+    def _function_model(self, cur, path):
+        cls = None
+        parent = cur.semantic_parent
+        if parent is not None and parent.kind.name in (
+                "CLASS_DECL", "STRUCT_DECL"):
+            cls = parent.spelling
+        name = cur.spelling
+        qual = f"{cls}::{name}" if cls else name
+        fn = FunctionModel(qual=qual, cls=cls, name=name, file=path,
+                           line=cur.location.line)
+        fn.entry_locks = self._entry_locks(cur, cls)
+        mentions, state = set(), {"loop": False}
+        self._walk_stmt(cur, fn, [], mentions, state, cls)
+        fn.has_loop = state["loop"]
+        fn.mentions = frozenset(mentions)
+        return fn
+
+    def _entry_locks(self, cur, cls):
+        """REQUIRES(mu) survives only in the raw tokens (it is a macro)."""
+        locks, toks = [], []
+        try:
+            toks = [t.spelling for t in cur.get_tokens()]
+        except Exception:
+            pass
+        for i, t in enumerate(toks):
+            if t in ("REQUIRES", "EXCLUSIVE_LOCKS_REQUIRED") and \
+                    i + 2 < len(toks) and toks[i + 1] == "(":
+                j = i + 2
+                while j < len(toks) and toks[j] != ")":
+                    if toks[j] not in (",", "&", "*", ".", "->"):
+                        locks.append(f"{cls}::{toks[j]}" if cls
+                                     else toks[j])
+                    j += 1
+            if t == "{":
+                break  # annotations precede the body
+        return tuple(locks)
+
+    # ---- statement walk ----------------------------------------------
+
+    def _walk_stmt(self, cur, fn, held, mentions, state, cls):
+        """Recursive AST walk. `held` is a stack of [lock, line] pairs;
+        a COMPOUND_STMT child scopes RAII guards declared inside it."""
+        for child in cur.get_children():
+            kind = child.kind.name
+            if kind in LOOP_KINDS:
+                state["loop"] = True
+            if kind in ("DECL_REF_EXPR", "MEMBER_REF_EXPR", "VAR_DECL",
+                        "PARM_DECL") and child.spelling:
+                mentions.add(child.spelling)
+            if kind == "COMPOUND_STMT":
+                depth = len(held)
+                self._walk_stmt(child, fn, held, mentions, state, cls)
+                del held[depth:]  # RAII guards die with their scope
+                continue
+            if kind == "VAR_DECL" and \
+                    self._type_name(child.type) in LOCK_GUARD_TYPES:
+                lock = self._guarded_lock(child, cls)
+                if lock:
+                    fn.acquires.append(LockEvent(
+                        lock, child.location.line,
+                        tuple(h[0] for h in held)))
+                    held.append([lock, child.location.line])
+                continue
+            if kind == "CALL_EXPR":
+                self._call_event(child, fn, held, cls)
+            self._walk_stmt(child, fn, held, mentions, state, cls)
+
+    def _call_event(self, cur, fn, held, cls):
+        name = cur.spelling
+        if not name:
+            return
+        ref = cur.referenced
+        recv_cls = None
+        if ref is not None and ref.semantic_parent is not None and \
+                ref.semantic_parent.kind.name in ("CLASS_DECL",
+                                                  "STRUCT_DECL"):
+            recv_cls = ref.semantic_parent.spelling
+        args = list(cur.get_arguments())
+        recv_expr = self._receiver_expr(cur)
+        if name in ("Lock", "Unlock") and recv_cls in MUTEX_TYPES and \
+                not args:
+            lock = self._lock_of_expr(cur, cls) or recv_expr or "?"
+            if name == "Lock":
+                fn.acquires.append(LockEvent(
+                    lock, cur.location.line, tuple(h[0] for h in held),
+                    manual=True))
+                held.append([lock, cur.location.line])
+            else:
+                for h in reversed(held):
+                    if h[0] == lock:
+                        held.remove(h)
+                        break
+            return
+        if name in ("Wait", "WaitUntil", "WaitFor") and \
+                recv_cls in CONDVAR_TYPES:
+            fn.waits.append(WaitEvent(
+                recv_expr or "?", self._cv_mutex(cur, cls),
+                cur.location.line, tuple(h[0] for h in held)))
+            return
+        fn.calls.append(CallEvent(
+            expr=(f"{recv_expr}->{name}" if recv_expr else name),
+            name=name, recv=recv_expr, recv_type=recv_cls,
+            line=cur.location.line, held=tuple(h[0] for h in held),
+            held_lines={h[0]: h[1] for h in held}))
+
+    # ---- semantic helpers ---------------------------------------------
+
+    def _type_name(self, ctype):
+        try:
+            spelling = ctype.get_canonical().spelling
+        except Exception:
+            spelling = ctype.spelling
+        spelling = spelling.replace("const ", "").strip(" *&")
+        return spelling.rsplit("::", 1)[-1]
+
+    def _receiver_expr(self, call):
+        """Spelling of the receiver ('env_', 'state_.cv'), if any."""
+        for child in call.get_children():
+            if child.kind.name == "MEMBER_REF_EXPR":
+                parts = []
+                for sub in child.walk_preorder():
+                    if sub.kind.name in ("MEMBER_REF_EXPR",
+                                         "DECL_REF_EXPR") and \
+                            sub != child and sub.spelling:
+                        parts.append(sub.spelling)
+                return ".".join(reversed(parts)) if parts else None
+            break
+        return None
+
+    def _canon_decl(self, decl, cls):
+        """Canonical lock id for a referenced Mutex declaration."""
+        if decl is None:
+            return None
+        parent = decl.semantic_parent
+        if parent is not None and parent.kind.name in ("CLASS_DECL",
+                                                       "STRUCT_DECL"):
+            outer = parent.semantic_parent
+            if outer is not None and outer.kind.name in ("CLASS_DECL",
+                                                         "STRUCT_DECL"):
+                return (f"{outer.spelling}::{parent.spelling}::"
+                        f"{decl.spelling}")
+            return f"{parent.spelling}::{decl.spelling}"
+        return decl.spelling  # global / namespace-scope mutex
+
+    def _mutex_ref_in(self, cur):
+        """First reference to a Mutex-typed declaration inside `cur`."""
+        for sub in cur.walk_preorder():
+            if sub.kind.name in ("MEMBER_REF_EXPR", "DECL_REF_EXPR"):
+                ref = sub.referenced
+                if ref is not None and \
+                        self._type_name(ref.type) in MUTEX_TYPES:
+                    return ref
+        return None
+
+    def _guarded_lock(self, var_decl, cls):
+        ref = self._mutex_ref_in(var_decl)
+        return self._canon_decl(ref, cls)
+
+    def _lock_of_expr(self, call, cls):
+        ref = self._mutex_ref_in(call)
+        return self._canon_decl(ref, cls)
+
+    def _cv_mutex(self, call, cls):
+        """The mutex a CondVar was constructed over: follow the wait's
+        receiver to its FIELD/VAR declaration and look at the
+        initializer (`CondVar cv_{&mu_};`)."""
+        for sub in call.walk_preorder():
+            if sub.kind.name in ("MEMBER_REF_EXPR", "DECL_REF_EXPR"):
+                ref = sub.referenced
+                if ref is not None and \
+                        self._type_name(ref.type) in CONDVAR_TYPES:
+                    mu = self._mutex_ref_in(ref)
+                    return self._canon_decl(mu, cls)
+        return None

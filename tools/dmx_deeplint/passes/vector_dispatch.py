@@ -1,0 +1,83 @@
+"""vector-dispatch: procedure-vector completeness + dispatch discipline.
+
+The AST-level port of dmx_lint.py's two core paper contracts. The regex
+lint matches `SmOps v;` declaration shapes line-by-line and silently
+skips anything it cannot parse — brace-initialized registrations
+(`SmOps ops{};`), comments between tokens, assignments split across
+lines. Here registrations are recovered from the token stream inside
+function bodies (declaration .. field assignments .. `return var;`), so a
+registration that leaves a required entry point unset is found no matter
+how it is formatted, and a sibling-vector bypass
+(`HeapStorageMethodOps().insert(...)`) is found even when wrapped.
+"""
+
+from __future__ import annotations
+
+from model import Finding
+
+RULE = "vector-dispatch"
+
+# Keep in sync with tools/dmx_lint.py (the line-level lint remains the
+# fast pre-commit check; deeplint is the one that cannot be format-dodged).
+SM_REQUIRED = frozenset((
+    "name", "validate", "create", "drop", "open", "insert", "update",
+    "erase", "fetch", "open_scan", "cost", "undo", "redo", "count",
+    "verify",
+))
+AT_REQUIRED = frozenset((
+    "name", "create_instance", "drop_instance", "open", "instance_count",
+    "on_insert", "on_update",
+))
+
+
+def run(models, ctx):
+    findings = []
+    for tu in models:
+        for reg in tu.vectors:
+            if reg.inherited:
+                # Only overridden fields are visible; the base vector
+                # already passed completeness where it was registered.
+                continue
+            required = SM_REQUIRED if reg.kind == "SmOps" else AT_REQUIRED
+            missing = sorted(required - reg.fields)
+            if missing:
+                findings.append(Finding(
+                    tu.path, reg.line, RULE,
+                    f"{reg.kind} registration '{reg.var}' leaves required "
+                    f"entry points unset: {', '.join(missing)} — a "
+                    "missing entry point is a nullptr dispatch at "
+                    "runtime"))
+            if ("undo" in reg.fields) != ("redo" in reg.fields):
+                which = ("undo without redo" if "undo" in reg.fields
+                         else "redo without undo")
+                findings.append(Finding(
+                    tu.path, reg.line, RULE,
+                    f"{reg.kind} '{reg.var}' registers {which} — "
+                    "recovery needs both directions"))
+            if reg.kind == "AtOps":
+                if ({"lookup", "open_scan"} & reg.fields) and \
+                        "list_instances" not in reg.fields:
+                    findings.append(Finding(
+                        tu.path, reg.line, RULE,
+                        f"access-path AtOps '{reg.var}' (lookup/"
+                        "open_scan) must provide list_instances"))
+                if "repair_instance" in reg.fields and \
+                        "release_instance" not in reg.fields:
+                    findings.append(Finding(
+                        tu.path, reg.line, RULE,
+                        f"AtOps '{reg.var}' has repair_instance without "
+                        "release_instance: REPAIR cannot drop the stale "
+                        "cached state"))
+                if "guards_integrity" in reg.fields and \
+                        "verify" not in reg.fields:
+                    findings.append(Finding(
+                        tu.path, reg.line, RULE,
+                        f"AtOps '{reg.var}' has guards_integrity without "
+                        "verify: quarantine has nothing to re-check"))
+        for d in tu.dispatches:
+            findings.append(Finding(
+                tu.path, d.line, RULE,
+                f"direct dispatch {d.expr}: entry points must go through "
+                "the registered vector (registry->sm_ops/at_ops), never "
+                "a sibling's accessor"))
+    return findings

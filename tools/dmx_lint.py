@@ -35,8 +35,9 @@ Rules (findings print as `path:line: [rule] message`, exit 1 if any):
                      loses its meaning. Extensions must propagate the
                      Status they got from the Env.
 
-Suppress a finding on its line with `// dmx-lint: allow-<rule-suffix>`,
-e.g. `Mutex mu;  // dmx-lint: allow-unguarded (reason)`.
+Suppress a finding with `// dmx-lint: allow-<rule-suffix>` on its line,
+e.g. `Mutex mu;  // dmx-lint: allow-unguarded (reason)`, or on a comment
+line directly above when the flagged line has no room.
 """
 
 import argparse
@@ -63,12 +64,18 @@ AT_REQUIRED = {
 SUPPRESS_RE = re.compile(r"//\s*dmx-lint:\s*allow-([\w-]+)")
 
 findings = []
+_current_lines = []  # lint_file sets this; report() peeks one line up
 
 
 def report(path, lineno, rule, message, line=""):
-    m = SUPPRESS_RE.search(line)
-    if m and m.group(1) in rule:
-        return
+    above = _current_lines[lineno - 2] if 2 <= lineno - 1 <= \
+        len(_current_lines) else ""
+    if not above.lstrip().startswith("//"):
+        above = ""  # only a comment line above can carry the waiver
+    for candidate in (line, above):
+        m = SUPPRESS_RE.search(candidate)
+        if m and m.group(1) in rule:
+            return
     findings.append(f"{path}:{lineno}: [{rule}] {message}")
 
 
@@ -201,7 +208,9 @@ def check_ioerror(path, text):
 
 
 def lint_file(path):
+    global _current_lines
     text = path.read_text(encoding="utf-8", errors="replace")
+    _current_lines = text.splitlines()
     exempt = path.name == "thread_annotations.h"
     check_vectors(path, text)
     check_dispatch(path, text)
@@ -212,13 +221,15 @@ def lint_file(path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("paths", nargs="*",
-                    help="files or directories to lint (default: the src/ "
-                         "tree next to this script's repo root)")
+                    help="files or directories to lint (default: src/, "
+                         "tools/, bench/, examples/ under the repo root)")
     args = ap.parse_args()
 
     roots = [Path(p) for p in args.paths]
     if not roots:
-        roots = [Path(__file__).resolve().parent.parent / "src"]
+        repo = Path(__file__).resolve().parent.parent
+        roots = [repo / d for d in ("src", "tools", "bench", "examples")
+                 if (repo / d).is_dir()]
 
     files = []
     for root in roots:
